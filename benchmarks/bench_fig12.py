@@ -1,0 +1,32 @@
+"""Fig. 12: SSD power/bandwidth under fio workloads."""
+
+import pytest
+
+from repro.experiments import fig12
+
+
+def run_scaled():
+    return fig12.run(read_runtime_s=1.0, write_runtime_s=30.0)
+
+
+def test_bench_fig12(benchmark, show):
+    result = benchmark.pedantic(run_scaled, rounds=1, iterations=1)
+    show(result)
+
+    # Panel (a): bandwidth and power rise with request size, then saturate.
+    bw = result.series["read/bandwidth_bps"]
+    power = result.series["read/power_w"]
+    assert bw[0] < bw[-1]
+    assert power[0] < power[-1]
+    assert bw[-1] == pytest.approx(3.4e9, rel=0.05)
+
+    # Panel (b): bandwidth varies under GC while power is stable at ~5 W.
+    rows = {row["workload"]: row for row in result.rows if row["panel"] == "b"}
+    cv = rows["randwrite 4k (steady CV)"]
+    assert cv["bandwidth [MB/s]"] > 0.08
+    assert cv["PS3 power [W]"] < 0.03
+    assert rows["randwrite 4k (steady mean)"]["PS3 power [W]"] == pytest.approx(
+        5.0, abs=0.3
+    )
+    benchmark.extra_info["steady_bw_cv"] = cv["bandwidth [MB/s]"]
+    benchmark.extra_info["steady_power_cv"] = cv["PS3 power [W]"]

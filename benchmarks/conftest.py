@@ -1,0 +1,25 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables or figures (scaled to
+bench-friendly runtimes; the experiment modules' ``full=True``/``main()``
+entry points run the paper-scale versions).  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` flag shows the regenerated paper-style tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show():
+    """Print an ExperimentResult table beneath the benchmark output."""
+
+    def _show(result) -> None:
+        print()
+        result.print()
+
+    return _show

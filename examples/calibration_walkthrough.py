@@ -1,0 +1,61 @@
+"""Calibration walkthrough: why the one-time procedure matters.
+
+Follows the paper's Section III-D flow: manufacture a module (with real
+production tolerances), show the measurement error before calibration,
+run the 128 k-sample calibration, and verify the error afterwards —
+including a long-term check that no recalibration is needed.
+
+Run:  python examples/calibration_walkthrough.py
+"""
+
+from repro.calibration import calibrate_all
+from repro.core.setup import SimulatedSetup
+from repro.dut import ElectronicLoad, LabSupply, LoadedSupplyRail
+
+
+def measured_error(setup, amps=5.0, volts=12.0, n=16 * 1024) -> tuple[float, float]:
+    load = ElectronicLoad()
+    load.set_current(amps)
+    setup.connect(0, LoadedSupplyRail(LabSupply(volts, source_impedance_ohms=0.0), load))
+    block = setup.ps.pump(n)
+    current_err = float(block.pair_current(0).mean()) - amps
+    voltage_err = float(block.pair_voltage(0).mean()) - volts
+    return current_err, voltage_err
+
+
+def main() -> None:
+    setup = SimulatedSetup(["pcie_slot_12v"], direct=True, calibrate=False, seed=7)
+    module = setup.baseboard.populated_slots()[0].module
+    print("manufactured module tolerances:")
+    print(f"  Hall offset        : {module.current_sensor.offset_a * 1e3:+.1f} mA")
+    print(f"  voltage gain error : {module.voltage_sensor.gain_error:+.2%}\n")
+
+    i_err, u_err = measured_error(setup)
+    print("before calibration (5 A load at 12 V):")
+    print(f"  current error: {i_err * 1e3:+8.1f} mA   voltage error: {u_err * 1e3:+7.1f} mV")
+
+    results = calibrate_all(setup.baseboard, setup.eeprom, n_samples=128 * 1024)
+    print("\ncalibration (128 k samples, unloaded, known supply):")
+    for result in results:
+        print(
+            f"  slot {result.slot}: stored vref {result.vref_volts:.5f} V "
+            f"({result.offset_correction_volts * 1e3:+.2f} mV from nominal), "
+            f"voltage gain {result.voltage_gain:.5f}"
+        )
+
+    i_err, u_err = measured_error(setup)
+    print("\nafter calibration:")
+    print(f"  current error: {i_err * 1e3:+8.1f} mA   voltage error: {u_err * 1e3:+7.1f} mV")
+
+    # Long-term: remeasure at t = +48 hours of drift.
+    setup.ps.source.clock.advance(48 * 3600)
+    i_err, u_err = measured_error(setup)
+    print("\nafter 48 hours of thermal drift (no recalibration):")
+    print(f"  current error: {i_err * 1e3:+8.1f} mA   voltage error: {u_err * 1e3:+7.1f} mV")
+    print("\n-> drift stays within the noise floor: calibration is needed only "
+          "once at production (paper, Sections III-D and IV-B)")
+    setup.close()
+
+
+if __name__ == "__main__":
+    main()

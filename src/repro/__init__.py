@@ -1,0 +1,56 @@
+"""PowerSensor3 reproduction library.
+
+A faithful software reproduction of *PowerSensor3: A Fast and Accurate Open
+Source Power Measurement Tool* (van der Vlugt et al., ISPASS 2025): the
+20 kHz power measurement toolkit, a simulated hardware substrate standing
+in for the physical sensor (see DESIGN.md for the substitution table), the
+devices under test the paper evaluates (GPUs, Jetson SoC, NVMe SSD), and
+the ecosystem integrations (PMT, Kernel Tuner, fio-style storage
+workloads).
+
+Quickstart::
+
+    from repro import SimulatedSetup, joules, watts, seconds
+    from repro.dut import LabSupply, ElectronicLoad, LoadedSupplyRail
+
+    setup = SimulatedSetup(["pcie_slot_12v"])
+    load = ElectronicLoad()
+    load.set_current(8.0)
+    setup.connect(0, LoadedSupplyRail(LabSupply(12.0), load))
+
+    before = setup.ps.read()
+    setup.ps.pump_seconds(1.0)        # one second of simulated measurement
+    after = setup.ps.read()
+    print(watts(before, after))       # ~96 W
+"""
+
+from repro.core import (
+    DirectSampleSource,
+    DumpReader,
+    DumpWriter,
+    PowerSensor,
+    ProtocolSampleSource,
+    SampleBlock,
+    SimulatedSetup,
+    State,
+    joules,
+    seconds,
+    watts,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PowerSensor",
+    "SimulatedSetup",
+    "State",
+    "joules",
+    "watts",
+    "seconds",
+    "SampleBlock",
+    "ProtocolSampleSource",
+    "DirectSampleSource",
+    "DumpReader",
+    "DumpWriter",
+    "__version__",
+]

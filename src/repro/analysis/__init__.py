@@ -1,0 +1,44 @@
+"""Measurement analysis: the math behind the paper's evaluation section.
+
+* :mod:`repro.analysis.accuracy` — worst-case error propagation (Table I).
+* :mod:`repro.analysis.averaging` — noise vs. effective sampling rate
+  (Table II).
+* :mod:`repro.analysis.stepresponse` — step/transient metrics (Fig. 5).
+* :mod:`repro.analysis.stability` — long-term drift statistics (Section IV-B).
+* :mod:`repro.analysis.energy` — energy integration and GPU-trace phase
+  detection (Fig. 7).
+* :mod:`repro.analysis.pareto` — Pareto fronts over tuning results
+  (Figs. 8/10).
+"""
+
+from repro.analysis.accuracy import (
+    ModuleAccuracy,
+    power_error,
+    worst_case_accuracy,
+)
+from repro.analysis.averaging import AveragingRow, averaging_table
+from repro.analysis.energy import detect_activity, integrate_energy
+from repro.analysis.pareto import pareto_front
+from repro.analysis.stability import StabilityPoint, stability_statistics
+from repro.analysis.spectrum import PowerSpectrum, welch_psd
+from repro.analysis.stepresponse import StepMetrics, measure_step
+from repro.analysis.streaming import StreamingPowerMonitor, StreamingStats
+
+__all__ = [
+    "ModuleAccuracy",
+    "power_error",
+    "worst_case_accuracy",
+    "AveragingRow",
+    "averaging_table",
+    "integrate_energy",
+    "detect_activity",
+    "pareto_front",
+    "StabilityPoint",
+    "stability_statistics",
+    "StepMetrics",
+    "measure_step",
+    "PowerSpectrum",
+    "welch_psd",
+    "StreamingStats",
+    "StreamingPowerMonitor",
+]

@@ -1,0 +1,83 @@
+"""Worst-case accuracy derivation (the paper's Table I).
+
+The paper computes the power measurement error from the voltage and
+current errors via
+
+    E_p = sqrt((U * E_i)^2 + (I * E_u)^2 + (E_i * E_u)^2)
+
+where E_i and E_u are the worst-case (3 sigma) current and voltage reading
+errors: ADC quantisation noise combined with the transducer's inherent
+noise.  This module derives E_i, E_u, and E_p from the physical constants
+in :data:`repro.hardware.modules.MODULE_CATALOG`; the table1 experiment
+checks the result against the published numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hardware.modules import ModuleSpec
+
+#: Worst-case errors are quoted at 3 sigma of the combined noise.
+WORST_CASE_SIGMAS = 3.0
+
+
+def quantization_rms(lsb: float) -> float:
+    """RMS of uniform quantisation noise for a given input-referred LSB."""
+    return lsb / math.sqrt(12.0)
+
+
+def current_error(spec: ModuleSpec, sigmas: float = WORST_CASE_SIGMAS) -> float:
+    """Worst-case current reading error E_i in amperes."""
+    q = quantization_rms(spec.current_lsb_a)
+    sigma = math.hypot(spec.current_noise_rms_a, q)
+    return sigmas * sigma
+
+
+def voltage_error(spec: ModuleSpec, sigmas: float = WORST_CASE_SIGMAS) -> float:
+    """Worst-case voltage reading error E_u in volts."""
+    q = quantization_rms(spec.voltage_lsb_v)
+    sigma = math.hypot(spec.voltage_noise_rms_v, q)
+    return sigmas * sigma
+
+
+def power_error(u: float, i: float, e_u: float, e_i: float) -> float:
+    """The paper's error-propagation formula for the power reading."""
+    return math.sqrt((u * e_i) ** 2 + (i * e_u) ** 2 + (e_i * e_u) ** 2)
+
+
+@dataclass(frozen=True)
+class ModuleAccuracy:
+    """One row of Table I: derived worst-case accuracy of a module."""
+
+    spec: ModuleSpec
+    voltage_error_v: float
+    current_error_a: float
+    power_error_w: float
+
+    @property
+    def label(self) -> str:
+        return (
+            f"{self.spec.nominal_voltage_v:g} V / {self.spec.max_current_a:g} A"
+        )
+
+
+def worst_case_accuracy(
+    spec: ModuleSpec, sigmas: float = WORST_CASE_SIGMAS
+) -> ModuleAccuracy:
+    """Derive a module's Table I row from its physical constants.
+
+    The power error is evaluated at the module's nominal voltage and
+    maximum current — the worst case, since both error terms scale with
+    the operating point.
+    """
+    e_i = current_error(spec, sigmas)
+    e_u = voltage_error(spec, sigmas)
+    e_p = power_error(spec.nominal_voltage_v, spec.max_current_a, e_u, e_i)
+    return ModuleAccuracy(
+        spec=spec,
+        voltage_error_v=e_u,
+        current_error_a=e_i,
+        power_error_w=e_p,
+    )

@@ -1,0 +1,63 @@
+"""Pareto-front extraction over auto-tuning results (Figs. 8 and 10).
+
+The tuning figures plot compute performance (TFLOP/s) against energy
+efficiency (TFLOP/J); the Pareto-optimal configurations are those not
+dominated in both objectives.  Both objectives are maximised here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pareto_front(xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+    """Indices of the Pareto-optimal points, maximising both objectives.
+
+    Returned indices are sorted by descending x.  Ties are kept (a point
+    equal to a front member in both coordinates is also on the front).
+    """
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.shape != ys.shape or xs.ndim != 1:
+        raise ValueError("xs and ys must be 1-D arrays of equal length")
+    # Sort by descending x, then descending y: within an equal-x group the
+    # best y is seen first, so lower-y twins are correctly rejected.
+    order = np.lexsort((-ys, -xs))
+    front: list[int] = []
+    best_y = -np.inf
+    for idx in order:
+        y = ys[idx]
+        if y > best_y:
+            front.append(int(idx))
+            best_y = y
+        elif y == best_y and front and xs[idx] == xs[front[-1]]:
+            front.append(int(idx))
+    return np.asarray(front, dtype=int)
+
+
+def dominates(a: tuple[float, float], b: tuple[float, float]) -> bool:
+    """True if point a dominates b (>= in both objectives, > in one)."""
+    return a[0] >= b[0] and a[1] >= b[1] and (a[0] > b[0] or a[1] > b[1])
+
+
+def hypervolume_2d(
+    xs: np.ndarray, ys: np.ndarray, reference: tuple[float, float] = (0.0, 0.0)
+) -> float:
+    """Dominated hypervolume of the front w.r.t. a reference point.
+
+    A scalar quality measure for comparing tuning runs; larger is better.
+    """
+    front = pareto_front(xs, ys)
+    if front.size == 0:
+        return 0.0
+    pts = sorted(
+        ((float(xs[i]), float(ys[i])) for i in front), key=lambda p: -p[0]
+    )
+    volume = 0.0
+    prev_y = reference[1]
+    for x, y in pts:
+        if x <= reference[0] or y <= prev_y:
+            continue
+        volume += (x - reference[0]) * (y - prev_y)
+        prev_y = y
+    return volume

@@ -1,0 +1,84 @@
+"""Spectral analysis of power captures.
+
+Two uses in this reproduction: verifying the transducer-noise correlation
+model (the OU process has a single-pole spectrum whose corner frequency is
+the modelled noise bandwidth), and locating periodic workload structure
+(e.g. the 100 Hz square modulation of Fig. 5, or GPU wave periodicity) in
+a capture without marker information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import MeasurementError
+
+
+@dataclass(frozen=True)
+class PowerSpectrum:
+    """One-sided Welch power spectral density."""
+
+    frequencies: np.ndarray  # Hz
+    density: np.ndarray  # W^2 / Hz
+    sample_rate_hz: float
+
+    def dominant_frequency(self, min_hz: float = 0.0) -> float:
+        """Frequency of the largest spectral peak above ``min_hz``."""
+        mask = self.frequencies >= min_hz
+        if not mask.any():
+            raise MeasurementError("no bins above the requested frequency")
+        idx = np.argmax(self.density[mask])
+        return float(self.frequencies[mask][idx])
+
+    def corner_frequency(self) -> float:
+        """-3 dB corner of a low-pass-shaped spectrum.
+
+        Estimates the plateau from the lowest decade and returns the first
+        frequency where the density falls below half the plateau.
+        """
+        if self.frequencies.size < 8:
+            raise MeasurementError("spectrum too short for a corner estimate")
+        plateau_bins = max(self.frequencies.size // 10, 2)
+        plateau = float(np.median(self.density[1 : plateau_bins + 1]))
+        below = np.flatnonzero(self.density < plateau / 2.0)
+        below = below[below > plateau_bins]
+        if below.size == 0:
+            raise MeasurementError("spectrum shows no corner within the band")
+        return float(self.frequencies[below[0]])
+
+
+def welch_psd(
+    samples: np.ndarray, sample_rate_hz: float, segment: int = 4096
+) -> PowerSpectrum:
+    """Welch-averaged one-sided PSD with a Hann window.
+
+    Args:
+        samples: the capture (detrended internally by mean removal).
+        sample_rate_hz: the capture's sampling rate.
+        segment: samples per Welch segment (50 % overlap).
+    """
+    samples = np.asarray(samples, dtype=float)
+    if samples.size < 16:
+        raise MeasurementError("need at least 16 samples for a spectrum")
+    segment = int(min(segment, samples.size))
+    window = np.hanning(segment)
+    norm = sample_rate_hz * (window**2).sum()
+    step = max(segment // 2, 1)
+    acc = None
+    count = 0
+    data = samples - samples.mean()
+    for start in range(0, data.size - segment + 1, step):
+        chunk = data[start : start + segment] * window
+        spectrum = np.abs(np.fft.rfft(chunk)) ** 2 / norm
+        acc = spectrum if acc is None else acc + spectrum
+        count += 1
+    if acc is None:  # capture shorter than one segment cannot happen here
+        raise MeasurementError("no complete Welch segment")
+    density = acc / count
+    density[1:-1] *= 2.0  # one-sided
+    freqs = np.fft.rfftfreq(segment, d=1.0 / sample_rate_hz)
+    return PowerSpectrum(
+        frequencies=freqs, density=density, sample_rate_hz=sample_rate_hz
+    )

@@ -1,0 +1,111 @@
+"""Streaming statistics for live 20 kHz captures.
+
+Continuous mode produces 20 000 samples per second per pair; tools that
+monitor for hours (psinfo-style dashboards, the long-term stability rig)
+cannot hold every sample.  :class:`StreamingStats` maintains count, mean,
+variance (Welford's online algorithm — numerically stable for arbitrarily
+long runs), extremes, and total energy in O(1) memory, and merges across
+workers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import MeasurementError
+
+
+@dataclass
+class StreamingStats:
+    """Online count / mean / variance / extremes over sample chunks."""
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def update(self, samples: np.ndarray) -> None:
+        """Fold a chunk of samples in (Chan et al. parallel update)."""
+        samples = np.asarray(samples, dtype=float)
+        n = int(samples.size)
+        if n == 0:
+            return
+        chunk_mean = float(samples.mean())
+        chunk_m2 = float(((samples - chunk_mean) ** 2).sum())
+        if self.count == 0:
+            self.count, self.mean, self._m2 = n, chunk_mean, chunk_m2
+        else:
+            total = self.count + n
+            delta = chunk_mean - self.mean
+            self._m2 += chunk_m2 + delta**2 * self.count * n / total
+            self.mean += delta * n / total
+            self.count = total
+        self.minimum = min(self.minimum, float(samples.min()))
+        self.maximum = max(self.maximum, float(samples.max()))
+
+    def merge(self, other: "StreamingStats") -> "StreamingStats":
+        """Combine with another accumulator (e.g. from a second worker)."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+        else:
+            total = self.count + other.count
+            delta = other.mean - self.mean
+            self._m2 += other._m2 + delta**2 * self.count * other.count / total
+            self.mean += delta * other.count / total
+            self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        return self
+
+    @property
+    def variance(self) -> float:
+        if self.count < 1:
+            raise MeasurementError("no samples accumulated")
+        return self._m2 / self.count
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def peak_to_peak(self) -> float:
+        if self.count < 1:
+            raise MeasurementError("no samples accumulated")
+        return self.maximum - self.minimum
+
+
+class StreamingPowerMonitor:
+    """Per-pair streaming power statistics plus energy accumulation.
+
+    Feed :class:`~repro.core.sources.SampleBlock` objects as they arrive;
+    read statistics at any time without retaining the samples.
+    """
+
+    def __init__(self, n_pairs: int = 4) -> None:
+        self.pairs = [StreamingStats() for _ in range(n_pairs)]
+        self.total = StreamingStats()
+        self.energy_joules = 0.0
+        self._last_time: float | None = None
+
+    def update(self, block) -> None:
+        if len(block) == 0:
+            return
+        total_power = block.total_power()
+        for pair, stats in enumerate(self.pairs):
+            stats.update(block.pair_power(pair))
+        self.total.update(total_power)
+        times = block.times
+        if self._last_time is None:
+            dts = np.diff(times, prepend=times[0])
+        else:
+            dts = np.diff(times, prepend=self._last_time)
+        self.energy_joules += float((total_power * np.maximum(dts, 0.0)).sum())
+        self._last_time = float(times[-1])

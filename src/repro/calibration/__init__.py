@@ -1,0 +1,32 @@
+"""One-time sensor-module calibration (paper, Section III-D).
+
+With the module unloaded (no current flowing) and a known supply voltage
+applied, 128 k samples are averaged to determine the Hall sensor's offset
+error and the voltage path's gain error; the corrections are then stored in
+the device EEPROM, after which no recalibration is needed (Section IV-B
+demonstrates long-term stability).
+"""
+
+from repro.calibration.procedure import (
+    CalibrationResult,
+    calibrate_all,
+    calibrate_slot,
+    DEFAULT_CALIBRATION_SAMPLES,
+)
+from repro.calibration.verification import (
+    VerificationPoint,
+    VerificationReport,
+    verify_all,
+    verify_slot,
+)
+
+__all__ = [
+    "CalibrationResult",
+    "calibrate_all",
+    "calibrate_slot",
+    "DEFAULT_CALIBRATION_SAMPLES",
+    "VerificationPoint",
+    "VerificationReport",
+    "verify_all",
+    "verify_slot",
+]

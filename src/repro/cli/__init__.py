@@ -1,0 +1,7 @@
+"""Command-line tools mirroring the PowerSensor3 host executables.
+
+* ``psconfig`` — read/write sensor configuration, run calibration, reboot.
+* ``psinfo`` — show configuration and live readings.
+* ``psrun`` — run a command and report its energy.
+* ``pstest`` — power/energy at increasing intervals, sample captures.
+"""

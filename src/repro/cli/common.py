@@ -1,0 +1,77 @@
+"""Shared CLI plumbing: build a simulated bench from command-line flags.
+
+The real tools take a serial device path; the simulated ones take a bench
+description instead (``--modules``, ``--dut``) and assemble the same
+objects the library API exposes.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.setup import SimulatedSetup
+from repro.dut.base import ConstantRail
+from repro.dut.gpu import Gpu, KernelLaunch
+from repro.dut.instruments import ElectronicLoad, LabSupply, LoadedSupplyRail
+
+
+def add_device_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--modules",
+        default="pcie_slot_12v",
+        help="comma-separated sensor module keys for slots 0..3 "
+        "(use 'none' to leave a slot empty)",
+    )
+    parser.add_argument(
+        "--dut",
+        default="load:8.0@12.0",
+        help="device under test on slot 0: 'load:<amps>@<volts>', "
+        "'gpu:<key>' (repeating synthetic workload), or 'none'",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument(
+        "--direct",
+        action="store_true",
+        help="use the vectorised sample path instead of the byte protocol",
+    )
+
+
+def build_setup(args: argparse.Namespace) -> SimulatedSetup:
+    keys = [
+        None if key.strip().lower() in ("none", "") else key.strip()
+        for key in args.modules.split(",")
+    ]
+    setup = SimulatedSetup(keys, seed=args.seed, direct=args.direct)
+    rail = _build_rail(args.dut, args.seed)
+    if rail is not None:
+        for channel in setup.baseboard.populated_slots():
+            setup.connect(channel.slot, rail)
+            break
+    return setup
+
+
+def _build_rail(dut: str, seed: int):
+    dut = dut.strip().lower()
+    if dut in ("none", ""):
+        return None
+    if dut.startswith("load:"):
+        spec = dut.split(":", 1)[1]
+        amps_text, _, volts_text = spec.partition("@")
+        load = ElectronicLoad()
+        load.set_current(float(amps_text))
+        return LoadedSupplyRail(LabSupply(float(volts_text or 12.0)), load)
+    if dut.startswith("gpu:"):
+        key = dut.split(":", 1)[1] or "rtx4000ada"
+        gpu = Gpu(key)
+        # A repeating 2-second synthetic workload with 1 s of idle between.
+        for k in range(20):
+            gpu.launch(
+                KernelLaunch(start=1.0 + 3.0 * k, duration=2.0, n_waves=8)
+            )
+        trace = gpu.render(t_end=62.0, dt=5e-4)
+        return gpu.rails(trace)["ext_12v"]
+    if dut.startswith("const:"):
+        spec = dut.split(":", 1)[1]
+        amps_text, _, volts_text = spec.partition("@")
+        return ConstantRail(float(volts_text or 12.0), float(amps_text))
+    raise SystemExit(f"unknown --dut spec {dut!r}")

@@ -1,0 +1,50 @@
+"""psinfo: show sensor configuration, latest measurements, total power.
+
+Simulation analogue of the paper's ``psinfo`` executable (Section III-C).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cli.common import add_device_arguments, build_setup
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="psinfo", description="Show PowerSensor3 configuration and readings."
+    )
+    add_device_arguments(parser)
+    args = parser.parse_args(argv)
+
+    setup = build_setup(args)
+    ps = setup.ps
+    ps.pump_seconds(0.05)  # a short burst of fresh samples
+    state = ps.read()
+
+    print(f"device    : {ps.source.version}")
+    print(f"sample rate: {ps.sample_rate:.0f} Hz")
+    print()
+    print(f"{'sensor':<8} {'name':<12} {'pair':<16} {'vref':>8} {'slope':>10} {'enabled':>8}")
+    for i in range(8):
+        cfg = ps.get_config(i)
+        print(
+            f"{i:<8} {cfg.name:<12} {cfg.pair_name:<16} "
+            f"{cfg.vref:>8.4f} {cfg.slope:>10.5f} {str(cfg.enabled):>8}"
+        )
+    print()
+    print(f"{'pair':<6} {'volts':>9} {'amps':>9} {'watts':>9}")
+    for pair in range(4):
+        if not (ps.get_config(2 * pair).enabled and ps.get_config(2 * pair + 1).enabled):
+            continue
+        print(
+            f"{pair:<6} {state.voltage[pair]:>9.3f} "
+            f"{state.current[pair]:>9.3f} {state.pair_power(pair):>9.3f}"
+        )
+    print(f"\ntotal power: {state.total_power:.3f} W")
+    setup.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,71 @@
+"""psmonitor: live power statistics from a running measurement.
+
+Streams the bench in (simulated) real time and prints rolling per-second
+statistics — mean/min/max/std per pair and total energy — using O(1)
+memory (the 20 kHz stream is folded into streaming accumulators rather
+than stored).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.streaming import StreamingPowerMonitor, StreamingStats
+from repro.cli.common import add_device_arguments, build_setup
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="psmonitor", description="Live PowerSensor3 statistics."
+    )
+    add_device_arguments(parser)
+    parser.add_argument(
+        "--duration", type=float, default=5.0, help="seconds to monitor"
+    )
+    parser.add_argument(
+        "--interval", type=float, default=1.0, help="reporting interval (s)"
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="run at full simulation speed instead of wall-clock pacing",
+    )
+    args = parser.parse_args(argv)
+    if args.interval <= 0 or args.duration <= 0:
+        parser.error("duration and interval must be positive")
+
+    setup = build_setup(args)
+    monitor = StreamingPowerMonitor()
+    print(f"{'t':>6} {'mean W':>9} {'min W':>9} {'max W':>9} {'std W':>8} {'energy J':>10}")
+
+    elapsed = 0.0
+    while elapsed < args.duration:
+        span = min(args.interval, args.duration - elapsed)
+        window = StreamingStats()
+        block = setup.ps.pump_seconds(span)
+        monitor.update(block)
+        if len(block):
+            window.update(block.total_power())
+            print(
+                f"{elapsed + span:5.1f}s {window.mean:9.3f} {window.minimum:9.3f} "
+                f"{window.maximum:9.3f} {window.std:8.3f} "
+                f"{monitor.energy_joules:10.3f}"
+            )
+        elapsed += span
+        if not args.fast:
+            import time
+
+            time.sleep(span)
+
+    total = monitor.total
+    print(
+        f"\n{total.count} samples: mean {total.mean:.3f} W "
+        f"(p-p {total.peak_to_peak:.3f} W, std {total.std:.3f} W), "
+        f"total energy {monitor.energy_joules:.3f} J"
+    )
+    setup.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

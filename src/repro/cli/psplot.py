@@ -1,0 +1,105 @@
+"""psplot: render a dump file as an ASCII power-over-time chart.
+
+A convenience on top of continuous mode: visualise a 20 kHz capture in the
+terminal, with markers annotated on the time axis.  (The real toolkit
+leaves plotting to the user; this keeps the repository dependency-free.)
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core.dump import DumpReader
+
+
+def render_chart(
+    times: np.ndarray,
+    watts: np.ndarray,
+    width: int = 72,
+    height: int = 16,
+    markers: list[tuple[float, str]] | None = None,
+) -> str:
+    """Render (times, watts) as an ASCII chart; returns the chart text."""
+    if times.size < 2:
+        return "(not enough samples to plot)"
+    # Reduce to one column per character: mean, min, max per bucket.
+    edges = np.linspace(times[0], times[-1], width + 1)
+    idx = np.clip(np.searchsorted(edges, times, side="right") - 1, 0, width - 1)
+    mean = np.zeros(width)
+    lo = np.full(width, np.inf)
+    hi = np.full(width, -np.inf)
+    counts = np.bincount(idx, minlength=width).astype(float)
+    sums = np.bincount(idx, weights=watts, minlength=width)
+    occupied = counts > 0
+    mean[occupied] = sums[occupied] / counts[occupied]
+    np.minimum.at(lo, idx, watts)
+    np.maximum.at(hi, idx, watts)
+    mean[~occupied] = np.nan
+
+    top = float(np.nanmax(hi[occupied])) if occupied.any() else 1.0
+    bottom = float(np.nanmin(lo[occupied])) if occupied.any() else 0.0
+    if top == bottom:
+        top = bottom + 1.0
+    span = top - bottom
+
+    rows = []
+    for row in range(height, 0, -1):
+        level = bottom + span * (row - 0.5) / height
+        cells = []
+        for col in range(width):
+            if not occupied[col]:
+                cells.append(" ")
+            elif lo[col] <= level <= hi[col]:
+                near_mean = abs(mean[col] - level) <= span / height
+                cells.append("#" if near_mean else "|")
+            else:
+                cells.append(" ")
+        label = f"{level:8.1f} W |" if row in (1, height // 2, height) else " " * 10 + "|"
+        rows.append(label + "".join(cells))
+
+    axis = " " * 10 + "+" + "-" * width
+    time_row = [" "] * width
+    for t, char in markers or []:
+        col = int((t - times[0]) / (times[-1] - times[0]) * (width - 1))
+        if 0 <= col < width:
+            time_row[col] = char
+    footer = " " * 11 + "".join(time_row)
+    span_label = (
+        " " * 11 + f"{times[0]:.3f} s" + " " * max(width - 18, 1) + f"{times[-1]:.3f} s"
+    )
+    return "\n".join(rows + [axis, footer, span_label])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="psplot", description="ASCII-plot a PowerSensor3 dump file."
+    )
+    parser.add_argument("dump", help="dump file written by continuous mode")
+    parser.add_argument("--width", type=int, default=72)
+    parser.add_argument("--height", type=int, default=16)
+    parser.add_argument(
+        "--pair", type=int, default=-1, help="pair index to plot (-1 = total)"
+    )
+    args = parser.parse_args(argv)
+
+    data = DumpReader.read(args.dump)
+    if args.pair == -1:
+        watts = data.total_power
+        label = "total"
+    else:
+        if not 0 <= args.pair < data.volts.shape[1]:
+            parser.error(f"pair {args.pair} not in the dump")
+        watts = data.volts[:, args.pair] * data.amps[:, args.pair]
+        label = data.pair_names[args.pair]
+    print(
+        f"{label}: {data.times.size} samples at {data.sample_rate_hz:.0f} Hz, "
+        f"mean {watts.mean():.2f} W"
+    )
+    print(render_chart(data.times, watts, args.width, args.height, data.markers))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,62 @@
+"""psrun: run a command and report the energy consumed while it ran.
+
+Simulation analogue of the paper's ``psrun`` (Section III-C): connects to
+the device, runs the given executable, and reports total energy and mean
+power over the execution.  The measured device is the *simulated* bench
+(see ``--dut``), pumped in real time while the command runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+
+from repro.cli.common import add_device_arguments, build_setup
+from repro.core.realtime import RealtimeDriver
+from repro.core.state import joules, seconds, watts
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="psrun",
+        description="Run a command while measuring (simulated) power.",
+    )
+    add_device_arguments(parser)
+    parser.add_argument(
+        "--dump", metavar="FILE", help="also record all samples to a dump file"
+    )
+    parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=1.0,
+        help="simulated seconds per wall-clock second",
+    )
+    parser.add_argument("command", nargs=argparse.REMAINDER, help="command to run")
+    args = parser.parse_args(argv)
+    if not args.command:
+        parser.error("no command given")
+    command = args.command[1:] if args.command[0] == "--" else args.command
+
+    setup = build_setup(args)
+    ps = setup.ps
+    if args.dump:
+        ps.dump(args.dump)
+
+    exit_code = 0
+    with RealtimeDriver(ps, time_scale=args.time_scale) as driver:
+        before = driver.read()
+        completed = subprocess.run(command)
+        exit_code = completed.returncode
+        after = driver.read()
+
+    duration = seconds(before, after)
+    energy = joules(before, after)
+    print(f"exit status: {exit_code}", file=sys.stderr)
+    print(f"{duration:.3f} s, {energy:.3f} J, {watts(before, after):.3f} W")
+    setup.close()
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,72 @@
+"""pstest: measure and report power/energy at increasing intervals.
+
+Simulation analogue of the paper's ``pstest``: the tool behind the
+accuracy and stability measurements of Section IV.  It reports mean power
+and energy over a geometric ladder of measurement intervals, and can
+capture a fixed number of samples to a dump file (the paper's experiments
+capture 128 k samples per point).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cli.common import add_device_arguments, build_setup
+from repro.common.stats import summarize
+from repro.core.state import joules, seconds, watts
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="pstest", description="PowerSensor3 self-test measurements."
+    )
+    add_device_arguments(parser)
+    parser.add_argument(
+        "--intervals",
+        type=int,
+        default=10,
+        help="number of doubling intervals to report (starting at 1 ms)",
+    )
+    parser.add_argument(
+        "--capture",
+        type=int,
+        metavar="N",
+        help="capture N samples and report min/max/std of pair-0 power",
+    )
+    parser.add_argument("--dump", metavar="FILE", help="write samples to a dump file")
+    args = parser.parse_args(argv)
+
+    setup = build_setup(args)
+    ps = setup.ps
+    if args.dump:
+        ps.dump(args.dump)
+
+    interval = 0.001
+    print(f"{'interval':>12} {'energy':>12} {'power':>10}")
+    for _ in range(args.intervals):
+        before = ps.read()
+        ps.pump_seconds(interval)
+        after = ps.read()
+        print(
+            f"{seconds(before, after):>10.4f} s "
+            f"{joules(before, after):>10.4f} J "
+            f"{watts(before, after):>9.3f} W"
+        )
+        interval *= 2
+
+    if args.capture:
+        block = ps.pump(args.capture)
+        power = block.pair_power(0)
+        summary = summarize(power)
+        print(
+            f"\ncaptured {summary.count} samples: "
+            f"mean={summary.mean:.4f} W min={summary.minimum:.4f} W "
+            f"max={summary.maximum:.4f} W p-p={summary.peak_to_peak:.4f} W "
+            f"std={summary.std:.4f} W"
+        )
+    setup.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the PowerSensor3 reproduction.
+
+A single root (:class:`ReproError`) lets applications catch everything from
+this library with one ``except`` clause, while the subclasses keep the
+device / protocol / transport / calibration failure domains distinct.
+"""
+
+
+class ReproError(Exception):
+    """Root of all exceptions raised by this library."""
+
+
+class DeviceError(ReproError):
+    """The simulated device refused an operation or is in a bad state."""
+
+
+class ProtocolError(ReproError):
+    """A byte stream could not be parsed as valid PowerSensor3 protocol."""
+
+
+class TransportError(ReproError):
+    """The virtual serial link failed (closed port, overflow, ...)."""
+
+
+class CalibrationError(ReproError):
+    """A calibration step failed or produced out-of-range corrections."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid sensor/module/device configuration."""
+
+
+class MeasurementError(ReproError):
+    """A measurement could not be completed (no samples, bad interval...)."""

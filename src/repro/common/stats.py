@@ -1,0 +1,99 @@
+"""Sample statistics used by the accuracy experiments.
+
+The paper reports min / max / peak-to-peak / standard deviation of 128 k
+sample windows (Table II, Fig. 4), before and after block averaging to a
+lower effective sampling rate.  These helpers implement exactly those
+reductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Summary statistics of one measurement window."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    std: float
+
+    @property
+    def peak_to_peak(self) -> float:
+        return self.maximum - self.minimum
+
+    def shifted(self, offset: float) -> "SampleSummary":
+        """The same summary with ``offset`` subtracted from location stats."""
+        return SampleSummary(
+            count=self.count,
+            mean=self.mean - offset,
+            minimum=self.minimum - offset,
+            maximum=self.maximum - offset,
+            std=self.std,
+        )
+
+
+def summarize(samples: np.ndarray) -> SampleSummary:
+    """Compute a :class:`SampleSummary` of a non-empty 1-D array."""
+    samples = np.asarray(samples, dtype=float)
+    if samples.size == 0:
+        raise ValueError("cannot summarize an empty sample window")
+    return SampleSummary(
+        count=int(samples.size),
+        mean=float(samples.mean()),
+        minimum=float(samples.min()),
+        maximum=float(samples.max()),
+        std=float(samples.std(ddof=0)),
+    )
+
+
+def block_average(samples: np.ndarray, block: int) -> np.ndarray:
+    """Average consecutive blocks of ``block`` samples.
+
+    A trailing partial block is dropped, mirroring how the paper reduces a
+    20 kHz capture to lower effective rates.  ``block=1`` returns a view of
+    the input.
+    """
+    samples = np.asarray(samples, dtype=float)
+    if block < 1:
+        raise ValueError(f"block must be >= 1, got {block}")
+    if block == 1:
+        return samples
+    n_blocks = samples.size // block
+    if n_blocks == 0:
+        raise ValueError(
+            f"window of {samples.size} samples too short for block size {block}"
+        )
+    return samples[: n_blocks * block].reshape(n_blocks, block).mean(axis=1)
+
+
+def downsample_rate(rate_hz: float, target_hz: float) -> int:
+    """Block size that reduces ``rate_hz`` to approximately ``target_hz``."""
+    if target_hz <= 0 or rate_hz <= 0:
+        raise ValueError("rates must be positive")
+    if target_hz > rate_hz:
+        raise ValueError(f"target rate {target_hz} exceeds source rate {rate_hz}")
+    return max(int(round(rate_hz / target_hz)), 1)
+
+
+def rolling_mean(samples: np.ndarray, window: int) -> np.ndarray:
+    """Centred-start rolling mean with a ramp-up for the first ``window`` points.
+
+    Used by the vendor-API models that report windowed-average power.
+    """
+    samples = np.asarray(samples, dtype=float)
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if window == 1 or samples.size == 0:
+        return samples.copy()
+    csum = np.concatenate(([0.0], np.cumsum(samples)))
+    out = np.empty_like(samples)
+    idx = np.arange(1, samples.size + 1)
+    lo = np.maximum(idx - window, 0)
+    out = (csum[idx] - csum[lo]) / (idx - lo)
+    return out

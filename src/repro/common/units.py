@@ -1,0 +1,85 @@
+"""Unit helpers and physical constants used throughout the library.
+
+The library keeps all internal quantities in SI base units (seconds, volts,
+amperes, watts, joules, bytes).  These helpers exist to make call sites that
+start from other units explicit and readable, e.g. ``microseconds(50)``
+instead of a bare ``50e-6``.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: USB 1.1 full-speed line rate of the Black Pill module, bits per second.
+USB_FULL_SPEED_BPS = 12_000_000
+
+#: Default PowerSensor3 output sample rate after firmware averaging.
+DEFAULT_SAMPLE_RATE_HZ = 20_000.0
+
+
+def volts(value: float) -> float:
+    """Identity helper marking a value as volts at the call site."""
+    return float(value)
+
+
+def amps(value: float) -> float:
+    """Identity helper marking a value as amperes at the call site."""
+    return float(value)
+
+
+def microseconds(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return float(value) * 1e-6
+
+
+def milliseconds(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return float(value) * 1e-3
+
+
+def joules_from_watt_seconds(watts: float, seconds: float) -> float:
+    """Energy of a constant power draw over a duration."""
+    return float(watts) * float(seconds)
+
+
+def mean_power(joules: float, seconds: float) -> float:
+    """Average power of an energy quantity over a duration.
+
+    Raises:
+        ZeroDivisionError: if ``seconds`` is zero.
+    """
+    return float(joules) / float(seconds)
+
+
+def mbit_per_s(value: float) -> float:
+    """Convert megabits per second to bits per second."""
+    return float(value) * 1e6
+
+
+def format_si(value: float, unit: str, precision: int = 3) -> str:
+    """Format a value with an SI prefix, e.g. ``format_si(0.02, 'W')`` -> ``'20 mW'``.
+
+    Chooses among the prefixes from pico to tera; values of exactly zero are
+    rendered without a prefix.
+    """
+    prefixes = [
+        (1e12, "T"),
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "u"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+    ]
+    if value == 0:
+        return f"0 {unit}"
+    magnitude = abs(value)
+    for scale, prefix in prefixes:
+        if magnitude >= scale:
+            return f"{value / scale:.{precision}g} {prefix}{unit}"
+    scale, prefix = prefixes[-1]
+    return f"{value / scale:.{precision}g} {prefix}{unit}"

@@ -1,0 +1,42 @@
+"""PowerSensor3 host library (the paper's primary user-facing contribution).
+
+The public API mirrors the real toolkit's C++/Python interface:
+
+* :class:`~repro.core.powersensor.PowerSensor` — connect to a device, read
+  :class:`~repro.core.state.State` snapshots, stream to dump files, place
+  markers.
+* :func:`~repro.core.state.joules` / :func:`~repro.core.state.watts` /
+  :func:`~repro.core.state.seconds` — interval-based energy arithmetic
+  between two states.
+* :class:`~repro.core.setup.SimulatedSetup` — assemble a complete simulated
+  measurement bench (modules, baseboard, firmware, link, host) in one call.
+
+Two sample sources exist: the byte-accurate protocol path and a vectorised
+direct path for experiments needing millions of samples (see DESIGN.md).
+"""
+
+from repro.core.dump import DumpReader, DumpWriter
+from repro.core.powersensor import PowerSensor
+from repro.core.setup import SimulatedSetup
+from repro.core.sources import (
+    DirectSampleSource,
+    ProtocolSampleSource,
+    SampleBlock,
+    convert_codes,
+)
+from repro.core.state import State, joules, seconds, watts
+
+__all__ = [
+    "PowerSensor",
+    "State",
+    "joules",
+    "watts",
+    "seconds",
+    "SimulatedSetup",
+    "SampleBlock",
+    "ProtocolSampleSource",
+    "DirectSampleSource",
+    "convert_codes",
+    "DumpReader",
+    "DumpWriter",
+]

@@ -1,0 +1,153 @@
+"""Continuous-mode dump files.
+
+In continuous mode the host library records every 20 kHz sample to a file,
+with user-supplied marker characters interleaved and time-synced with the
+microcontroller (paper, Section III-C).  The format is line-oriented text:
+
+* header lines start with ``#`` and carry metadata,
+* ``M <time> <char>`` lines record markers,
+* data lines are ``<time> <V I> per enabled pair ... <total W>``.
+
+:class:`DumpReader` parses a dump back into numpy arrays for analysis.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.errors import MeasurementError
+
+
+class DumpWriter:
+    """Streams samples and markers to a dump file."""
+
+    def __init__(
+        self,
+        path: str | Path | io.TextIOBase,
+        pair_names: list[str],
+        sample_rate_hz: float,
+    ) -> None:
+        if isinstance(path, (str, Path)):
+            self._file: io.TextIOBase = open(path, "w")
+            self._owns_file = True
+        else:
+            self._file = path
+            self._owns_file = False
+        self.pair_names = list(pair_names)
+        self._file.write("# PowerSensor3 dump\n")
+        self._file.write(f"# sample_rate_hz: {sample_rate_hz}\n")
+        self._file.write(f"# pairs: {' '.join(self.pair_names)}\n")
+        self._file.write("# columns: time_s" + " V I" * len(self.pair_names) + " total_W\n")
+        self.samples_written = 0
+        self.markers_written = 0
+
+    def write_samples(
+        self, times: np.ndarray, volts: np.ndarray, amps: np.ndarray
+    ) -> None:
+        """Append samples; volts/amps are (n, n_pairs) for enabled pairs."""
+        total = (volts * amps).sum(axis=1)
+        lines = []
+        for k in range(times.size):
+            fields = [f"{times[k]:.7f}"]
+            for p in range(volts.shape[1]):
+                fields.append(f"{volts[k, p]:.5f}")
+                fields.append(f"{amps[k, p]:.5f}")
+            fields.append(f"{total[k]:.5f}")
+            lines.append(" ".join(fields))
+        self._file.write("\n".join(lines) + "\n" if lines else "")
+        self.samples_written += int(times.size)
+
+    def write_marker(self, time: float, char: str) -> None:
+        self._file.write(f"M {time:.7f} {char}\n")
+        self.markers_written += 1
+
+    def close(self) -> None:
+        if self._owns_file and not self._file.closed:
+            self._file.close()
+
+
+@dataclass
+class DumpData:
+    """Parsed contents of a dump file."""
+
+    sample_rate_hz: float
+    pair_names: list[str]
+    times: np.ndarray  # (n,)
+    volts: np.ndarray  # (n, n_pairs)
+    amps: np.ndarray  # (n, n_pairs)
+    markers: list[tuple[float, str]] = field(default_factory=list)
+
+    @property
+    def total_power(self) -> np.ndarray:
+        return (self.volts * self.amps).sum(axis=1)
+
+    def energy(self, start: float | None = None, stop: float | None = None) -> float:
+        """Trapezoid-integrated energy over [start, stop] (whole file if None)."""
+        mask = np.ones(self.times.size, dtype=bool)
+        if start is not None:
+            mask &= self.times >= start
+        if stop is not None:
+            mask &= self.times <= stop
+        t = self.times[mask]
+        p = self.total_power[mask]
+        if t.size < 2:
+            raise MeasurementError("need at least two samples to integrate energy")
+        return float(np.trapezoid(p, t))
+
+    def between_markers(self, first: str, second: str) -> tuple[float, float]:
+        """Time interval between the first occurrences of two marker chars."""
+        start = next((t for t, c in self.markers if c == first), None)
+        stop = next((t for t, c in self.markers if c == second), None)
+        if start is None or stop is None:
+            raise MeasurementError(f"markers {first!r}/{second!r} not found in dump")
+        return start, stop
+
+
+class DumpReader:
+    """Parses a dump file produced by :class:`DumpWriter`."""
+
+    @staticmethod
+    def read(path: str | Path | io.TextIOBase) -> DumpData:
+        if isinstance(path, (str, Path)):
+            with open(path) as f:
+                return DumpReader._parse(f)
+        return DumpReader._parse(path)
+
+    @staticmethod
+    def _parse(f) -> DumpData:
+        sample_rate = 0.0
+        pair_names: list[str] = []
+        times: list[float] = []
+        rows: list[list[float]] = []
+        markers: list[tuple[float, str]] = []
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if "sample_rate_hz:" in line:
+                    sample_rate = float(line.split(":", 1)[1])
+                elif "pairs:" in line:
+                    pair_names = line.split(":", 1)[1].split()
+                continue
+            if line.startswith("M "):
+                _, t, char = line.split(maxsplit=2)
+                markers.append((float(t), char))
+                continue
+            fields = [float(x) for x in line.split()]
+            times.append(fields[0])
+            rows.append(fields[1:-1])  # drop the redundant total column
+        n_pairs = len(pair_names)
+        data = np.asarray(rows, dtype=float).reshape(len(rows), 2 * n_pairs)
+        return DumpData(
+            sample_rate_hz=sample_rate,
+            pair_names=pair_names,
+            times=np.asarray(times),
+            volts=data[:, 0::2],
+            amps=data[:, 1::2],
+            markers=markers,
+        )

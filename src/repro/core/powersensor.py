@@ -1,0 +1,202 @@
+"""The PowerSensor host class: connect, stream, snapshot, dump, mark.
+
+Mirrors the real toolkit's ``PowerSensor`` C++ class (paper, Section
+III-C): on construction it connects to the device and reads the sensor
+configuration; it then tracks cumulative energy per sensor pair from the
+20 kHz stream.  Interval mode is :meth:`read` + the state arithmetic in
+:mod:`repro.core.state`; continuous mode is :meth:`dump`.
+
+Where the real library runs a lightweight receive thread against wall
+time, the simulation is pull-based: :meth:`pump` advances simulated time.
+An optional realtime driver (:mod:`repro.core.realtime`) provides the
+threaded behaviour for the interactive CLI tools.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError, MeasurementError
+from repro.core.dump import DumpWriter
+from repro.core.sources import DirectSampleSource, ProtocolSampleSource, SampleBlock
+from repro.core.state import PAIRS, State
+from repro.hardware.eeprom import SENSORS, SensorConfig
+from repro.transport.link import VirtualSerialLink
+
+
+class PowerSensor:
+    """Host-side handle to a (simulated) PowerSensor3 device."""
+
+    def __init__(
+        self, device: VirtualSerialLink | ProtocolSampleSource | DirectSampleSource
+    ) -> None:
+        if isinstance(device, VirtualSerialLink):
+            self.source: ProtocolSampleSource | DirectSampleSource = (
+                ProtocolSampleSource(device)
+            )
+        else:
+            self.source = device
+        self._energy = np.zeros(PAIRS)
+        self._last_current = np.zeros(PAIRS)
+        self._last_voltage = np.zeros(PAIRS)
+        self._time = 0.0
+        self._prev_time: float | None = None
+        self._marker_count = 0
+        self._marker_chars: deque[str] = deque()
+        self.marker_log: list[tuple[float, str]] = []
+        self._dump: DumpWriter | None = None
+        self.samples_seen = 0
+        self.source.start()
+
+    # ------------------------------------------------------------------ #
+    # Streaming                                                          #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def sample_rate(self) -> float:
+        return self.source.sample_rate
+
+    @property
+    def sample_interval(self) -> float:
+        return 1.0 / self.source.sample_rate
+
+    def pump(self, n_samples: int) -> SampleBlock:
+        """Advance the stream by ``n_samples`` and fold them into the state."""
+        block = self.source.read_block(n_samples)
+        self._process(block)
+        return block
+
+    def pump_seconds(self, seconds: float) -> SampleBlock:
+        """Advance the stream by a duration of simulated time."""
+        if seconds < 0:
+            raise MeasurementError(f"cannot pump a negative duration ({seconds} s)")
+        return self.pump(int(round(seconds * self.sample_rate)))
+
+    def _process(self, block: SampleBlock) -> None:
+        n = len(block)
+        if n == 0:
+            return
+        currents = block.values[:, 0::2]
+        volts = block.values[:, 1::2]
+        power = currents * volts  # (n, PAIRS)
+        if self._prev_time is None:
+            first_dt = self.sample_interval
+        else:
+            first_dt = block.times[0] - self._prev_time
+        dts = np.empty(n)
+        dts[0] = max(first_dt, 0.0)
+        if n > 1:
+            dts[1:] = np.diff(block.times)
+        self._energy += power.T @ dts
+        self._last_current = currents[-1].copy()
+        self._last_voltage = volts[-1].copy()
+        self._prev_time = float(block.times[-1])
+        self._time = float(block.times[-1])
+        self.samples_seen += n
+
+        marked = np.flatnonzero(block.markers)
+        for idx in marked:
+            char = self._marker_chars.popleft() if self._marker_chars else "M"
+            self._marker_count += 1
+            self.marker_log.append((float(block.times[idx]), char))
+            if self._dump is not None:
+                self._dump.write_marker(float(block.times[idx]), char)
+
+        if self._dump is not None:
+            pair_mask = self._enabled_pairs()
+            self._dump.write_samples(
+                block.times, volts[:, pair_mask], currents[:, pair_mask]
+            )
+
+    def _enabled_pairs(self) -> np.ndarray:
+        configs = self.source.configs
+        return np.array(
+            [configs[2 * p].enabled and configs[2 * p + 1].enabled for p in range(PAIRS)]
+        )
+
+    # ------------------------------------------------------------------ #
+    # Interval mode                                                      #
+    # ------------------------------------------------------------------ #
+
+    def read(self) -> State:
+        """Snapshot the accumulated measurement (interval mode)."""
+        return State(
+            time=self._time,
+            consumed_energy=tuple(self._energy),
+            current=tuple(self._last_current),
+            voltage=tuple(self._last_voltage),
+            marker_count=self._marker_count,
+        )
+
+    def total_energy(self, pair: int = -1) -> float:
+        """Cumulative joules since connect (one pair, or all for -1)."""
+        if pair == -1:
+            return float(self._energy.sum())
+        if not 0 <= pair < PAIRS:
+            raise MeasurementError(f"pair {pair} out of range")
+        return float(self._energy[pair])
+
+    # ------------------------------------------------------------------ #
+    # Continuous mode                                                    #
+    # ------------------------------------------------------------------ #
+
+    def dump(self, path: str | Path | None) -> None:
+        """Start recording all samples to ``path``; ``None`` stops."""
+        if self._dump is not None:
+            self._dump.close()
+            self._dump = None
+        if path is None:
+            return
+        configs = self.source.configs
+        pair_names = [
+            configs[2 * p].pair_name or f"pair{p}"
+            for p in range(PAIRS)
+            if configs[2 * p].enabled and configs[2 * p + 1].enabled
+        ]
+        self._dump = DumpWriter(path, pair_names, self.sample_rate)
+
+    def mark(self, char: str = "M") -> None:
+        """Place a marker, time-synced with the device, in the stream."""
+        if len(char) != 1:
+            raise MeasurementError("marker must be a single character")
+        self._marker_chars.append(char)
+        self.source.mark()
+
+    # ------------------------------------------------------------------ #
+    # Configuration                                                      #
+    # ------------------------------------------------------------------ #
+
+    def get_config(self, sensor: int) -> SensorConfig:
+        if not 0 <= sensor < SENSORS:
+            raise ConfigurationError(f"sensor {sensor} out of range")
+        return self.source.configs[sensor]
+
+    def set_config(self, sensor: int, **changes) -> SensorConfig:
+        """Update one sensor's stored conversion values on the device.
+
+        Streaming is paused for the EEPROM write and resumed, as the real
+        library does.
+        """
+        if not 0 <= sensor < SENSORS:
+            raise ConfigurationError(f"sensor {sensor} out of range")
+        from dataclasses import replace
+
+        configs = list(self.source.configs)
+        configs[sensor] = replace(configs[sensor], **changes)
+        self.source.stop()
+        self.source.write_configs(configs)
+        self.source.start()
+        return configs[sensor]
+
+    def close(self) -> None:
+        self.dump(None)
+        self.source.stop()
+
+    def __enter__(self) -> "PowerSensor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

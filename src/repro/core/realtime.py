@@ -1,0 +1,74 @@
+"""Realtime pump: the simulation analogue of the host receive thread.
+
+The real host library runs a lightweight thread that continuously receives
+sensor values.  Against the simulated device, :class:`RealtimeDriver`
+plays that role for the interactive CLI tools: a daemon thread pumps the
+PowerSensor at wall-clock pace (optionally time-scaled), so ``psrun`` and
+``psinfo`` behave like their real counterparts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.core.powersensor import PowerSensor
+
+
+class RealtimeDriver:
+    """Pumps a PowerSensor from a background thread at wall-clock pace."""
+
+    def __init__(
+        self,
+        ps: PowerSensor,
+        time_scale: float = 1.0,
+        chunk_seconds: float = 0.02,
+    ) -> None:
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        self.ps = ps
+        self.time_scale = time_scale
+        self.chunk_seconds = chunk_seconds
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+
+    def start(self) -> "RealtimeDriver":
+        if self._thread is not None:
+            raise RuntimeError("driver already started")
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        next_deadline = time.monotonic()
+        while not self._stop.is_set():
+            with self._lock:
+                self.ps.pump_seconds(self.chunk_seconds * self.time_scale)
+            next_deadline += self.chunk_seconds
+            delay = next_deadline - time.monotonic()
+            if delay > 0:
+                self._stop.wait(delay)
+            else:
+                next_deadline = time.monotonic()  # fell behind; resync
+
+    def read(self):
+        """Thread-safe snapshot of the PowerSensor state."""
+        with self._lock:
+            return self.ps.read()
+
+    def mark(self, char: str = "M") -> None:
+        with self._lock:
+            self.ps.mark(char)
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "RealtimeDriver":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

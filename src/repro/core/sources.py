@@ -1,0 +1,267 @@
+"""Sample sources: where the host library's 20 kHz stream comes from.
+
+Two implementations with identical semantics:
+
+* :class:`ProtocolSampleSource` — byte-accurate: pulls wire bytes through
+  the virtual serial link and decodes them with the stream parser.  This is
+  what every protocol/integration test uses.
+* :class:`DirectSampleSource` — reads the baseboard's averaged ADC codes
+  directly (numpy end to end), for experiments that need 10^6..10^8
+  samples.  The sensor physics, ADC quantisation, firmware averaging and
+  conversion math are the *same code*; only packet encode/decode is
+  skipped.  ``tests/test_sources.py`` pins the two paths to each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.clock import VirtualClock
+from repro.common.errors import DeviceError, ProtocolError
+from repro.firmware.commands import Command
+from repro.firmware.protocol import (
+    SensorReading,
+    StreamDecoder,
+    Timestamp,
+    TimestampUnwrapper,
+)
+from repro.firmware.version import FIRMWARE_VERSION
+from repro.hardware.baseboard import Baseboard
+from repro.hardware.eeprom import RECORD_SIZE, SENSORS, SensorConfig, VirtualEeprom
+from repro.transport.link import VirtualSerialLink
+
+#: ADC reconstruction constants shared by firmware display, host and direct path.
+ADC_VREF = 3.3
+ADC_LEVELS = 1024
+ADC_LSB = ADC_VREF / ADC_LEVELS
+
+
+@dataclass
+class SampleBlock:
+    """A contiguous block of decoded samples in physical units.
+
+    ``values[:, 2*k]`` is pair k's current (A), ``values[:, 2*k + 1]`` its
+    voltage (V).  Disabled sensors hold zeros.
+    """
+
+    times: np.ndarray  # (n,) reconstructed seconds
+    values: np.ndarray  # (n, 8) physical units
+    markers: np.ndarray  # (n,) bool
+    enabled: np.ndarray  # (8,) bool
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    def pair_power(self, pair: int) -> np.ndarray:
+        """Instantaneous power of one pair, W, per sample."""
+        return self.values[:, 2 * pair] * self.values[:, 2 * pair + 1]
+
+    def total_power(self) -> np.ndarray:
+        """Instantaneous total power across enabled pairs, W, per sample."""
+        currents = self.values[:, 0::2]
+        volts = self.values[:, 1::2]
+        return (currents * volts).sum(axis=1)
+
+    def pair_current(self, pair: int) -> np.ndarray:
+        return self.values[:, 2 * pair]
+
+    def pair_voltage(self, pair: int) -> np.ndarray:
+        return self.values[:, 2 * pair + 1]
+
+
+def convert_codes(
+    codes: np.ndarray, configs: list[SensorConfig]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Convert averaged 10-bit codes (n, 8) to physical units.
+
+    Returns ``(values, enabled)`` where values is (n, 8) float (amps on
+    even columns, volts on odd columns) and enabled the per-sensor mask.
+    Disabled sensors convert to zero.
+    """
+    codes = np.asarray(codes)
+    if codes.ndim != 2 or codes.shape[1] != SENSORS:
+        raise ValueError(f"codes must be (n, {SENSORS}), got {codes.shape}")
+    values = np.zeros(codes.shape, dtype=float)
+    enabled = np.zeros(SENSORS, dtype=bool)
+    adc_volts = (codes.astype(float) + 0.5) * ADC_LSB
+    for sensor, config in enumerate(configs):
+        if not config.enabled:
+            continue
+        enabled[sensor] = True
+        values[:, sensor] = (adc_volts[:, sensor] - config.vref) / config.slope
+    return values, enabled
+
+
+class ProtocolSampleSource:
+    """Byte-accurate source over the virtual serial link."""
+
+    def __init__(self, link: VirtualSerialLink) -> None:
+        self.link = link
+        self._decoder = StreamDecoder()
+        self._unwrapper = TimestampUnwrapper()
+        self.configs: list[SensorConfig] = []
+        self.version = self._read_version()
+        self.refresh_configs()
+        self._pending_sample: dict[int, int] = {}
+        self._pending_marker = False
+        self._have_timestamp = False
+        self._current_time = 0.0
+
+    @property
+    def sample_rate(self) -> float:
+        return self.link.firmware.baseboard.timing.output_rate_hz
+
+    def _read_version(self) -> str:
+        self.link.write(Command.VERSION.value)
+        raw = self.link.read()
+        if not raw.endswith(b"\x00"):
+            raise ProtocolError("version response not NUL-terminated")
+        version = raw[:-1].decode("ascii")
+        if version.split()[-1].split(".")[0] != FIRMWARE_VERSION.split()[-1].split(".")[0]:
+            raise DeviceError(f"incompatible firmware version {version!r}")
+        return version
+
+    def refresh_configs(self) -> None:
+        self.link.write(Command.READ_CONFIG.value)
+        raw = self.link.read(RECORD_SIZE * SENSORS)
+        self.configs = VirtualEeprom.unpack(raw).configs
+
+    def write_configs(self, configs: list[SensorConfig]) -> None:
+        """Write a full set of sensor configs to the device EEPROM."""
+        image = VirtualEeprom(configs=list(configs)).pack()
+        self.link.write(Command.WRITE_CONFIG.value + image)
+        self.refresh_configs()
+
+    def start(self) -> None:
+        self.link.write(Command.START_STREAMING.value)
+
+    def stop(self) -> None:
+        self.link.write(Command.STOP_STREAMING.value)
+
+    def mark(self) -> None:
+        self.link.write(Command.MARKER.value)
+
+    def read_block(self, n_samples: int) -> SampleBlock:
+        """Pull and decode ``n_samples`` output samples."""
+        data = self.link.pump_samples(n_samples)
+        return self._decode(data, n_samples)
+
+    def _decode(self, data: bytes, n_expected: int) -> SampleBlock:
+        times: list[float] = []
+        rows: list[np.ndarray] = []
+        markers: list[bool] = []
+        enabled_sensors = [i for i, c in enumerate(self.configs) if c.enabled]
+        n_enabled = len(enabled_sensors)
+
+        for event in self._decoder.feed(data):
+            if isinstance(event, Timestamp):
+                self._flush_sample(times, rows, markers, n_enabled)
+                self._current_time = self._unwrapper.update(event.micros)
+                self._have_timestamp = True
+            elif isinstance(event, SensorReading):
+                if not self._have_timestamp:
+                    continue  # wait for the first timestamp to anchor time
+                self._pending_sample[event.sensor] = event.value
+                self._pending_marker = self._pending_marker or event.marker
+        self._flush_sample(times, rows, markers, n_enabled)
+
+        if not times:
+            return SampleBlock(
+                times=np.zeros(0),
+                values=np.zeros((0, SENSORS)),
+                markers=np.zeros(0, dtype=bool),
+                enabled=np.array([c.enabled for c in self.configs]),
+            )
+        codes = np.zeros((len(rows), SENSORS), dtype=np.int64)
+        for i, row in enumerate(rows):
+            codes[i] = row
+        values, enabled = convert_codes(codes, self.configs)
+        return SampleBlock(
+            times=np.asarray(times),
+            values=values,
+            markers=np.asarray(markers, dtype=bool),
+            enabled=enabled,
+        )
+
+    def _flush_sample(self, times, rows, markers, n_enabled: int) -> None:
+        """Close out the sample set currently being accumulated, if complete."""
+        if not self._have_timestamp or len(self._pending_sample) < n_enabled:
+            return
+        row = np.zeros(SENSORS, dtype=np.int64)
+        for sensor, value in self._pending_sample.items():
+            row[sensor] = value
+        times.append(self._current_time)
+        rows.append(row)
+        markers.append(self._pending_marker)
+        self._pending_sample = {}
+        self._pending_marker = False
+
+
+class DirectSampleSource:
+    """Vectorised source reading the baseboard directly (no byte encoding)."""
+
+    def __init__(
+        self,
+        baseboard: Baseboard,
+        eeprom: VirtualEeprom,
+        clock: VirtualClock | None = None,
+    ) -> None:
+        self.baseboard = baseboard
+        self.eeprom = eeprom
+        self.clock = clock or VirtualClock()
+        self.clock.configure_ticks(baseboard.timing.output_interval_s)
+        self.version = FIRMWARE_VERSION
+        self._marker_pending = 0
+        self.streaming = False
+
+    @property
+    def configs(self) -> list[SensorConfig]:
+        return self.eeprom.configs
+
+    @property
+    def sample_rate(self) -> float:
+        return self.baseboard.timing.output_rate_hz
+
+    def refresh_configs(self) -> None:  # config lives in-process; nothing to do
+        pass
+
+    def write_configs(self, configs: list[SensorConfig]) -> None:
+        if len(configs) != SENSORS:
+            raise ValueError(f"expected {SENSORS} configs")
+        self.eeprom.configs = list(configs)
+
+    def start(self) -> None:
+        self.streaming = True
+
+    def stop(self) -> None:
+        self.streaming = False
+
+    def mark(self) -> None:
+        self._marker_pending += 1
+
+    def read_block(self, n_samples: int) -> SampleBlock:
+        timing = self.baseboard.timing
+        start = self.clock.now
+        if not self.streaming:
+            self.clock.tick(n_samples)
+            return SampleBlock(
+                times=np.zeros(0),
+                values=np.zeros((0, SENSORS)),
+                markers=np.zeros(0, dtype=bool),
+                enabled=np.array([c.enabled for c in self.configs]),
+            )
+        codes = self.baseboard.averaged_codes(start, n_samples)
+        self.clock.tick(n_samples)
+        values, enabled = convert_codes(codes, self.configs)
+        # Match the firmware timestamp convention (after 3 of 6 scans),
+        # including its microsecond rounding.
+        times = start + np.arange(n_samples) * timing.output_interval_s
+        times = np.round((times + 3 * timing.scan_time_s) * 1e6) * 1e-6
+        markers = np.zeros(n_samples, dtype=bool)
+        n_mark = min(self._marker_pending, n_samples)
+        if n_mark:
+            markers[:n_mark] = True
+            self._marker_pending -= n_mark
+        return SampleBlock(times=times, values=values, markers=markers, enabled=enabled)

@@ -1,0 +1,87 @@
+"""Measurement states and interval-based energy arithmetic.
+
+This is the host library's interval mode (paper, Section III-C): request a
+:class:`State` before and after a region of interest, then compute the
+energy, mean power, and duration between the two snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import MeasurementError
+
+PAIRS = 4
+
+
+@dataclass(frozen=True)
+class State:
+    """A snapshot of the accumulated measurement at one instant.
+
+    Attributes:
+        time: reconstructed device time in seconds.
+        consumed_energy: cumulative joules per sensor pair since connect.
+        current: most recent current reading per pair (A).
+        voltage: most recent voltage reading per pair (V).
+        marker_count: markers seen so far (for time syncing with app code).
+    """
+
+    time: float
+    consumed_energy: tuple[float, ...]
+    current: tuple[float, ...]
+    voltage: tuple[float, ...]
+    marker_count: int = 0
+
+    @property
+    def total_power(self) -> float:
+        """Instantaneous total power across pairs at this snapshot."""
+        return sum(u * i for u, i in zip(self.voltage, self.current))
+
+    def pair_power(self, pair: int) -> float:
+        _check_pair(pair)
+        return self.voltage[pair] * self.current[pair]
+
+
+def _check_pair(pair: int) -> None:
+    if not -1 <= pair < PAIRS:
+        raise MeasurementError(f"pair {pair} out of range (-1 for total, 0..{PAIRS - 1})")
+
+
+def seconds(first: State, second: State) -> float:
+    """Duration between two states, in seconds."""
+    return second.time - first.time
+
+
+def joules(first: State, second: State, pair: int = -1) -> float:
+    """Energy consumed between two states.
+
+    Args:
+        first: earlier state.
+        second: later state.
+        pair: sensor pair index, or -1 for the sum over all pairs.
+    """
+    _check_pair(pair)
+    if pair == -1:
+        return sum(
+            b - a for a, b in zip(first.consumed_energy, second.consumed_energy)
+        )
+    return second.consumed_energy[pair] - first.consumed_energy[pair]
+
+
+def watts(first: State, second: State, pair: int = -1) -> float:
+    """Mean power between two states.
+
+    Raises:
+        MeasurementError: if the two states are at the same instant.
+    """
+    duration = seconds(first, second)
+    if duration <= 0:
+        raise MeasurementError(
+            f"states must be strictly ordered in time (dt={duration} s)"
+        )
+    return joules(first, second, pair) / duration
+
+
+# PowerSensor3 C++-style aliases for users porting code.
+Joules = joules
+Watt = watts

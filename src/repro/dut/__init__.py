@@ -1,0 +1,45 @@
+"""Devices under test and bench instruments.
+
+Everything PowerSensor3 measures in the paper lives here: the laboratory
+bench (supply, electronic load, multimeters — Section IV's Fig. 3 setup),
+the discrete GPUs of Section V-A, the Jetson AGX Orin SoC of Section V-B,
+and the NVMe SSD of Section V-C.  Each DUT exposes one or more
+:class:`~repro.dut.base.PowerRail`-compatible rails that sensor modules
+can be connected to.
+"""
+
+from repro.dut.base import (
+    CabledRail,
+    ConstantRail,
+    FunctionRail,
+    PowerTrace,
+    ScaledRail,
+    SegmentRail,
+    SplitRail,
+    TraceRail,
+)
+from repro.dut.cpu import Cpu, CpuSpec, LoadPhase
+from repro.dut.instruments import (
+    DigitalMultimeter,
+    ElectronicLoad,
+    LabSupply,
+    LoadedSupplyRail,
+)
+
+__all__ = [
+    "PowerTrace",
+    "CabledRail",
+    "Cpu",
+    "CpuSpec",
+    "LoadPhase",
+    "ConstantRail",
+    "FunctionRail",
+    "TraceRail",
+    "ScaledRail",
+    "SegmentRail",
+    "SplitRail",
+    "LabSupply",
+    "ElectronicLoad",
+    "DigitalMultimeter",
+    "LoadedSupplyRail",
+]

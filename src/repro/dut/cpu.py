@@ -1,0 +1,107 @@
+"""CPU package model: the substrate behind the RAPL backend.
+
+The paper's related-work section covers RAPL as the standard software
+interface for CPU power (Section II); PMT's CPU backend reads it.  This
+behavioural model renders a package power trace from a per-core load
+schedule so the RAPL model and PMT backend have something real to
+integrate: idle/uncore power, per-core active power scaled by a DVFS
+``f * V(f)^2`` curve, and turbo behaviour when few cores are active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import MeasurementError
+from repro.common.rng import RngStream
+from repro.dut.base import PowerTrace
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Static description of one CPU package."""
+
+    name: str = "generic 16-core server CPU"
+    n_cores: int = 16
+    idle_watts: float = 22.0  # package + uncore at idle
+    core_active_watts: float = 8.5  # one core fully busy at base clock
+    base_clock_ghz: float = 2.6
+    turbo_clock_ghz: float = 3.8
+    #: Cores that can hold turbo simultaneously before clocks step down.
+    turbo_core_limit: int = 4
+    #: Clock with every core busy (the ladder's lower end).
+    allcore_clock_ghz: float = 3.0
+    tdp_watts: float = 165.0
+
+    def clock_at(self, active_cores: int) -> float:
+        """All-core clock for a number of busy cores (simple turbo ladder)."""
+        if active_cores <= 0:
+            return self.base_clock_ghz
+        if active_cores <= self.turbo_core_limit:
+            return self.turbo_clock_ghz
+        frac = (active_cores - self.turbo_core_limit) / max(
+            self.n_cores - self.turbo_core_limit, 1
+        )
+        return self.turbo_clock_ghz - frac * (
+            self.turbo_clock_ghz - self.allcore_clock_ghz
+        )
+
+    def package_power(self, active_cores: int) -> float:
+        """Steady package power with ``active_cores`` busy, W (TDP-capped)."""
+        if not 0 <= active_cores <= self.n_cores:
+            raise MeasurementError(
+                f"active cores {active_cores} out of 0..{self.n_cores}"
+            )
+        clock = self.clock_at(active_cores)
+        v = 0.75 + 0.30 * (clock - self.base_clock_ghz) / max(
+            self.turbo_clock_ghz - self.base_clock_ghz, 1e-9
+        )
+        scale = (clock * v * v) / (self.base_clock_ghz * 0.75**2)
+        return min(
+            self.idle_watts + active_cores * self.core_active_watts * scale,
+            self.tdp_watts,
+        )
+
+
+@dataclass
+class LoadPhase:
+    """A span of time with a fixed number of busy cores."""
+
+    start: float
+    duration: float
+    active_cores: int
+
+
+class Cpu:
+    """A CPU whose scheduled load renders into a package power trace."""
+
+    def __init__(self, spec: CpuSpec | None = None, rng: RngStream | None = None):
+        self.spec = spec or CpuSpec()
+        self.rng = rng or RngStream(0, "cpu")
+        self.phases: list[LoadPhase] = []
+
+    def schedule(self, phase: LoadPhase) -> None:
+        if phase.duration <= 0:
+            raise MeasurementError("phase duration must be positive")
+        if not 0 <= phase.active_cores <= self.spec.n_cores:
+            raise MeasurementError("active cores out of range")
+        self.phases.append(phase)
+
+    def render(self, t_end: float, dt: float = 1e-3) -> PowerTrace:
+        """Render the load schedule into a 12 V EPS-rail power trace."""
+        times = np.arange(0.0, t_end + dt, dt)
+        power = np.full(times.size, self.spec.idle_watts)
+        for phase in sorted(self.phases, key=lambda p: p.start):
+            mask = (times >= phase.start) & (times < phase.start + phase.duration)
+            steady = self.spec.package_power(phase.active_cores)
+            # Package power settles within a few milliseconds.
+            rel = times[mask] - phase.start
+            power[mask] = self.spec.idle_watts + (steady - self.spec.idle_watts) * (
+                1.0 - np.exp(-rel / 0.004)
+            )
+        power = power + self.rng.normal(0.0, 0.2, size=power.shape)
+        power = np.clip(power, 0.5 * self.spec.idle_watts, self.spec.tdp_watts)
+        volts = np.full(times.size, 12.0)
+        return PowerTrace(times=times, volts=volts, amps=power / volts)

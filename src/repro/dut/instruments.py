@@ -1,0 +1,134 @@
+"""Bench instruments of the paper's Fig. 3 measurement setup.
+
+A laboratory power supply (Keysight N6705B in the paper) sources the rail,
+an electronic load (Kniel E.Last) draws a programmable current with finite
+slew rate and optional square-wave modulation, and two digital multimeters
+(Fluke 177/77) read the true voltage at the sensor and current through the
+load.  In simulation the multimeters are exact by construction — they *are*
+the ground truth the accuracy experiments compare the sensor against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import MeasurementError
+
+
+@dataclass
+class LabSupply:
+    """A regulated voltage source with finite output impedance."""
+
+    setpoint_volts: float
+    source_impedance_ohms: float = 0.005
+    enabled: bool = True
+
+    def voltage_under_load(self, amps: np.ndarray) -> np.ndarray:
+        if not self.enabled:
+            return np.zeros_like(np.asarray(amps, dtype=float))
+        return self.setpoint_volts - self.source_impedance_ohms * np.asarray(
+            amps, dtype=float
+        )
+
+
+@dataclass
+class _Step:
+    time: float
+    amps: float
+
+
+class ElectronicLoad:
+    """Programmable constant-current load with finite slew rate.
+
+    The current follows a step schedule; each transition ramps linearly at
+    ``slew_a_per_us``.  :meth:`program_square` builds the 100 Hz square
+    modulation used for the paper's step-response measurement (Fig. 5).
+    """
+
+    def __init__(self, slew_a_per_us: float = 2.0) -> None:
+        if slew_a_per_us <= 0:
+            raise MeasurementError("slew rate must be positive")
+        self.slew_a_per_s = slew_a_per_us * 1e6
+        self._steps: list[_Step] = [_Step(0.0, 0.0)]
+
+    def set_current(self, amps: float, at_time: float = 0.0) -> None:
+        """Schedule a setpoint change (times must be scheduled in order)."""
+        if self._steps and at_time < self._steps[-1].time:
+            raise MeasurementError("load steps must be scheduled in time order")
+        self._steps.append(_Step(float(at_time), float(amps)))
+
+    def program_square(
+        self,
+        low_amps: float,
+        high_amps: float,
+        frequency_hz: float,
+        start: float,
+        cycles: int,
+    ) -> None:
+        """Schedule a square wave: high for the first half of each period."""
+        period = 1.0 / frequency_hz
+        for k in range(cycles):
+            self.set_current(high_amps, start + k * period)
+            self.set_current(low_amps, start + (k + 0.5) * period)
+
+    def _breakpoints(self) -> tuple[np.ndarray, np.ndarray]:
+        """Piecewise-linear (time, current) breakpoints with slew ramps."""
+        times = [self._steps[0].time]
+        amps = [self._steps[0].amps]
+        for step in self._steps[1:]:
+            prev_i = amps[-1]
+            ramp = abs(step.amps - prev_i) / self.slew_a_per_s
+            t0 = max(step.time, times[-1])
+            times.extend([t0, t0 + ramp])
+            amps.extend([prev_i, step.amps])
+        return np.asarray(times), np.asarray(amps)
+
+    def current_at(self, times: np.ndarray) -> np.ndarray:
+        bp_t, bp_i = self._breakpoints()
+        return np.interp(np.asarray(times, dtype=float), bp_t, bp_i)
+
+
+class LoadedSupplyRail:
+    """The bench rail: a supply sourcing an electronic load.
+
+    This is what the sensor module under test is wired across in the
+    accuracy, averaging, stability, and step-response experiments.
+    """
+
+    def __init__(self, supply: LabSupply, load: ElectronicLoad) -> None:
+        self.supply = supply
+        self.load = load
+
+    def sample_uniform(self, start: float, dt: float, n: int):
+        times = start + dt * np.arange(n)
+        amps = self.load.current_at(times)
+        volts = self.supply.voltage_under_load(amps)
+        return volts, amps
+
+
+@dataclass
+class DigitalMultimeter:
+    """Ground-truth meter: averages the true rail state over a window.
+
+    The simulation's stand-in for the Fluke meters — exact by construction,
+    with an optional resolution to emulate display rounding.
+    """
+
+    resolution: float = 0.0
+    readings: list[float] = field(default_factory=list)
+
+    def read_voltage(self, rail, at: float, window: float = 0.01, n: int = 100) -> float:
+        volts, _ = rail.sample_uniform(at, window / n, n)
+        return self._round(float(np.mean(volts)))
+
+    def read_current(self, rail, at: float, window: float = 0.01, n: int = 100) -> float:
+        _, amps = rail.sample_uniform(at, window / n, n)
+        return self._round(float(np.mean(amps)))
+
+    def _round(self, value: float) -> float:
+        if self.resolution > 0:
+            value = round(value / self.resolution) * self.resolution
+        self.readings.append(value)
+        return value

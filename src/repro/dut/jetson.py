@@ -1,0 +1,98 @@
+"""NVIDIA Jetson AGX Orin SoC model (the paper's Section V-B case study).
+
+The development kit combines the SoC *module* (CPU + GPU + memory) with a
+*carrier board*; the whole system is powered over USB-C.  The two Jetson
+limitations the paper demonstrates are modelled explicitly:
+
+* the built-in INA-style sensor reports only *module* power — the carrier
+  board's consumption is invisible to it (PowerSensor3 on the USB-C feed
+  sees everything);
+* the built-in sensor updates only every ~0.1 s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RngStream
+from repro.dut.base import PowerTrace, TraceRail
+from repro.dut.gpu import Gpu, KernelLaunch, gpu_spec
+
+#: nvpmodel power modes: (module power budget W, GPU clock cap MHz).
+#: MAXN removes the budget and runs the full clock range.
+POWER_MODES: dict[str, tuple[float | None, float | None]] = {
+    "15W": (15.0, 420.0),
+    "30W": (30.0, 620.0),
+    "50W": (50.0, 828.0),
+    "MAXN": (None, None),
+}
+
+
+class JetsonAgxOrin:
+    """Jetson AGX Orin development kit: SoC module on a carrier board.
+
+    ``power_mode`` selects an nvpmodel profile: it caps the GPU clock and
+    the module's power budget, exactly the knob Jetson deployments tune.
+    """
+
+    #: Carrier board draw (regulators, USB/network PHYs, fan) — roughly
+    #: constant, and excluded from the module's built-in sensor.
+    CARRIER_WATTS = 4.8
+    #: CPU-complex idle contribution inside the module.
+    CPU_IDLE_WATTS = 3.2
+    #: USB-C PD supply voltage of the devkit.
+    USB_C_VOLTS = 20.0
+
+    def __init__(
+        self, rng: RngStream | None = None, power_mode: str = "MAXN"
+    ) -> None:
+        if power_mode not in POWER_MODES:
+            known = ", ".join(sorted(POWER_MODES))
+            raise ConfigurationError(
+                f"unknown power mode {power_mode!r}; known modes: {known}"
+            )
+        self.rng = rng or RngStream(0, "jetson")
+        self.power_mode = power_mode
+        budget, clock_cap = POWER_MODES[power_mode]
+        spec = gpu_spec("jetson_orin_gpu")
+        if budget is not None:
+            gpu_budget = max(budget - self.CPU_IDLE_WATTS, spec.idle_watts + 1.0)
+            spec = replace(
+                spec,
+                power_limit_watts=min(spec.power_limit_watts, gpu_budget),
+                boost_clock_mhz=min(spec.boost_clock_mhz, clock_cap),
+            )
+        self.gpu = Gpu(spec, self.rng.child("gpu"))
+
+    def launch(self, launch: KernelLaunch) -> None:
+        self.gpu.launch(launch)
+
+    def reset(self) -> None:
+        self.gpu.reset()
+
+    def render(self, t_end: float, dt: float = 2e-4) -> tuple[PowerTrace, PowerTrace]:
+        """Render (module_trace, total_trace) for the scheduled workload."""
+        gpu_trace = self.gpu.render(t_end, dt)
+        times = gpu_trace.times
+        cpu = self.CPU_IDLE_WATTS + self.rng.normal(0.0, 0.05, size=times.size)
+        module_watts = gpu_trace.watts + cpu
+        carrier = self.CARRIER_WATTS + self.rng.normal(0.0, 0.03, size=times.size)
+        total_watts = module_watts + carrier
+        module = PowerTrace(
+            times=times,
+            volts=np.full(times.size, self.USB_C_VOLTS),
+            amps=module_watts / self.USB_C_VOLTS,
+        )
+        total = PowerTrace(
+            times=times,
+            volts=np.full(times.size, self.USB_C_VOLTS),
+            amps=total_watts / self.USB_C_VOLTS,
+        )
+        return module, total
+
+    def usb_c_rail(self, total_trace: PowerTrace) -> TraceRail:
+        """The USB-C feed PowerSensor3's USB-C module intercepts."""
+        return TraceRail(total_trace)

@@ -1,0 +1,11 @@
+"""Experiment harness: one module per paper table/figure.
+
+Each module exposes ``run(...) -> ExperimentResult`` (bench-sized
+defaults, ``full=True`` for paper scale where applicable) and a ``main()``
+that prints the paper-style table.  The per-experiment index lives in
+DESIGN.md; paper-vs-measured numbers are recorded in EXPERIMENTS.md.
+"""
+
+from repro.experiments.common import ExperimentResult, relative_delta
+
+__all__ = ["ExperimentResult", "relative_delta"]

@@ -1,0 +1,71 @@
+"""Fig. 5: step response of a 12 V / 10 A sensor at 20 kHz.
+
+The electronic load is modulated as a 100 Hz square wave between 3.3 A
+and 8 A; the captured power shows the transitions on the millisecond
+scale (left panel) and a single edge on the microsecond scale (right
+panel).  At 20 kHz the observed rise time is bounded below by the 50 us
+sample interval, demonstrating the sensor resolves power transients like
+GPU kernel starts/stops.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stepresponse import measure_step
+from repro.core.setup import SimulatedSetup
+from repro.dut.instruments import ElectronicLoad, LabSupply, LoadedSupplyRail
+from repro.experiments.common import ExperimentResult
+
+LOW_AMPS = 3.3
+HIGH_AMPS = 8.0
+MODULATION_HZ = 100.0
+
+
+def run(cycles: int = 10, seed: int = 4) -> ExperimentResult:
+    result = ExperimentResult(name="Fig. 5: step response (3.3 A -> 8 A at 100 Hz)")
+    setup = SimulatedSetup(
+        ["pcie_slot_12v"], seed=seed, direct=True, calibration_samples=64 * 1024
+    )
+    load = ElectronicLoad(slew_a_per_us=2.0)
+    load.set_current(LOW_AMPS)
+    load.program_square(
+        LOW_AMPS, HIGH_AMPS, MODULATION_HZ, start=0.005, cycles=cycles
+    )
+    setup.connect(0, LoadedSupplyRail(LabSupply(12.0), load))
+    duration = 0.005 + cycles / MODULATION_HZ + 0.005
+    block = setup.ps.pump_seconds(duration)
+    power = block.pair_power(0)
+    times = block.times
+    result.series["time_s"] = times
+    result.series["power_w"] = power
+
+    # Microsecond-scale view: one rising edge (first transition at 5 ms).
+    edge_window = (times > 0.0046) & (times < 0.0056)
+    metrics = measure_step(times[edge_window], power[edge_window])
+    result.series["edge_time_s"] = times[edge_window]
+    result.series["edge_power_w"] = power[edge_window]
+    setup.close()
+
+    sample_interval = 1.0 / setup.sample_rate
+    result.rows.append(
+        {
+            "low level [W]": metrics.low_level,
+            "high level [W]": metrics.high_level,
+            "rise 10-90% [us]": metrics.rise_time * 1e6,
+            "settle [us]": metrics.settle_time * 1e6,
+            "sample interval [us]": sample_interval * 1e6,
+            "rise [samples]": metrics.rise_time / sample_interval,
+        }
+    )
+    result.notes.append(
+        "rise time is bounded by the 50 us sample interval, not the 300 kHz "
+        "analog bandwidth — the step settles within ~2 samples"
+    )
+    return result
+
+
+def main() -> None:
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Simulated STM32F411 firmware.
+
+:mod:`repro.firmware.protocol` defines the byte-level wire format (2-byte
+sensor packets with embedded sensor index / marker bits, and timestamp
+packets), :mod:`repro.firmware.commands` the host-to-device command set,
+and :mod:`repro.firmware.device` the firmware main loop: continuous ADC
+scanning with CPU averaging to 20 kHz, EEPROM-backed sensor configuration,
+markers, and streaming control.
+"""
+
+from repro.firmware.commands import Command
+from repro.firmware.device import Firmware
+from repro.firmware.protocol import (
+    SensorReading,
+    Timestamp,
+    StreamDecoder,
+    encode_sensor_packet,
+    encode_timestamp_packet,
+)
+from repro.firmware.version import FIRMWARE_VERSION
+
+__all__ = [
+    "Command",
+    "Firmware",
+    "SensorReading",
+    "Timestamp",
+    "StreamDecoder",
+    "encode_sensor_packet",
+    "encode_timestamp_packet",
+    "FIRMWARE_VERSION",
+]

@@ -1,0 +1,31 @@
+"""Host-to-device command bytes.
+
+The firmware supports the operations listed in the paper (Section III-B):
+start/stop streaming, read/write configuration values, send a marker with
+the next sensor data, report the firmware version, and reboot (optionally
+to DFU mode for firmware upload).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Command(bytes, Enum):
+    """Single-byte commands understood by the firmware."""
+
+    START_STREAMING = b"S"
+    STOP_STREAMING = b"X"
+    READ_CONFIG = b"R"
+    WRITE_CONFIG = b"W"  # followed by a full EEPROM image
+    MARKER = b"M"  # marker bit attached to the next sensor-0 packet
+    VERSION = b"V"  # respond with NUL-terminated version string
+    REBOOT = b"B"
+    REBOOT_DFU = b"D"
+
+    @classmethod
+    def lookup(cls, byte: bytes) -> "Command | None":
+        for command in cls:
+            if command.value == byte:
+                return command
+        return None

@@ -1,0 +1,138 @@
+"""PowerSensor3 wire protocol.
+
+Sensor data travels as 2-byte packets carrying a 10-bit value plus 6 bits
+of metadata (paper, Section III-B): the 3-bit sensor index, a marker bit,
+and one flag bit in each byte to tell first bytes from second bytes::
+
+    byte 0:  1 | sensor[2:0] | marker | value[9:7]
+    byte 1:  0 | value[6:0]
+
+The marker bit is only meaningful for sensor 0; a set marker bit with a
+non-zero sensor index is repurposed — index 7 with the marker bit carries
+the 10-bit device timestamp (microseconds, wrapping at 1024) that precedes
+each sample set.  Sensor 7's ordinary data packets always have marker 0.
+
+:class:`StreamDecoder` is an incremental parser: feed it arbitrary byte
+chunks, get back decoded events.  It resynchronises on framing errors by
+searching for the next first-byte flag, mirroring the robustness the real
+host library needs on a lossy serial link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.common.errors import ProtocolError
+
+VALUE_BITS = 10
+VALUE_MAX = (1 << VALUE_BITS) - 1
+SENSOR_MAX = 7
+TIMESTAMP_SENSOR = 7
+TIMESTAMP_WRAP_US = 1 << VALUE_BITS  # 10-bit microsecond counter
+
+
+@dataclass(frozen=True)
+class SensorReading:
+    """One decoded sensor value."""
+
+    sensor: int
+    value: int  # averaged 10-bit ADC code
+    marker: bool = False
+
+
+@dataclass(frozen=True)
+class Timestamp:
+    """Device timestamp event (microseconds modulo 1024)."""
+
+    micros: int
+
+
+def encode_sensor_packet(sensor: int, value: int, marker: bool = False) -> bytes:
+    """Encode one sensor reading as two bytes."""
+    if not 0 <= sensor <= SENSOR_MAX:
+        raise ProtocolError(f"sensor index {sensor} out of range 0..{SENSOR_MAX}")
+    if not 0 <= value <= VALUE_MAX:
+        raise ProtocolError(f"value {value} out of 10-bit range")
+    if marker and sensor != 0:
+        raise ProtocolError("marker bit is only valid for sensor 0")
+    byte0 = 0x80 | (sensor << 4) | (int(marker) << 3) | ((value >> 7) & 0x07)
+    byte1 = value & 0x7F
+    return bytes((byte0, byte1))
+
+
+def encode_timestamp_packet(micros: int) -> bytes:
+    """Encode a device timestamp (wraps to 10 bits) as two bytes."""
+    value = micros % TIMESTAMP_WRAP_US
+    byte0 = 0x80 | (TIMESTAMP_SENSOR << 4) | (1 << 3) | ((value >> 7) & 0x07)
+    byte1 = value & 0x7F
+    return bytes((byte0, byte1))
+
+
+class StreamDecoder:
+    """Incremental decoder of the sensor data stream.
+
+    Feed byte chunks with :meth:`feed`; it yields :class:`SensorReading`
+    and :class:`Timestamp` events.  A second byte without a preceding first
+    byte (or vice versa) increments :attr:`resync_count` and the decoder
+    skips to the next byte with the first-byte flag.
+    """
+
+    def __init__(self) -> None:
+        self._pending_first: int | None = None
+        self.resync_count = 0
+
+    def feed(self, data: bytes) -> Iterator[SensorReading | Timestamp]:
+        for byte in data:
+            if byte & 0x80:  # first byte of a packet
+                if self._pending_first is not None:
+                    self.resync_count += 1  # dangling first byte dropped
+                self._pending_first = byte
+                continue
+            if self._pending_first is None:
+                self.resync_count += 1  # dangling second byte dropped
+                continue
+            first = self._pending_first
+            self._pending_first = None
+            sensor = (first >> 4) & 0x07
+            marker = bool(first & 0x08)
+            value = ((first & 0x07) << 7) | (byte & 0x7F)
+            if sensor == TIMESTAMP_SENSOR and marker:
+                yield Timestamp(micros=value)
+            else:
+                if sensor != 0:
+                    marker = False  # repurposed bit, not a data marker
+                yield SensorReading(sensor=sensor, value=value, marker=marker)
+
+    def reset(self) -> None:
+        self._pending_first = None
+        self.resync_count = 0
+
+
+class TimestampUnwrapper:
+    """Reconstruct continuous device time from the wrapping 10-bit counter.
+
+    The device emits one timestamp per 50 us sample set while the counter
+    wraps every 1024 us, so consecutive timestamps always advance by less
+    than half the wrap period and unwrapping is unambiguous.
+    """
+
+    def __init__(self) -> None:
+        self._last_raw: int | None = None
+        self._accumulated_us = 0
+
+    def update(self, raw_micros: int) -> float:
+        """Feed a raw 10-bit timestamp; returns continuous seconds."""
+        if not 0 <= raw_micros < TIMESTAMP_WRAP_US:
+            raise ProtocolError(f"raw timestamp {raw_micros} out of 10-bit range")
+        if self._last_raw is None:
+            self._accumulated_us = raw_micros
+        else:
+            delta = (raw_micros - self._last_raw) % TIMESTAMP_WRAP_US
+            self._accumulated_us += delta
+        self._last_raw = raw_micros
+        return self._accumulated_us * 1e-6
+
+    @property
+    def seconds(self) -> float:
+        return self._accumulated_us * 1e-6

@@ -1,0 +1,11 @@
+"""Firmware version identification.
+
+The version string is sent in response to the VERSION command, letting the
+host library verify protocol compatibility before streaming (the real
+toolkit uses this to refuse mismatched firmware).
+"""
+
+FIRMWARE_VERSION = "PowerSensor3-sim 1.0.0"
+
+#: Major protocol revision; host refuses to talk to a different major.
+PROTOCOL_MAJOR = 1

@@ -1,0 +1,40 @@
+"""Simulated PowerSensor3 electronics.
+
+This package models the analog/digital hardware substrate of the paper's
+toolkit: the Hall-effect current and optically isolated voltage transducers
+(:mod:`repro.hardware.sensors`), the five sensor-module designs and their
+datasheet constants (:mod:`repro.hardware.modules`), the STM32F411's 10-bit
+ADC (:mod:`repro.hardware.adc`), the virtual EEPROM holding per-sensor
+conversion values (:mod:`repro.hardware.eeprom`), the ST7735-style status
+display (:mod:`repro.hardware.display`), and the baseboard that ties up to
+four modules to the microcontroller (:mod:`repro.hardware.baseboard`).
+"""
+
+from repro.hardware.adc import Adc, AdcTiming
+from repro.hardware.baseboard import Baseboard, SensorChannel
+from repro.hardware.eeprom import SensorConfig, VirtualEeprom
+from repro.hardware.modules import (
+    MODULE_CATALOG,
+    ModuleSpec,
+    SensorModule,
+    module_spec,
+)
+from repro.hardware.powersensor2 import PowerSensor2
+from repro.hardware.sensors import CurrentSensor, ExternalField, VoltageSensor
+
+__all__ = [
+    "Adc",
+    "AdcTiming",
+    "Baseboard",
+    "SensorChannel",
+    "SensorConfig",
+    "VirtualEeprom",
+    "MODULE_CATALOG",
+    "ModuleSpec",
+    "SensorModule",
+    "module_spec",
+    "CurrentSensor",
+    "ExternalField",
+    "VoltageSensor",
+    "PowerSensor2",
+]

@@ -1,0 +1,234 @@
+"""The five PowerSensor3 sensor-module designs and their datasheet constants.
+
+The paper ships five module designs (Section III-A): a 20 A PCIe-8-pin
+module for external GPU power, a 10 A module for PCIe slot power (used in a
+12 V and a 3.3 V variant whose voltage dividers differ), a USB-C module, a
+general-purpose 20 A terminal-block module, and a 50 A high-current module.
+
+Each :class:`ModuleSpec` stores *physical* constants (sensitivity, voltage
+full scale, rms noise of the two transducers).  The worst-case accuracy
+numbers of the paper's Table I are not stored — they are *derived* from
+these constants by :mod:`repro.analysis.accuracy`, and a test pins the
+derivation to the published table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RngStream
+from repro.hardware.sensors import CurrentSensor, ExternalField, VoltageSensor
+
+#: ADC reference / sensor supply voltage on the baseboard.
+VDD = 3.3
+
+#: ADC resolution used by the firmware (10 most significant bits).
+ADC_BITS = 10
+ADC_LEVELS = 1 << ADC_BITS
+
+
+@dataclass(frozen=True)
+class ModuleSpec:
+    """Datasheet-level description of one sensor-module design."""
+
+    key: str
+    name: str
+    connector: str
+    nominal_voltage_v: float
+    max_current_a: float
+    sensitivity_v_per_a: float
+    voltage_full_scale_v: float
+    current_noise_rms_a: float
+    voltage_noise_rms_v: float  # input-referred amplifier noise
+
+    @property
+    def voltage_gain(self) -> float:
+        """Volts at the ADC pin per volt at the module input."""
+        return VDD / self.voltage_full_scale_v
+
+    @property
+    def min_current_a(self) -> float:
+        """Hall sensors are bidirectional; range is symmetric."""
+        return -self.max_current_a
+
+    @property
+    def current_lsb_a(self) -> float:
+        """Input-referred size of one ADC step on the current channel."""
+        return VDD / ADC_LEVELS / self.sensitivity_v_per_a
+
+    @property
+    def voltage_lsb_v(self) -> float:
+        """Input-referred size of one ADC step on the voltage channel."""
+        return self.voltage_full_scale_v / ADC_LEVELS
+
+    @property
+    def nominal_max_power_w(self) -> float:
+        return self.nominal_voltage_v * self.max_current_a
+
+
+def _spec(**kwargs) -> ModuleSpec:
+    return ModuleSpec(**kwargs)
+
+
+# Noise constants: the Hall rms values follow the MLX91221 datasheet figure
+# the paper quotes (115 mA rms for the 10 A part); voltage amplifier noise
+# is input-referred through each module's divider.  Together with ADC
+# quantisation these reproduce the paper's Table I worst-case numbers (see
+# repro.analysis.accuracy and the table1 experiment).
+MODULE_CATALOG: dict[str, ModuleSpec] = {
+    "pcie8pin": _spec(
+        key="pcie8pin",
+        name="PCIe 8-pin 20 A",
+        connector="PCIe 8-pin",
+        nominal_voltage_v=12.0,
+        max_current_a=20.0,
+        sensitivity_v_per_a=0.060,
+        voltage_full_scale_v=26.4,
+        current_noise_rms_a=0.1358,
+        voltage_noise_rms_v=0.00596,
+    ),
+    "pcie_slot_12v": _spec(
+        key="pcie_slot_12v",
+        name="PCIe slot 12 V / 10 A",
+        connector="riser wires",
+        nominal_voltage_v=12.0,
+        max_current_a=10.0,
+        sensitivity_v_per_a=0.120,
+        voltage_full_scale_v=26.4,
+        current_noise_rms_a=0.1150,
+        voltage_noise_rms_v=0.00596,
+    ),
+    "pcie_slot_3v3": _spec(
+        key="pcie_slot_3v3",
+        name="PCIe slot 3.3 V / 10 A",
+        connector="riser wires",
+        nominal_voltage_v=3.3,
+        max_current_a=10.0,
+        sensitivity_v_per_a=0.120,
+        voltage_full_scale_v=6.6,
+        current_noise_rms_a=0.1150,
+        voltage_noise_rms_v=0.00637,
+    ),
+    "usbc": _spec(
+        key="usbc",
+        name="USB-C 20 V / 10 A",
+        connector="USB-C",
+        nominal_voltage_v=20.0,
+        max_current_a=10.0,
+        sensitivity_v_per_a=0.120,
+        voltage_full_scale_v=26.4,
+        current_noise_rms_a=0.1150,
+        voltage_noise_rms_v=0.00596,
+    ),
+    "generic20a": _spec(
+        key="generic20a",
+        name="General purpose 20 A",
+        connector="terminal block",
+        nominal_voltage_v=12.0,
+        max_current_a=20.0,
+        sensitivity_v_per_a=0.060,
+        voltage_full_scale_v=26.4,
+        current_noise_rms_a=0.1358,
+        voltage_noise_rms_v=0.00596,
+    ),
+    "highcurrent50a": _spec(
+        key="highcurrent50a",
+        name="High current 50 A",
+        connector="terminal block",
+        nominal_voltage_v=12.0,
+        max_current_a=50.0,
+        sensitivity_v_per_a=0.024,
+        voltage_full_scale_v=26.4,
+        current_noise_rms_a=0.2800,
+        voltage_noise_rms_v=0.00596,
+    ),
+}
+
+
+def module_spec(key: str) -> ModuleSpec:
+    """Look up a module design; raises ConfigurationError for unknown keys."""
+    try:
+        return MODULE_CATALOG[key]
+    except KeyError:
+        known = ", ".join(sorted(MODULE_CATALOG))
+        raise ConfigurationError(f"unknown module {key!r}; known modules: {known}")
+
+
+class SensorModule:
+    """One manufactured sensor module: a current/voltage transducer pair.
+
+    Instances carry *production* errors (Hall offset, voltage gain error,
+    slight nonlinearity) drawn at manufacture time; the calibration
+    procedure estimates and stores corrections for them in the device
+    EEPROM, mirroring the paper's one-time calibration.
+    """
+
+    def __init__(
+        self,
+        spec: ModuleSpec,
+        current_sensor: CurrentSensor,
+        voltage_sensor: VoltageSensor,
+    ) -> None:
+        self.spec = spec
+        self.current_sensor = current_sensor
+        self.voltage_sensor = voltage_sensor
+
+    @classmethod
+    def manufacture(
+        cls,
+        spec_or_key: ModuleSpec | str,
+        rng: RngStream,
+        perfect: bool = False,
+        external_field: ExternalField | None = None,
+    ) -> "SensorModule":
+        """Build a module with randomly drawn production tolerances.
+
+        Args:
+            spec_or_key: a :class:`ModuleSpec` or a catalog key.
+            rng: random stream for this part's tolerances and noise.
+            perfect: if True, zero out production errors (useful in tests
+                that want to isolate noise behaviour from calibration).
+            external_field: ambient magnetic environment, if any; the
+                differential Hall sensor rejects it almost entirely.
+        """
+        spec = (
+            spec_or_key
+            if isinstance(spec_or_key, ModuleSpec)
+            else module_spec(spec_or_key)
+        )
+        if perfect:
+            offset = 0.0
+            gain_error = 0.0
+            nonlinearity = 0.0
+        else:
+            # Typical MLX91221 production spread: offset up to ~1 % of full
+            # scale, divider resistors ~0.5 %, small cubic nonlinearity.
+            offset = float(rng.normal(0.0, 0.01 * spec.max_current_a))
+            gain_error = float(rng.normal(0.0, 0.005))
+            nonlinearity = float(
+                rng.normal(0.0, 0.0005 / max(spec.max_current_a, 1.0) ** 2)
+            )
+        current = CurrentSensor(
+            sensitivity_v_per_a=spec.sensitivity_v_per_a,
+            noise_rms_a=spec.current_noise_rms_a,
+            rng=rng.child("current"),
+            vdd=VDD,
+            offset_a=offset,
+            nonlinearity=nonlinearity,
+            external_field=external_field,
+        )
+        voltage = VoltageSensor(
+            gain_v_per_v=spec.voltage_gain,
+            noise_rms_v_input=spec.voltage_noise_rms_v,
+            rng=rng.child("voltage"),
+            vdd=VDD,
+            gain_error=gain_error,
+        )
+        return cls(spec, current, voltage)
+
+    def with_spec(self, **changes) -> "SensorModule":
+        """A copy of this module with spec fields replaced (sensors shared)."""
+        return SensorModule(
+            replace(self.spec, **changes), self.current_sensor, self.voltage_sensor
+        )

@@ -1,0 +1,34 @@
+"""Power Measurement Toolkit (PMT) reimplementation.
+
+One interface over many power sensors (Corda et al., HUST'22): create a
+backend, read states, compute joules/watts/seconds between them.  The
+paper's GPU case studies (Fig. 7) run through PMT.
+"""
+
+from repro.pmt.backends import (
+    AmdSmiBackend,
+    DummyBackend,
+    JetsonBackend,
+    NvmlBackend,
+    PowerSensorBackend,
+    RaplBackend,
+    RocmBackend,
+    create,
+)
+from repro.pmt.base import PmtBackend, PmtState, pmt_joules, pmt_seconds, pmt_watts
+
+__all__ = [
+    "create",
+    "PmtBackend",
+    "PmtState",
+    "pmt_joules",
+    "pmt_watts",
+    "pmt_seconds",
+    "PowerSensorBackend",
+    "NvmlBackend",
+    "RocmBackend",
+    "AmdSmiBackend",
+    "JetsonBackend",
+    "RaplBackend",
+    "DummyBackend",
+]

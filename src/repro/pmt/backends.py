@@ -1,0 +1,192 @@
+"""PMT backends over the simulated sensors.
+
+Mirrors the backends the paper lists (Section V-A1): PowerSensor3, NVML
+for NVIDIA GPUs, ROCm SMI / AMD SMI for AMD GPUs, RAPL for CPUs, the
+Jetson rail monitor, and a dummy.  ``create`` is the factory the real PMT
+exposes.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError, MeasurementError
+from repro.core.powersensor import PowerSensor
+from repro.pmt.base import PmtBackend, PmtState
+from repro.vendor.jetson_ina import JetsonPowerMonitor
+from repro.vendor.nvml import NvmlDevice
+from repro.vendor.rapl import RaplDomain
+from repro.vendor.rocm_smi import AmdSmiDevice, RocmSmiDevice
+
+
+class PowerSensorBackend(PmtBackend):
+    """PMT over a PowerSensor3 host handle.
+
+    Reading at time t pumps the simulated stream up to t; cumulative
+    energy is the host library's own integration.
+    """
+
+    name = "powersensor3"
+
+    def __init__(self, ps: PowerSensor) -> None:
+        self.ps = ps
+
+    def read(self, at_time: float) -> PmtState:
+        state = self.ps.read()
+        if at_time < state.time:
+            raise MeasurementError(
+                f"cannot read at {at_time:.6f}s: stream already at {state.time:.6f}s"
+            )
+        self.ps.pump_seconds(at_time - state.time)
+        state = self.ps.read()
+        return PmtState(
+            timestamp=state.time,
+            joules=self.ps.total_energy(),
+            watts=state.total_power,
+        )
+
+
+class _PolledApiBackend(PmtBackend):
+    """Shared shape for backends over a polled vendor API."""
+
+    poll_rate_hz = 100.0
+
+    def __init__(self) -> None:
+        self._t0: float | None = None
+
+    def _power_at(self, at_time: float) -> float:
+        raise NotImplementedError
+
+    def _energy_between(self, start: float, stop: float) -> float:
+        raise NotImplementedError
+
+    def read(self, at_time: float) -> PmtState:
+        if self._t0 is None:
+            self._t0 = at_time
+        joules = 0.0
+        if at_time > self._t0:
+            joules = self._energy_between(self._t0, at_time)
+        return PmtState(timestamp=at_time, joules=joules, watts=self._power_at(at_time))
+
+
+class NvmlBackend(_PolledApiBackend):
+    name = "nvml"
+
+    def __init__(self, device: NvmlDevice, mode: str = "instantaneous") -> None:
+        super().__init__()
+        self.device = device
+        self.mode = mode
+
+    def _power_at(self, at_time: float) -> float:
+        import numpy as np
+
+        return float(self.device.power_usage(np.array([at_time]), self.mode)[0])
+
+    def _energy_between(self, start: float, stop: float) -> float:
+        return self.device.energy(start, stop, self.mode, self.poll_rate_hz)
+
+
+class RocmBackend(_PolledApiBackend):
+    name = "rocm"
+    poll_rate_hz = 1000.0
+
+    def __init__(self, device: RocmSmiDevice) -> None:
+        super().__init__()
+        self.device = device
+
+    def _power_at(self, at_time: float) -> float:
+        import numpy as np
+
+        return float(self.device.average_socket_power(np.array([at_time]))[0])
+
+    def _energy_between(self, start: float, stop: float) -> float:
+        return self.device.energy(start, stop, self.poll_rate_hz)
+
+
+class AmdSmiBackend(_PolledApiBackend):
+    name = "amdsmi"
+    poll_rate_hz = 1000.0
+
+    def __init__(self, device: AmdSmiDevice) -> None:
+        super().__init__()
+        self.device = device
+
+    def _power_at(self, at_time: float) -> float:
+        import numpy as np
+
+        info = self.device.socket_power_info(np.array([at_time]))
+        return float(info["current_socket_power"][0])
+
+    def _energy_between(self, start: float, stop: float) -> float:
+        return self.device.energy(start, stop, self.poll_rate_hz)
+
+
+class JetsonBackend(_PolledApiBackend):
+    name = "jetson"
+
+    def __init__(self, monitor: JetsonPowerMonitor) -> None:
+        super().__init__()
+        self.monitor = monitor
+
+    def _power_at(self, at_time: float) -> float:
+        import numpy as np
+
+        return float(self.monitor.module_power(np.array([at_time]))[0])
+
+    def _energy_between(self, start: float, stop: float) -> float:
+        return self.monitor.energy(start, stop, self.poll_rate_hz)
+
+
+class RaplBackend(PmtBackend):
+    name = "rapl"
+
+    def __init__(self, domain: RaplDomain) -> None:
+        self.domain = domain
+        self._t0_uj: int | None = None
+        self._accumulated = 0.0
+        self._last_uj = 0
+
+    def read(self, at_time: float) -> PmtState:
+        import numpy as np
+
+        uj = int(self.domain.energy_uj(np.array([at_time]))[0])
+        if self._t0_uj is None:
+            self._t0_uj = uj
+            self._last_uj = uj
+        self._accumulated += RaplDomain.counter_delta_j(self._last_uj, uj)
+        self._last_uj = uj
+        # Instantaneous power is not part of RAPL; report a short-window mean.
+        eps = 0.01
+        uj_before = int(self.domain.energy_uj(np.array([max(at_time - eps, 0.0)]))[0])
+        watts = RaplDomain.counter_delta_j(uj_before, uj) / eps
+        return PmtState(timestamp=at_time, joules=self._accumulated, watts=watts)
+
+
+class DummyBackend(PmtBackend):
+    """PMT's traditional zero-power backend (useful for plumbing tests)."""
+
+    name = "dummy"
+
+    def read(self, at_time: float) -> PmtState:
+        return PmtState(timestamp=at_time, joules=0.0, watts=0.0)
+
+
+_FACTORIES = {
+    "powersensor3": PowerSensorBackend,
+    "nvml": NvmlBackend,
+    "rocm": RocmBackend,
+    "amdsmi": AmdSmiBackend,
+    "jetson": JetsonBackend,
+    "rapl": RaplBackend,
+    "dummy": DummyBackend,
+}
+
+
+def create(name: str, *args, **kwargs) -> PmtBackend:
+    """PMT's factory: ``create("nvml", device)`` etc."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_FACTORIES))
+        raise ConfigurationError(f"unknown PMT backend {name!r}; known: {known}")
+    if name == "dummy":
+        return factory()
+    return factory(*args, **kwargs)

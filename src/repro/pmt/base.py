@@ -1,0 +1,56 @@
+"""PMT core abstractions.
+
+PMT (Corda et al., HUST'22) is a small library giving one interface over
+many power sensors: ``create`` a backend, ``read`` a state, and compute
+joules/watts/seconds between two states.  The paper uses PMT as the
+harness for its GPU case studies; this reimplementation exposes the same
+three-call surface over the simulated sensors.
+
+Because the whole bench runs on simulated time, ``read`` takes the query
+time explicitly instead of sampling a wall clock.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.common.errors import MeasurementError
+
+
+@dataclass(frozen=True)
+class PmtState:
+    """A PMT measurement snapshot."""
+
+    timestamp: float  # seconds
+    joules: float  # cumulative energy since the backend was created
+    watts: float  # instantaneous power at the snapshot
+
+
+class PmtBackend(ABC):
+    """One sensor behind the PMT interface."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def read(self, at_time: float) -> PmtState:
+        """Snapshot the sensor at a simulated time."""
+
+    def dump(self, times) -> list[PmtState]:
+        """Convenience: snapshot at each time in an iterable."""
+        return [self.read(float(t)) for t in times]
+
+
+def pmt_seconds(first: PmtState, second: PmtState) -> float:
+    return second.timestamp - first.timestamp
+
+
+def pmt_joules(first: PmtState, second: PmtState) -> float:
+    return second.joules - first.joules
+
+
+def pmt_watts(first: PmtState, second: PmtState) -> float:
+    dt = pmt_seconds(first, second)
+    if dt <= 0:
+        raise MeasurementError("states must be strictly ordered in time")
+    return pmt_joules(first, second) / dt

@@ -1,0 +1,13 @@
+"""fio-style storage workload generation against the simulated SSD."""
+
+from repro.storage.engine import IntervalSample, IoEngine, JobResult, precondition
+from repro.storage.fio import FioJob, parse_size
+
+__all__ = [
+    "FioJob",
+    "parse_size",
+    "IoEngine",
+    "JobResult",
+    "IntervalSample",
+    "precondition",
+]

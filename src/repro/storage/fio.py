@@ -1,0 +1,84 @@
+"""fio-style job specifications.
+
+The paper drives its SSD workloads with fio using direct I/O and the
+io_uring engine (Section V-C).  :class:`FioJob` captures the knobs those
+experiments use — read/write pattern, block size, queue depth, runtime —
+with fio's human-readable size syntax ("4k", "1m").
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import GIB, KIB, MIB
+
+PATTERNS = ("read", "write", "randread", "randwrite", "rw", "randrw")
+
+_SIZE_RE = re.compile(r"^(\d+(?:\.\d+)?)([kmg]?)i?b?$", re.IGNORECASE)
+_SUFFIX = {"": 1, "k": KIB, "m": MIB, "g": GIB}
+
+
+def parse_size(text: str | int) -> int:
+    """Parse fio-style sizes: "4k" -> 4096, "1m" -> 1048576, 512 -> 512."""
+    if isinstance(text, int):
+        if text <= 0:
+            raise ConfigurationError("size must be positive")
+        return text
+    match = _SIZE_RE.match(text.strip())
+    if not match:
+        raise ConfigurationError(f"cannot parse size {text!r}")
+    value, suffix = match.groups()
+    return int(float(value) * _SUFFIX[suffix.lower()])
+
+
+@dataclass(frozen=True)
+class FioJob:
+    """One fio job: what to do to the device and for how long."""
+
+    rw: str  # read / write / randread / randwrite / rw / randrw
+    bs: str | int = "4k"  # block (request) size
+    iodepth: int = 4
+    runtime_s: float = 10.0
+    ioengine: str = "io_uring"
+    direct: bool = True
+    name: str = "job"
+    #: Read share of a mixed (rw / randrw) workload, percent.
+    rwmixread: int = 50
+
+    def __post_init__(self) -> None:
+        if self.rw not in PATTERNS:
+            raise ConfigurationError(
+                f"rw must be one of {PATTERNS}, got {self.rw!r}"
+            )
+        if self.iodepth < 1:
+            raise ConfigurationError("iodepth must be >= 1")
+        if self.runtime_s <= 0:
+            raise ConfigurationError("runtime must be positive")
+        if not 0 <= self.rwmixread <= 100:
+            raise ConfigurationError("rwmixread must be 0..100")
+        parse_size(self.bs)  # validate eagerly
+
+    @property
+    def block_bytes(self) -> int:
+        return parse_size(self.bs)
+
+    @property
+    def is_write(self) -> bool:
+        return self.rw in ("write", "randwrite")
+
+    @property
+    def is_mixed(self) -> bool:
+        return self.rw in ("rw", "randrw")
+
+    @property
+    def is_random(self) -> bool:
+        return self.rw.startswith("rand")
+
+    @property
+    def read_fraction(self) -> float:
+        """Fraction of the workload that is reads."""
+        if self.is_mixed:
+            return self.rwmixread / 100.0
+        return 0.0 if self.is_write else 1.0

@@ -1,0 +1,5 @@
+"""Virtual USB-serial transport between firmware and host library."""
+
+from repro.transport.link import VirtualSerialLink
+
+__all__ = ["VirtualSerialLink"]

@@ -1,0 +1,69 @@
+"""Kernel Tuner reimplementation: search-space GPU auto-tuning with energy.
+
+Implements the subset of Kernel Tuner (van Werkhoven, FGCS'19) the paper's
+case studies exercise: search-space enumeration with restrictions, locked
+clock frequencies, repeated benchmark trials, and pluggable energy
+observers — the fast-external-sensor strategy (PowerSensor3) versus the
+continuous-run strategy slow on-board sensors force (Section V-A2).
+"""
+
+from repro.tuner.cache import CachedRunner, TuningCache
+from repro.tuner.clockmodel import (
+    ClockRangeRecommendation,
+    dvfs_menu,
+    narrow_clock_range,
+)
+from repro.tuner.kernels import (
+    BEAMFORMER_TARGETS,
+    BeamformerTarget,
+    KernelRun,
+    MemoryBoundStencil,
+    PowerCurve,
+    SyntheticGemmKernel,
+    TensorCoreBeamformer,
+    beamformer_search_space,
+)
+from repro.tuner.observers import (
+    EnergyObserver,
+    NvmlObserver,
+    PmtObserver,
+    PowerSensorObserver,
+    TrueEnergyObserver,
+)
+from repro.tuner.runner import BenchmarkRunner, ConfigResult, TimeAccounting
+from repro.tuner.searchspace import SearchSpace, config_hash01, config_key
+from repro.tuner.strategies import OBJECTIVES, hill_climb, neighbors, resolve_objective
+from repro.tuner.tuning import TuningResult, tune
+
+__all__ = [
+    "tune",
+    "TuningCache",
+    "CachedRunner",
+    "ClockRangeRecommendation",
+    "dvfs_menu",
+    "narrow_clock_range",
+    "TuningResult",
+    "SearchSpace",
+    "config_key",
+    "config_hash01",
+    "TensorCoreBeamformer",
+    "SyntheticGemmKernel",
+    "MemoryBoundStencil",
+    "beamformer_search_space",
+    "BeamformerTarget",
+    "BEAMFORMER_TARGETS",
+    "PowerCurve",
+    "KernelRun",
+    "EnergyObserver",
+    "TrueEnergyObserver",
+    "PowerSensorObserver",
+    "NvmlObserver",
+    "PmtObserver",
+    "BenchmarkRunner",
+    "ConfigResult",
+    "TimeAccounting",
+    "OBJECTIVES",
+    "hill_climb",
+    "neighbors",
+    "resolve_objective",
+]

@@ -1,0 +1,138 @@
+"""Tuning cache files (Kernel Tuner's cachefile feature).
+
+Kernel Tuner persists every benchmarked configuration to a JSON cache so
+interrupted tuning runs resume without re-measuring, and so stored results
+can be re-analysed later.  This module implements the same idea for this
+tuner: a JSON-lines file keyed by (configuration, clock), a cache-aware
+runner wrapper, and load/save helpers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.common.errors import ConfigurationError
+from repro.tuner.runner import BenchmarkRunner, ConfigResult
+from repro.tuner.searchspace import config_key
+
+CACHE_VERSION = 1
+
+
+def _point_key(config: dict, clock_mhz: float) -> str:
+    return f"{config_key(config)}@{clock_mhz:g}"
+
+
+def _encode_value(value):
+    if isinstance(value, tuple):
+        return {"__tuple__": list(value)}
+    return value
+
+
+def _decode_value(value):
+    if isinstance(value, dict) and "__tuple__" in value:
+        return tuple(value["__tuple__"])
+    return value
+
+
+def result_to_record(result: ConfigResult) -> dict:
+    return {
+        "config": {k: _encode_value(v) for k, v in result.config.items()},
+        "clock_mhz": result.clock_mhz,
+        "exec_times": list(result.exec_times),
+        "energies": list(result.energies),
+        "flops": result.flops,
+    }
+
+
+def record_to_result(record: dict) -> ConfigResult:
+    return ConfigResult(
+        config={k: _decode_value(v) for k, v in record["config"].items()},
+        clock_mhz=float(record["clock_mhz"]),
+        exec_times=tuple(record["exec_times"]),
+        energies=tuple(record["energies"]),
+        flops=float(record["flops"]),
+    )
+
+
+class TuningCache:
+    """A JSON-lines tuning cache with append-on-measure semantics."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._entries: dict[str, ConfigResult] = {}
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        with open(self.path) as handle:
+            header = handle.readline()
+            if not header:
+                return
+            meta = json.loads(header)
+            if meta.get("cache_version") != CACHE_VERSION:
+                raise ConfigurationError(
+                    f"cache {self.path} has version {meta.get('cache_version')}, "
+                    f"expected {CACHE_VERSION}"
+                )
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                result = record_to_result(json.loads(line))
+                self._entries[_point_key(result.config, result.clock_mhz)] = result
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, point: tuple[dict, float]) -> bool:
+        config, clock = point
+        return _point_key(config, clock) in self._entries
+
+    def get(self, config: dict, clock_mhz: float) -> ConfigResult | None:
+        return self._entries.get(_point_key(config, clock_mhz))
+
+    def put(self, result: ConfigResult) -> None:
+        key = _point_key(result.config, result.clock_mhz)
+        is_new = key not in self._entries
+        self._entries[key] = result
+        if is_new:
+            self._append(result)
+
+    def _append(self, result: ConfigResult) -> None:
+        new_file = not self.path.exists()
+        with open(self.path, "a") as handle:
+            if new_file:
+                handle.write(json.dumps({"cache_version": CACHE_VERSION}) + "\n")
+            handle.write(json.dumps(result_to_record(result)) + "\n")
+
+    def results(self) -> list[ConfigResult]:
+        return list(self._entries.values())
+
+
+class CachedRunner:
+    """Wraps a :class:`BenchmarkRunner` with a tuning cache.
+
+    Cache hits cost no simulated tuning time — which is the whole point of
+    the feature: an interrupted 5120-point run resumes where it stopped.
+    """
+
+    def __init__(self, runner: BenchmarkRunner, cache: TuningCache) -> None:
+        self.runner = runner
+        self.cache = cache
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def accounting(self):
+        return self.runner.accounting
+
+    def run_config(self, config: dict, clock_mhz: float) -> ConfigResult:
+        cached = self.cache.get(config, clock_mhz)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        result = self.runner.run_config(config, clock_mhz)
+        self.cache.put(result)
+        return result

@@ -1,0 +1,81 @@
+"""Auto-tuner search spaces (Kernel Tuner style).
+
+A search space is a dictionary of tunable parameters (name -> list of
+values) plus restrictions; the tuner enumerates the Cartesian product and
+keeps the configurations satisfying every restriction (van Werkhoven,
+FGCS'19).  Restrictions may be callables taking the config dict, or
+strings evaluated with the parameter names in scope — the same dual form
+Kernel Tuner accepts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.errors import ConfigurationError
+
+Restriction = Callable[[dict], bool] | str
+
+
+@dataclass
+class SearchSpace:
+    """Tunable parameters and the restrictions defining valid configs."""
+
+    tune_params: dict[str, list]
+    restrictions: list[Restriction] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.tune_params:
+            raise ConfigurationError("search space needs at least one parameter")
+        for name, values in self.tune_params.items():
+            if not values:
+                raise ConfigurationError(f"parameter {name!r} has no values")
+
+    @property
+    def cartesian_size(self) -> int:
+        size = 1
+        for values in self.tune_params.values():
+            size *= len(values)
+        return size
+
+    def is_valid(self, config: dict) -> bool:
+        for restriction in self.restrictions:
+            if callable(restriction):
+                ok = restriction(config)
+            else:
+                ok = bool(eval(restriction, {"__builtins__": {}}, dict(config)))
+            if not ok:
+                return False
+        return True
+
+    def enumerate(self) -> list[dict]:
+        """All valid configurations, in deterministic order."""
+        names = list(self.tune_params)
+        configs = []
+        for combo in itertools.product(*(self.tune_params[n] for n in names)):
+            config = dict(zip(names, combo))
+            if self.is_valid(config):
+                configs.append(config)
+        return configs
+
+    @property
+    def size(self) -> int:
+        return len(self.enumerate())
+
+
+def config_key(config: dict) -> str:
+    """Stable textual identity of a configuration (used for caching)."""
+    return ";".join(f"{k}={config[k]}" for k in sorted(config))
+
+
+def config_hash01(config: dict, salt: str = "") -> float:
+    """Deterministic pseudo-random value in [0, 1) for a configuration.
+
+    Used for per-config performance jitter that is stable across runs and
+    trials (a given code variant is consistently a bit faster or slower).
+    """
+    digest = hashlib.sha256((config_key(config) + salt).encode()).digest()
+    return int.from_bytes(digest[:8], "little") / 2**64

@@ -1,0 +1,127 @@
+"""Search strategies beyond brute force.
+
+Kernel Tuner ships a family of search optimisation strategies for spaces
+too large to enumerate; the paper's case study brute-forces its 5120
+points, but the tuner infrastructure itself supports guided search.  This
+module implements greedy hill climbing with random restarts over the
+(configuration x clock) space, with pluggable objectives — including the
+energy objectives PowerSensor3 makes cheap to evaluate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RngStream
+from repro.tuner.runner import BenchmarkRunner, ConfigResult
+from repro.tuner.searchspace import SearchSpace, config_key
+
+Objective = Callable[[ConfigResult], float]
+
+#: Built-in objectives; all are minimised.
+OBJECTIVES: dict[str, Objective] = {
+    "time": lambda r: r.mean_time,
+    "energy": lambda r: r.mean_energy,
+    # Energy-delay product: the classic combined metric.
+    "edp": lambda r: r.mean_energy * r.mean_time,
+    "inverse_tflops": lambda r: 1.0 / r.tflops,
+    "inverse_tflop_per_j": lambda r: 1.0 / r.tflop_per_joule,
+}
+
+
+def resolve_objective(objective: str | Objective) -> Objective:
+    if callable(objective):
+        return objective
+    try:
+        return OBJECTIVES[objective]
+    except KeyError:
+        known = ", ".join(sorted(OBJECTIVES))
+        raise ConfigurationError(f"unknown objective {objective!r}; known: {known}")
+
+
+def neighbors(
+    config: dict, clock_idx: int, space: SearchSpace, n_clocks: int
+) -> list[tuple[dict, int]]:
+    """All points differing from (config, clock) in exactly one dimension."""
+    out: list[tuple[dict, int]] = []
+    for name, values in space.tune_params.items():
+        for value in values:
+            if value == config[name]:
+                continue
+            candidate = dict(config)
+            candidate[name] = value
+            if space.is_valid(candidate):
+                out.append((candidate, clock_idx))
+    for delta in (-1, 1):
+        j = clock_idx + delta
+        if 0 <= j < n_clocks:
+            out.append((dict(config), j))
+    return out
+
+
+def hill_climb(
+    kernel,
+    space: SearchSpace,
+    clocks_mhz: tuple[float, ...],
+    runner: BenchmarkRunner,
+    objective: str | Objective = "time",
+    max_evaluations: int = 100,
+    restarts: int = 3,
+    seed: int = 0,
+) -> list[ConfigResult]:
+    """Greedy hill climbing with random restarts.
+
+    Starts from a random valid point, repeatedly moves to the best
+    improving neighbour, and restarts from a fresh random point when stuck
+    (or the budget allows).  Returns every evaluated point (the best can
+    be read off with min/max over the returned list); repeated visits to a
+    point are served from a cache and do not consume budget.
+    """
+    if max_evaluations < 1:
+        raise ConfigurationError("need a positive evaluation budget")
+    score = resolve_objective(objective)
+    rng = RngStream(seed, "hill-climb")
+    configs = space.enumerate()
+    if not configs:
+        raise ConfigurationError("search space has no valid configurations")
+
+    cache: dict[tuple[str, int], ConfigResult] = {}
+    results: list[ConfigResult] = []
+
+    def evaluate(config: dict, clock_idx: int) -> ConfigResult | None:
+        key = (config_key(config), clock_idx)
+        if key in cache:
+            return cache[key]
+        if len(results) >= max_evaluations:
+            return None
+        result = runner.run_config(config, clocks_mhz[clock_idx])
+        cache[key] = result
+        results.append(result)
+        return result
+
+    for _ in range(max(restarts, 1)):
+        if len(results) >= max_evaluations:
+            break
+        config = dict(configs[int(rng.integers(0, len(configs)))])
+        clock_idx = int(rng.integers(0, len(clocks_mhz)))
+        current = evaluate(config, clock_idx)
+        if current is None:
+            break
+        while True:
+            moves = neighbors(config, clock_idx, space, len(clocks_mhz))
+            rng.shuffle(moves)
+            best_move = None
+            best_result = current
+            for candidate, j in moves:
+                outcome = evaluate(candidate, j)
+                if outcome is None:
+                    break
+                if score(outcome) < score(best_result):
+                    best_move = (candidate, j)
+                    best_result = outcome
+            if best_move is None or len(results) >= max_evaluations:
+                break  # local optimum (or budget exhausted)
+            config, clock_idx = best_move
+            current = best_result
+    return results

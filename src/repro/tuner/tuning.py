@@ -1,0 +1,146 @@
+"""Top-level auto-tuning entry point (the Kernel Tuner ``tune_kernel``).
+
+Enumerates a search space crossed with a set of locked GPU clocks, runs
+every point through the benchmark runner, and summarises the outcome:
+best-performance and best-efficiency configurations, the Pareto front
+over (TFLOP/s, TFLOP/J), and the accounted tuning time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.pareto import pareto_front
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RngStream
+from repro.tuner.observers import EnergyObserver, TrueEnergyObserver
+from repro.tuner.runner import BenchmarkRunner, ConfigResult, TimeAccounting
+from repro.tuner.searchspace import SearchSpace
+
+
+@dataclass
+class TuningResult:
+    """Everything a tuning run produced."""
+
+    results: list[ConfigResult]
+    accounting: TimeAccounting
+
+    @property
+    def tuning_seconds(self) -> float:
+        return self.accounting.total_s
+
+    def _metric_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        tflops = np.array([r.tflops for r in self.results])
+        eff = np.array([r.tflop_per_joule for r in self.results])
+        return tflops, eff
+
+    def pareto(self) -> list[ConfigResult]:
+        """Pareto-optimal results, fastest first."""
+        tflops, eff = self._metric_arrays()
+        return [self.results[i] for i in pareto_front(tflops, eff)]
+
+    @property
+    def fastest(self) -> ConfigResult:
+        return max(self.results, key=lambda r: r.tflops)
+
+    @property
+    def most_efficient(self) -> ConfigResult:
+        return max(self.results, key=lambda r: r.tflop_per_joule)
+
+    def summary(self) -> dict:
+        """Headline numbers in the form the paper quotes them."""
+        fastest = self.fastest
+        efficient = self.most_efficient
+        return {
+            "configs": len(self.results),
+            "tuning_seconds": self.tuning_seconds,
+            "fastest_tflops": fastest.tflops,
+            "fastest_tflop_per_j": fastest.tflop_per_joule,
+            "most_efficient_tflop_per_j": efficient.tflop_per_joule,
+            "most_efficient_tflops": efficient.tflops,
+            "efficiency_gain": efficient.tflop_per_joule / fastest.tflop_per_joule - 1.0,
+            "slowdown": 1.0 - efficient.tflops / fastest.tflops,
+        }
+
+
+def tune(
+    kernel,
+    search_space: SearchSpace,
+    clocks_mhz: tuple[float, ...],
+    observer: EnergyObserver | None = None,
+    trials: int = 7,
+    strategy: str = "brute_force",
+    max_configs: int | None = None,
+    seed: int = 0,
+    compile_time_s: float = 3.2,
+    objective: str = "time",
+) -> TuningResult:
+    """Auto-tune a kernel over a search space and a set of clocks.
+
+    Args:
+        kernel: kernel model (``flops`` + ``execute``).
+        search_space: tunable parameters and restrictions.
+        clocks_mhz: locked clock frequencies to cross with the space.
+        observer: energy measurement strategy (oracle if None).
+        trials: repetitions per configuration.
+        strategy: "brute_force" (every point), "random_sample", or
+            "hill_climbing" (greedy local search with restarts; pass the
+            evaluation budget via ``max_configs`` and pick the objective
+            with ``objective``).
+        max_configs: cap on evaluated (config, clock) points; required for
+            "random_sample".
+        seed: reproducibility seed for trial noise / sampling.
+    """
+    if not clocks_mhz:
+        raise ConfigurationError("need at least one clock frequency")
+    configs = search_space.enumerate()
+    if not configs:
+        raise ConfigurationError("search space has no valid configurations")
+    points = [(cfg, clock) for cfg in configs for clock in clocks_mhz]
+
+    if strategy == "hill_climbing":
+        if max_configs is None:
+            raise ConfigurationError("hill_climbing requires max_configs")
+        from repro.tuner.strategies import hill_climb
+
+        runner = BenchmarkRunner(
+            kernel=kernel,
+            observer=observer or TrueEnergyObserver(),
+            trials=trials,
+            seed=seed,
+            compile_time_s=compile_time_s,
+        )
+        results = hill_climb(
+            kernel,
+            search_space,
+            clocks_mhz,
+            runner,
+            objective=objective,
+            max_evaluations=max_configs,
+            seed=seed,
+        )
+        return TuningResult(results=results, accounting=runner.accounting)
+
+    if strategy == "brute_force":
+        if max_configs is not None:
+            points = points[:max_configs]
+    elif strategy == "random_sample":
+        if max_configs is None:
+            raise ConfigurationError("random_sample requires max_configs")
+        rng = RngStream(seed, "tuning/sample")
+        idx = rng.generator.choice(len(points), size=min(max_configs, len(points)), replace=False)
+        points = [points[int(i)] for i in np.sort(idx)]
+    else:
+        raise ConfigurationError(f"unknown strategy {strategy!r}")
+
+    runner = BenchmarkRunner(
+        kernel=kernel,
+        observer=observer or TrueEnergyObserver(),
+        trials=trials,
+        seed=seed,
+        compile_time_s=compile_time_s,
+    )
+    results = [runner.run_config(cfg, clock) for cfg, clock in points]
+    return TuningResult(results=results, accounting=runner.accounting)

@@ -1,0 +1,23 @@
+"""Vendor power-API models: the baselines PowerSensor3 is compared against.
+
+Each model wraps a ground-truth :class:`~repro.dut.base.PowerTrace` and
+reproduces the respective API's polling semantics, refresh rate, and
+documented accuracy defects (see module docstrings for the citations).
+"""
+
+from repro.vendor.base import PolledSensor, trace_power_at, trace_window_mean
+from repro.vendor.jetson_ina import JetsonPowerMonitor
+from repro.vendor.nvml import NvmlDevice
+from repro.vendor.rapl import RaplDomain
+from repro.vendor.rocm_smi import AmdSmiDevice, RocmSmiDevice
+
+__all__ = [
+    "PolledSensor",
+    "trace_power_at",
+    "trace_window_mean",
+    "NvmlDevice",
+    "RocmSmiDevice",
+    "AmdSmiDevice",
+    "JetsonPowerMonitor",
+    "RaplDomain",
+]

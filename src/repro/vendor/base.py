@@ -1,0 +1,104 @@
+"""Common machinery for vendor power-API models.
+
+Every vendor sensor in the paper's comparison is a *polled* interface over
+an internal refresh loop: the device updates its reading at some rate
+(10 Hz for NVML, ~1 ms for AMD SMI, ~0.1 s for the Jetson INA rail
+monitor), and a host poll returns the value of the most recent internal
+update.  :class:`PolledSensor` implements that structure over a
+ground-truth power trace; subclasses choose the refresh period, the
+per-update transform (instantaneous vs. windowed average) and the error
+model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import RngStream
+from repro.dut.base import PowerTrace
+
+
+def trace_power_at(trace: PowerTrace, times: np.ndarray) -> np.ndarray:
+    """Ground-truth power at arbitrary times (sample-and-hold lookup)."""
+    times = np.asarray(times, dtype=float)
+    idx = np.searchsorted(trace.times, times, side="right") - 1
+    idx = np.clip(idx, 0, trace.times.size - 1)
+    return trace.watts[idx]
+
+
+def trace_window_mean(trace: PowerTrace, ends: np.ndarray, window: float) -> np.ndarray:
+    """Mean ground-truth power over ``[end - window, end]`` for each end."""
+    ends = np.asarray(ends, dtype=float)
+    dts = np.diff(trace.times, append=trace.times[-1] + 1e-9)
+    csum = np.concatenate(([0.0], np.cumsum(trace.watts * dts)))
+    ctime = np.concatenate(([trace.times[0]], trace.times + dts))
+
+    def integral(ts: np.ndarray) -> np.ndarray:
+        return np.interp(ts, ctime, csum)
+
+    starts = np.maximum(ends - window, trace.times[0])
+    spans = np.maximum(ends - starts, 1e-12)
+    return (integral(ends) - integral(starts)) / spans
+
+
+class PolledSensor:
+    """A sensor with an internal refresh loop and poll semantics."""
+
+    def __init__(
+        self,
+        trace: PowerTrace,
+        update_period_s: float,
+        rng: RngStream,
+        scale_error: float = 0.0,
+        jitter_watts: float = 0.0,
+        window_s: float = 0.0,
+        phase_s: float = 0.0,
+    ) -> None:
+        if update_period_s <= 0:
+            raise ValueError("update period must be positive")
+        self.trace = trace
+        self.update_period_s = float(update_period_s)
+        self.window_s = float(window_s)
+        self.scale = 1.0 + float(scale_error)
+        self.jitter_watts = float(jitter_watts)
+        self.phase_s = float(phase_s)
+        self._rng = rng
+        self._update_times, self._update_values = self._refresh_timeline()
+
+    @property
+    def update_rate_hz(self) -> float:
+        return 1.0 / self.update_period_s
+
+    def _refresh_timeline(self) -> tuple[np.ndarray, np.ndarray]:
+        t0 = float(self.trace.times[0])
+        t1 = float(self.trace.times[-1])
+        n = max(int(np.ceil((t1 - t0) / self.update_period_s)) + 1, 1)
+        updates = t0 + self.phase_s + np.arange(n) * self.update_period_s
+        if self.window_s > 0:
+            values = trace_window_mean(self.trace, updates, self.window_s)
+        else:
+            values = trace_power_at(self.trace, updates)
+        values = values * self.scale
+        if self.jitter_watts > 0:
+            values = values + self._rng.normal(0.0, self.jitter_watts, size=n)
+        return updates, np.maximum(values, 0.0)
+
+    def read(self, query_times: np.ndarray) -> np.ndarray:
+        """Polled power readings (W) at the query times."""
+        query_times = np.asarray(query_times, dtype=float)
+        idx = np.searchsorted(self._update_times, query_times, side="right") - 1
+        idx = np.clip(idx, 0, self._update_times.size - 1)
+        return self._update_values[idx]
+
+    def energy(self, start: float, stop: float, poll_rate_hz: float) -> float:
+        """Energy a host would estimate by polling over [start, stop] (J).
+
+        Rectangle integration of polled readings — exactly what software
+        energy meters built on these APIs do.
+        """
+        if stop <= start:
+            raise ValueError("stop must be after start")
+        n = max(int((stop - start) * poll_rate_hz), 1)
+        dt = (stop - start) / n
+        polls = start + dt * (np.arange(n) + 0.5)
+        return float(self.read(polls).sum() * dt)

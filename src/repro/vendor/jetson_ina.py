@@ -1,0 +1,39 @@
+"""Jetson built-in power monitor model (INA3221-style rail monitor).
+
+The paper names two limitations of the Jetson AGX Orin's built-in sensor
+(Section V-B): its time resolution is very limited (~0.1 s), and it only
+covers the SoC *module* — the carrier board's consumption is invisible.
+Both are modelled: the sensor polls the module trace only, at 10 Hz.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import RngStream
+from repro.dut.base import PowerTrace
+from repro.vendor.base import PolledSensor
+
+#: Practical refresh interval of the tegrastats/INA path.
+JETSON_UPDATE_PERIOD_S = 0.1
+
+
+class JetsonPowerMonitor:
+    """The devkit's built-in rail monitor (module power only)."""
+
+    def __init__(self, module_trace: PowerTrace, rng: RngStream | None = None) -> None:
+        rng = rng or RngStream(0, "jetson-ina")
+        self._sensor = PolledSensor(
+            module_trace,
+            JETSON_UPDATE_PERIOD_S,
+            rng,
+            scale_error=float(rng.normal(0.0, 0.02)),
+            jitter_watts=0.05,
+        )
+
+    def module_power(self, times: np.ndarray) -> np.ndarray:
+        """Module (not total-system) power readings, W."""
+        return self._sensor.read(times)
+
+    def energy(self, start: float, stop: float, poll_rate_hz: float = 100.0) -> float:
+        return self._sensor.energy(start, stop, poll_rate_hz)

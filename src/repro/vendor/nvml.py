@@ -1,0 +1,95 @@
+"""NVML power-reading model (NVIDIA's on-board sensor API).
+
+Models the two NVML interfaces the paper compares against in Fig. 7a:
+
+* ``instantaneous`` — available since driver 530: an unaveraged reading,
+  but refreshed only at ~10 Hz, so fine-grained behaviour (inter-wave
+  power dips, short kernels) is invisible.
+* ``average`` (the 'legacy' field) — a ~1 s sliding-window average
+  refreshed at ~10 Hz; adequate only for coarse energy estimates.
+
+Per Yang et al. (SC'24), readings additionally carry a per-board scale
+error; the model draws one per instance (default ±4 % spread).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import RngStream
+from repro.dut.base import PowerTrace
+from repro.vendor.base import PolledSensor
+
+#: NVML refresh interval observed on current drivers (~10 Hz).
+NVML_UPDATE_PERIOD_S = 0.1
+#: Window of the legacy averaged power field.
+NVML_AVERAGE_WINDOW_S = 1.0
+
+
+class NvmlDevice:
+    """NVML handle for one (simulated) NVIDIA GPU's power trace."""
+
+    def __init__(
+        self,
+        trace: PowerTrace,
+        rng: RngStream | None = None,
+        scale_error: float | None = None,
+    ) -> None:
+        rng = rng or RngStream(0, "nvml")
+        if scale_error is None:
+            scale_error = float(rng.normal(0.0, 0.04))
+        self.scale_error = scale_error
+        phase = float(rng.uniform(0.0, NVML_UPDATE_PERIOD_S))
+        self.instantaneous = PolledSensor(
+            trace,
+            NVML_UPDATE_PERIOD_S,
+            rng.child("inst"),
+            scale_error=scale_error,
+            jitter_watts=0.4,
+            phase_s=phase,
+        )
+        self.average = PolledSensor(
+            trace,
+            NVML_UPDATE_PERIOD_S,
+            rng.child("avg"),
+            scale_error=scale_error,
+            jitter_watts=0.1,
+            window_s=NVML_AVERAGE_WINDOW_S,
+            phase_s=phase,
+        )
+
+    def power_usage(self, times: np.ndarray, mode: str = "instantaneous") -> np.ndarray:
+        """Polled power readings, W.  ``mode``: 'instantaneous' or 'average'."""
+        if mode == "instantaneous":
+            return self.instantaneous.read(times)
+        if mode == "average":
+            return self.average.read(times)
+        raise ValueError(f"unknown NVML mode {mode!r}")
+
+    def energy(
+        self,
+        start: float,
+        stop: float,
+        mode: str = "instantaneous",
+        poll_rate_hz: float = 100.0,
+    ) -> float:
+        sensor = self.instantaneous if mode == "instantaneous" else self.average
+        return sensor.energy(start, stop, poll_rate_hz)
+
+    def total_energy_consumption_mj(self, times: np.ndarray) -> np.ndarray:
+        """The ``nvmlDeviceGetTotalEnergyConsumption`` counter, millijoules.
+
+        A cumulative counter integrated by the driver from its own ~10 Hz
+        samples (so it inherits the scale error but not the host's polling
+        granularity).  This is what Kernel Tuner's NVML observer reads.
+        """
+        times = np.asarray(times, dtype=float)
+        sensor = self.instantaneous
+        update_times = sensor._update_times
+        update_values = sensor._update_values
+        dts = np.diff(update_times, append=update_times[-1])
+        cumulative = np.concatenate(([0.0], np.cumsum(update_values * dts)))
+        idx = np.clip(
+            np.searchsorted(update_times, times, side="right"), 0, len(cumulative) - 1
+        )
+        return (cumulative[idx] * 1e3).astype(np.int64)

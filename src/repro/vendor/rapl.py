@@ -1,0 +1,55 @@
+"""Intel RAPL model: CPU package energy counters.
+
+RAPL exposes cumulative energy counters (microjoules) that wrap at 32
+bits, refreshed at ~1 kHz (Khan et al., TOMPECS'18; paper Section II).
+PMT's CPU backend reads these counters; the model integrates a package
+power trace into a wrapping counter with the same semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import RngStream
+from repro.dut.base import PowerTrace
+from repro.vendor.base import trace_window_mean
+
+RAPL_UPDATE_PERIOD_S = 0.001
+RAPL_COUNTER_WRAP_UJ = 1 << 32
+
+
+class RaplDomain:
+    """One RAPL domain (e.g. package-0) over a ground-truth trace."""
+
+    def __init__(
+        self,
+        trace: PowerTrace,
+        rng: RngStream | None = None,
+        name: str = "package-0",
+    ) -> None:
+        self.name = name
+        self.trace = trace
+        rng = rng or RngStream(0, "rapl")
+        self._scale = 1.0 + float(rng.normal(0.0, 0.015))
+
+    def _cumulative_joules(self, times: np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=float)
+        t0 = float(self.trace.times[0])
+        means = trace_window_mean(self.trace, times, np.maximum(times - t0, 1e-9))
+        return means * (times - t0) * self._scale
+
+    def energy_uj(self, times: np.ndarray) -> np.ndarray:
+        """The wrapping microjoule counter as read at the given times.
+
+        Counter updates are quantised to the 1 kHz refresh.
+        """
+        times = np.asarray(times, dtype=float)
+        quantised = np.floor(times / RAPL_UPDATE_PERIOD_S) * RAPL_UPDATE_PERIOD_S
+        uj = self._cumulative_joules(quantised) * 1e6
+        return np.mod(uj, RAPL_COUNTER_WRAP_UJ).astype(np.int64)
+
+    @staticmethod
+    def counter_delta_j(first_uj: int, second_uj: int) -> float:
+        """Energy between two counter reads, unwrapping one wrap if needed."""
+        delta = (int(second_uj) - int(first_uj)) % RAPL_COUNTER_WRAP_UJ
+        return delta * 1e-6

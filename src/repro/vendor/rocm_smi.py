@@ -1,0 +1,61 @@
+"""ROCm SMI and AMD SMI power-reading models.
+
+The paper finds the W7700's built-in sensor closely matches PowerSensor3
+in both time and amplitude, and that the older ROCm SMI interface and its
+successor AMD SMI return *identical* data despite different programming
+interfaces (Section V-A1).  Both classes therefore share one underlying
+polled sensor with a fast (~1 ms) refresh and a small scale error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.rng import RngStream
+from repro.dut.base import PowerTrace
+from repro.vendor.base import PolledSensor
+
+#: AMD's on-die telemetry refreshes around every millisecond.
+AMD_UPDATE_PERIOD_S = 0.001
+
+
+class _AmdTelemetry(PolledSensor):
+    def __init__(self, trace: PowerTrace, rng: RngStream) -> None:
+        super().__init__(
+            trace,
+            AMD_UPDATE_PERIOD_S,
+            rng,
+            scale_error=float(rng.normal(0.0, 0.01)),
+            jitter_watts=0.3,
+        )
+
+
+class RocmSmiDevice:
+    """The ROCm SMI interface over the shared telemetry."""
+
+    def __init__(self, trace: PowerTrace, rng: RngStream | None = None) -> None:
+        self._telemetry = _AmdTelemetry(trace, rng or RngStream(0, "rocm"))
+
+    @property
+    def telemetry(self) -> PolledSensor:
+        return self._telemetry
+
+    def average_socket_power(self, times: np.ndarray) -> np.ndarray:
+        return self._telemetry.read(times)
+
+    def energy(self, start: float, stop: float, poll_rate_hz: float = 1000.0) -> float:
+        return self._telemetry.energy(start, stop, poll_rate_hz)
+
+
+class AmdSmiDevice:
+    """The newer AMD SMI interface: different API, identical data."""
+
+    def __init__(self, rocm: RocmSmiDevice) -> None:
+        self._telemetry = rocm.telemetry
+
+    def socket_power_info(self, times: np.ndarray) -> dict[str, np.ndarray]:
+        watts = self._telemetry.read(times)
+        return {"current_socket_power": watts, "power_limit": np.full_like(watts, 150.0)}
+
+    def energy(self, start: float, stop: float, poll_rate_hz: float = 1000.0) -> float:
+        return self._telemetry.energy(start, stop, poll_rate_hz)

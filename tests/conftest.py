@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.rng import RngStream
+from repro.core.setup import SimulatedSetup
+from repro.dut.instruments import ElectronicLoad, LabSupply, LoadedSupplyRail
+
+
+@pytest.fixture
+def rng() -> RngStream:
+    return RngStream(1234, "tests")
+
+
+def make_loaded_setup(
+    amps: float = 8.0,
+    volts: float = 12.0,
+    module: str = "pcie_slot_12v",
+    direct: bool = True,
+    seed: int = 0,
+    calibration_samples: int = 8192,
+) -> SimulatedSetup:
+    """A one-module bench driving a constant load (shared helper)."""
+    setup = SimulatedSetup(
+        [module], seed=seed, direct=direct, calibration_samples=calibration_samples
+    )
+    load = ElectronicLoad()
+    load.set_current(amps)
+    setup.connect(0, LoadedSupplyRail(LabSupply(volts), load))
+    return setup
+
+
+@pytest.fixture
+def loaded_setup() -> SimulatedSetup:
+    setup = make_loaded_setup()
+    yield setup
+    setup.close()
+
+
+@pytest.fixture
+def protocol_setup() -> SimulatedSetup:
+    setup = make_loaded_setup(direct=False)
+    yield setup
+    setup.close()

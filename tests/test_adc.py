@@ -1,0 +1,74 @@
+"""ADC quantiser and scan timing."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.adc import Adc, AdcTiming
+
+
+def test_default_timing_is_20khz():
+    timing = AdcTiming()
+    assert timing.cycles_per_conversion == 25
+    assert timing.conversion_time_s == pytest.approx(25 / 24e6)
+    assert timing.scan_time_s == pytest.approx(8 * 25 / 24e6)
+    assert timing.output_interval_s == pytest.approx(50e-6, rel=1e-3)
+    assert timing.output_rate_hz == pytest.approx(20_000, rel=1e-3)
+
+
+def test_channel_offsets_monotonic():
+    offsets = AdcTiming().channel_offsets()
+    assert offsets.shape == (8,)
+    assert (np.diff(offsets) > 0).all()
+
+
+def test_subsample_times():
+    timing = AdcTiming()
+    times = timing.subsample_times(channel=2, sample_start=1.0)
+    assert times.shape == (6,)
+    assert times[0] == pytest.approx(1.0 + 2 * timing.conversion_time_s)
+    assert np.diff(times) == pytest.approx(timing.scan_time_s)
+
+
+def test_subsample_times_bad_channel():
+    with pytest.raises(ValueError):
+        AdcTiming().subsample_times(channel=8, sample_start=0.0)
+
+
+def test_quantize_bounds():
+    adc = Adc()
+    codes = adc.quantize(np.array([-1.0, 0.0, 3.3, 10.0]))
+    assert codes[0] == 0
+    assert codes[1] == 0
+    assert codes[2] == 1023
+    assert codes[3] == 1023
+
+
+def test_quantize_monotonic():
+    adc = Adc()
+    volts = np.linspace(0, 3.3, 10_000)
+    codes = adc.quantize(volts)
+    assert (np.diff(codes) >= 0).all()
+
+
+def test_quantize_midscale():
+    adc = Adc()
+    assert adc.quantize(np.array([1.65]))[0] == 512
+
+
+def test_to_volts_inverts_within_lsb():
+    adc = Adc()
+    volts = np.linspace(0.01, 3.29, 1000)
+    recon = adc.to_volts(adc.quantize(volts))
+    assert np.abs(recon - volts).max() <= adc.lsb / 2 + 1e-12
+
+
+def test_lsb():
+    assert Adc(bits=10, vref=3.3).lsb == pytest.approx(3.3 / 1024)
+    assert Adc(bits=12, vref=3.0).lsb == pytest.approx(3.0 / 4096)
+
+
+def test_invalid_adc_parameters():
+    with pytest.raises(ValueError):
+        Adc(bits=0)
+    with pytest.raises(ValueError):
+        Adc(vref=0.0)

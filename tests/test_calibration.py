@@ -1,0 +1,112 @@
+"""One-time calibration: offset and gain corrections."""
+
+import numpy as np
+import pytest
+
+from repro.calibration.procedure import calibrate_all, calibrate_slot
+from repro.common.errors import CalibrationError
+from repro.common.rng import RngStream
+from repro.core.sources import convert_codes
+from repro.dut.base import ConstantRail
+from repro.firmware.device import default_eeprom
+from repro.hardware.baseboard import Baseboard
+from repro.hardware.modules import SensorModule
+
+
+def make_bench(seed=0, key="pcie_slot_12v"):
+    board = Baseboard()
+    board.attach(0, SensorModule.manufacture(key, RngStream(seed, "cal")))
+    eeprom = default_eeprom(board)
+    return board, eeprom
+
+
+def test_calibration_estimates_offset():
+    board, eeprom = make_bench(seed=3)
+    true_offset = board.populated_slots()[0].module.current_sensor.offset_a
+    result = calibrate_slot(board, eeprom, 0, n_samples=16 * 1024)
+    estimated_offset_a = (result.vref_volts - 1.65) / 0.12
+    assert estimated_offset_a == pytest.approx(true_offset, abs=0.01)
+
+
+def test_calibration_estimates_gain():
+    board, eeprom = make_bench(seed=4)
+    module = board.populated_slots()[0].module
+    result = calibrate_slot(board, eeprom, 0, n_samples=16 * 1024)
+    true_gain = module.spec.voltage_gain * (1.0 + module.voltage_sensor.gain_error)
+    assert result.voltage_gain == pytest.approx(true_gain, rel=1e-3)
+
+
+def test_calibration_writes_eeprom():
+    board, eeprom = make_bench()
+    result = calibrate_slot(board, eeprom, 0, n_samples=8192)
+    assert eeprom.get(0).vref == pytest.approx(result.vref_volts)
+    assert eeprom.get(1).slope == pytest.approx(result.voltage_gain)
+    assert eeprom.get(1).vref == 0.0
+
+
+def test_calibration_improves_accuracy():
+    """Measured current error shrinks by an order of magnitude."""
+    board, eeprom = make_bench(seed=7)
+    rail = ConstantRail(12.0, 5.0)
+
+    def mean_current() -> float:
+        board.connect(0, rail)
+        codes = board.averaged_codes(0.0, 8192)
+        values, _ = convert_codes(codes, eeprom.configs)
+        board.slots[0].rail = None
+        return float(values[:, 0].mean())
+
+    error_before = abs(mean_current() - 5.0)
+    calibrate_slot(board, eeprom, 0, n_samples=32 * 1024)
+    error_after = abs(mean_current() - 5.0)
+    assert error_after < error_before / 5
+    assert error_after < 0.02
+
+
+def test_calibration_empty_slot_raises():
+    board, eeprom = make_bench()
+    with pytest.raises(CalibrationError, match="not populated"):
+        calibrate_slot(board, eeprom, 1)
+
+
+def test_calibration_needs_samples():
+    board, eeprom = make_bench()
+    with pytest.raises(CalibrationError):
+        calibrate_slot(board, eeprom, 0, n_samples=1)
+
+
+def test_calibration_bad_reference_voltage():
+    board, eeprom = make_bench()
+    with pytest.raises(CalibrationError):
+        calibrate_slot(board, eeprom, 0, reference_voltage=-1.0)
+
+
+def test_calibrate_all_covers_populated_slots():
+    board = Baseboard()
+    board.attach(0, SensorModule.manufacture("pcie_slot_12v", RngStream(0, "a")))
+    board.attach(2, SensorModule.manufacture("usbc", RngStream(0, "b")))
+    eeprom = default_eeprom(board)
+    results = calibrate_all(board, eeprom, n_samples=8192)
+    assert [r.slot for r in results] == [0, 2]
+
+
+def test_calibrate_all_custom_references():
+    board, eeprom = make_bench()
+    results = calibrate_all(board, eeprom, n_samples=8192, reference_voltages={0: 10.0})
+    assert results[0].reference_voltage == 10.0
+
+
+def test_calibration_restores_rail():
+    board, eeprom = make_bench()
+    rail = ConstantRail(12.0, 1.0)
+    board.connect(0, rail)
+    calibrate_slot(board, eeprom, 0, n_samples=4096)
+    assert board.populated_slots()[0].rail is rail
+
+
+def test_offset_correction_property():
+    board, eeprom = make_bench(seed=5)
+    result = calibrate_slot(board, eeprom, 0, n_samples=8192)
+    assert result.offset_correction_volts == pytest.approx(
+        result.vref_volts - 1.65
+    )

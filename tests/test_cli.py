@@ -1,0 +1,143 @@
+"""CLI tools run end to end against the simulated bench."""
+
+import sys
+
+import pytest
+
+from repro.cli import psconfig, psinfo, psrun, pstest
+
+FAST = ["--direct", "--modules", "pcie_slot_12v", "--dut", "load:4.0@12.0"]
+
+
+def test_psinfo_shows_readings(capsys):
+    assert psinfo.main(FAST) == 0
+    out = capsys.readouterr().out
+    assert "total power" in out
+    assert "pcie_slot_12v" in out
+    assert "48" in out  # ~48 W of the 4 A / 12 V load
+
+
+def test_pstest_intervals(capsys):
+    assert pstest.main(FAST + ["--intervals", "3"]) == 0
+    out = capsys.readouterr().out
+    assert out.count(" s ") >= 3
+    assert "0.0010" in out
+
+
+def test_pstest_capture_summary(capsys):
+    assert pstest.main(FAST + ["--intervals", "1", "--capture", "4000"]) == 0
+    out = capsys.readouterr().out
+    assert "captured 4000 samples" in out
+    assert "std=" in out
+
+
+def test_pstest_dump(tmp_path, capsys):
+    path = tmp_path / "d.txt"
+    assert pstest.main(FAST + ["--intervals", "1", "--dump", str(path)]) == 0
+    assert path.exists()
+    assert path.read_text().startswith("# PowerSensor3 dump")
+
+
+def test_psconfig_show_sensor(capsys):
+    assert psconfig.main(FAST + ["--sensor", "0"]) == 0
+    assert "SensorConfig" in capsys.readouterr().out
+
+
+def test_psconfig_update_sensor(capsys):
+    assert psconfig.main(FAST + ["--sensor", "0", "--name", "renamed"]) == 0
+    assert "renamed" in capsys.readouterr().out
+
+
+def test_psconfig_calibrate(capsys):
+    assert psconfig.main(FAST + ["--calibrate", "--samples", "4096"]) == 0
+    out = capsys.readouterr().out
+    assert "vref=" in out
+
+
+def test_psconfig_reboot_byte_path(capsys):
+    args = ["--modules", "pcie_slot_12v", "--dut", "none", "--reboot"]
+    assert psconfig.main(args) == 0
+    assert "rebooted" in capsys.readouterr().out
+
+
+def test_psrun_measures_command(capsys):
+    code = psrun.main(FAST + ["--time-scale", "5", "--", sys.executable, "-c", "pass"])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "exit status: 0" in captured.err
+    assert " J, " in captured.out
+
+
+def test_psrun_propagates_exit_code():
+    code = psrun.main(
+        FAST + ["--", sys.executable, "-c", "import sys; sys.exit(3)"]
+    )
+    assert code == 3
+
+
+def test_psrun_requires_command():
+    with pytest.raises(SystemExit):
+        psrun.main(FAST)
+
+
+def test_gpu_dut_spec(capsys):
+    assert psinfo.main(["--direct", "--dut", "gpu:rtx4000ada"]) == 0
+    assert "total power" in capsys.readouterr().out
+
+
+def test_bad_dut_spec():
+    with pytest.raises(SystemExit):
+        psinfo.main(["--dut", "quantum:1"])
+
+
+def test_psplot_renders_chart(tmp_path, capsys):
+    from repro.cli import psplot
+
+    path = tmp_path / "plot.dump"
+    args = FAST + ["--intervals", "1", "--capture", "4000", "--dump", str(path)]
+    assert pstest.main(args) == 0
+    capsys.readouterr()
+    assert psplot.main([str(path), "--width", "40", "--height", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "samples at 20000 Hz" in out
+    assert "#" in out
+    assert "W |" in out
+
+
+def test_psplot_specific_pair(tmp_path, capsys):
+    from repro.cli import psplot
+
+    path = tmp_path / "plot2.dump"
+    assert pstest.main(FAST + ["--intervals", "1", "--dump", str(path)]) == 0
+    capsys.readouterr()
+    assert psplot.main([str(path), "--pair", "0"]) == 0
+    assert "pcie_slot_12v" in capsys.readouterr().out
+
+
+def test_psplot_bad_pair(tmp_path, capsys):
+    import pytest as _pytest
+
+    from repro.cli import psplot
+
+    path = tmp_path / "plot3.dump"
+    assert pstest.main(FAST + ["--intervals", "1", "--dump", str(path)]) == 0
+    with _pytest.raises(SystemExit):
+        psplot.main([str(path), "--pair", "3"])
+
+
+def test_psmonitor_reports_rolling_stats(capsys):
+    from repro.cli import psmonitor
+
+    args = FAST + ["--duration", "2", "--interval", "0.5", "--fast"]
+    assert psmonitor.main(args) == 0
+    out = capsys.readouterr().out
+    assert out.count("s ") >= 4  # four interval rows
+    assert "total energy" in out
+    assert "mean 47." in out or "mean 48." in out  # 4 A at 12 V
+
+
+def test_psmonitor_validates_arguments():
+    from repro.cli import psmonitor
+
+    with pytest.raises(SystemExit):
+        psmonitor.main(FAST + ["--duration", "0"])

@@ -1,0 +1,63 @@
+"""VirtualClock semantics."""
+
+import pytest
+
+from repro.common.clock import VirtualClock
+
+
+def test_starts_at_given_time():
+    assert VirtualClock().now == 0.0
+    assert VirtualClock(5.0).now == 5.0
+
+
+def test_tick_advances_by_period():
+    clock = VirtualClock()
+    clock.configure_ticks(50e-6)
+    clock.tick(3)
+    assert clock.now == pytest.approx(150e-6)
+
+
+def test_tick_count_default_one():
+    clock = VirtualClock()
+    clock.configure_ticks(1.0)
+    clock.tick()
+    assert clock.now == pytest.approx(1.0)
+
+
+def test_advance_arbitrary():
+    clock = VirtualClock()
+    clock.advance(0.125)
+    assert clock.now == pytest.approx(0.125)
+
+
+def test_reconfigure_preserves_time():
+    clock = VirtualClock()
+    clock.configure_ticks(1e-3)
+    clock.tick(10)
+    clock.configure_ticks(1e-6)
+    assert clock.now == pytest.approx(0.01)
+    clock.tick(5)
+    assert clock.now == pytest.approx(0.010005)
+
+
+def test_micros():
+    clock = VirtualClock()
+    clock.advance(1.5e-3)
+    assert clock.micros() == 1500
+
+
+def test_no_negative_tick_or_advance():
+    clock = VirtualClock()
+    with pytest.raises(ValueError):
+        clock.tick(-1)
+    with pytest.raises(ValueError):
+        clock.advance(-0.1)
+    with pytest.raises(ValueError):
+        clock.configure_ticks(-1e-6)
+
+
+def test_exact_tick_accumulation_no_drift():
+    clock = VirtualClock()
+    clock.configure_ticks(50e-6)
+    clock.tick(20_000_000)  # 1000 s in one go: integer ticks, no float drift
+    assert clock.now == pytest.approx(1000.0, abs=1e-6)

@@ -1,0 +1,53 @@
+"""ST7735-style display model."""
+
+from repro.hardware.display import GLYPH_H, GLYPH_W, Display
+
+
+def test_precompute_fills_cache():
+    display = Display()
+    count = display.precompute_fonts(scales=(1, 2), colors=(0xFFFF,))
+    assert count > 0
+    misses_after_precompute = display.stats.glyph_cache_misses
+    display.draw_text(0, 0, "12.3W", scale=1, color=0xFFFF)
+    assert display.stats.glyph_cache_misses == misses_after_precompute
+
+
+def test_draw_text_sets_pixels():
+    display = Display()
+    display.draw_text(0, 0, "8", scale=1, color=0xFFFF)
+    assert (display.framebuffer[:GLYPH_H, :GLYPH_W] == 0xFFFF).any()
+
+
+def test_draw_text_clips_at_edge():
+    display = Display(width=8, height=8)
+    display.draw_text(6, 6, "888", scale=2)  # would overflow badly
+    assert display.framebuffer.shape == (8, 8)
+
+
+def test_unknown_chars_render_blank():
+    display = Display()
+    display.draw_text(0, 0, "@", scale=1)
+    assert not display.framebuffer.any()
+
+
+def test_scale_enlarges_glyphs():
+    small = Display()
+    small.draw_text(0, 0, "8", scale=1)
+    big = Display()
+    big.draw_text(0, 0, "8", scale=3)
+    assert (big.framebuffer != 0).sum() > (small.framebuffer != 0).sum()
+
+
+def test_render_power_screen_counts_frame_and_dma():
+    display = Display()
+    display.render_power_screen(123.4, [("pcie8pin", 12.0, 8.0)])
+    assert display.stats.frames_rendered == 1
+    assert display.stats.dma_bytes == display.framebuffer.nbytes
+    assert display.framebuffer.any()
+
+
+def test_clear():
+    display = Display()
+    display.draw_text(0, 0, "8")
+    display.clear()
+    assert not display.framebuffer.any()

@@ -1,0 +1,110 @@
+"""Dump files: write, parse, integrate, markers."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.common.errors import MeasurementError
+from repro.core.dump import DumpData, DumpReader, DumpWriter
+from tests.conftest import make_loaded_setup
+
+
+def roundtrip(times, volts, amps, markers=()):
+    buffer = io.StringIO()
+    writer = DumpWriter(buffer, ["pair0"], 20_000.0)
+    for t, char in markers:
+        writer.write_marker(t, char)
+    writer.write_samples(times, volts, amps)
+    buffer.seek(0)
+    return DumpReader.read(buffer)
+
+
+def test_roundtrip_preserves_data():
+    times = np.array([0.0, 5e-5, 1e-4])
+    volts = np.full((3, 1), 12.0)
+    amps = np.full((3, 1), 2.0)
+    data = roundtrip(times, volts, amps)
+    assert data.sample_rate_hz == 20_000.0
+    assert data.pair_names == ["pair0"]
+    assert np.allclose(data.times, times)
+    assert np.allclose(data.volts, 12.0)
+    assert np.allclose(data.amps, 2.0)
+
+
+def test_total_power_column_recomputed():
+    data = roundtrip(np.array([0.0, 1.0]), np.full((2, 1), 10.0), np.full((2, 1), 3.0))
+    assert np.allclose(data.total_power, 30.0)
+
+
+def test_markers_parse():
+    data = roundtrip(
+        np.array([0.0, 1.0]),
+        np.ones((2, 1)),
+        np.ones((2, 1)),
+        markers=[(0.5, "A"), (0.7, "B")],
+    )
+    assert data.markers == [(0.5, "A"), (0.7, "B")]
+    assert data.between_markers("A", "B") == (0.5, 0.7)
+
+
+def test_between_markers_missing_raises():
+    data = roundtrip(np.array([0.0, 1.0]), np.ones((2, 1)), np.ones((2, 1)))
+    with pytest.raises(MeasurementError):
+        data.between_markers("A", "B")
+
+
+def test_energy_integration():
+    times = np.linspace(0, 1, 101)
+    volts = np.full((101, 1), 12.0)
+    amps = np.full((101, 1), 1.0)
+    data = roundtrip(times, volts, amps)
+    assert data.energy() == pytest.approx(12.0, rel=1e-6)
+    assert data.energy(start=0.25, stop=0.75) == pytest.approx(6.0, rel=0.05)
+
+
+def test_energy_needs_two_samples():
+    data = roundtrip(np.array([0.0, 1.0]), np.ones((2, 1)), np.ones((2, 1)))
+    with pytest.raises(MeasurementError):
+        data.energy(start=10.0)
+
+
+def test_powersensor_dump_end_to_end(tmp_path):
+    setup = make_loaded_setup(amps=4.0)
+    path = tmp_path / "capture.txt"
+    setup.ps.dump(path)
+    setup.ps.mark("S")
+    setup.ps.pump(2000)
+    setup.ps.mark("E")
+    setup.ps.pump(2000)
+    setup.ps.dump(None)  # close
+    data = DumpReader.read(path)
+    assert data.times.size == 4000
+    assert [c for _, c in data.markers] == ["S", "E"]
+    assert data.total_power.mean() == pytest.approx(48.0, rel=0.02)
+    setup.close()
+
+
+def test_dump_stop_allows_new_dump(tmp_path):
+    setup = make_loaded_setup()
+    first = tmp_path / "a.txt"
+    second = tmp_path / "b.txt"
+    setup.ps.dump(first)
+    setup.ps.pump(100)
+    setup.ps.dump(second)
+    setup.ps.pump(100)
+    setup.ps.dump(None)
+    assert DumpReader.read(first).times.size == 100
+    assert DumpReader.read(second).times.size == 100
+    setup.close()
+
+
+def test_dumpdata_dataclass_direct():
+    data = DumpData(
+        sample_rate_hz=1.0,
+        pair_names=["x"],
+        times=np.array([0.0, 1.0]),
+        volts=np.array([[1.0], [1.0]]),
+        amps=np.array([[2.0], [2.0]]),
+    )
+    assert data.energy() == pytest.approx(2.0)

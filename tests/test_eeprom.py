@@ -1,0 +1,90 @@
+"""Virtual EEPROM records and serialisation."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.hardware.eeprom import (
+    RECORD_SIZE,
+    SENSORS,
+    SensorConfig,
+    VirtualEeprom,
+)
+
+
+def test_record_roundtrip():
+    config = SensorConfig(
+        name="slot0-I", pair_name="pcie8pin", vref=1.6543, slope=0.12, enabled=True
+    )
+    restored = SensorConfig.unpack(config.pack())
+    assert restored.name == config.name
+    assert restored.pair_name == config.pair_name
+    assert restored.vref == pytest.approx(config.vref, rel=1e-6)
+    assert restored.slope == pytest.approx(config.slope, rel=1e-6)
+    assert restored.enabled is True
+
+
+def test_record_size_stable():
+    assert len(SensorConfig().pack()) == RECORD_SIZE
+
+
+def test_long_names_truncated():
+    config = SensorConfig(name="x" * 100)
+    assert len(SensorConfig.unpack(config.pack()).name) <= 15
+
+
+def test_unpack_wrong_size():
+    with pytest.raises(ConfigurationError):
+        SensorConfig.unpack(b"\x00" * (RECORD_SIZE + 1))
+
+
+def test_convert_current():
+    config = SensorConfig(vref=1.65, slope=0.12, enabled=True)
+    assert config.convert(1.65 + 0.12) == pytest.approx(1.0)
+    assert config.convert(1.65 - 0.24) == pytest.approx(-2.0)
+
+
+def test_convert_zero_slope_raises():
+    with pytest.raises(ConfigurationError):
+        SensorConfig(slope=0.0).convert(1.0)
+
+
+def test_eeprom_defaults_disabled():
+    eeprom = VirtualEeprom()
+    assert len(eeprom.configs) == SENSORS
+    assert not any(c.enabled for c in eeprom.configs)
+
+
+def test_eeprom_roundtrip():
+    eeprom = VirtualEeprom()
+    eeprom.set(3, SensorConfig(name="three", vref=1.1, slope=0.5, enabled=True))
+    restored = VirtualEeprom.unpack(eeprom.pack())
+    assert restored.get(3).name == "three"
+    assert restored.get(3).enabled
+    assert not restored.get(0).enabled
+
+
+def test_eeprom_update_partial():
+    eeprom = VirtualEeprom()
+    eeprom.update(2, name="x", enabled=True)
+    new = eeprom.update(2, vref=1.5)
+    assert new.name == "x"
+    assert new.vref == 1.5
+    assert new.enabled
+
+
+def test_eeprom_index_bounds():
+    eeprom = VirtualEeprom()
+    with pytest.raises(ConfigurationError):
+        eeprom.get(8)
+    with pytest.raises(ConfigurationError):
+        eeprom.set(-1, SensorConfig())
+
+
+def test_eeprom_unpack_wrong_size():
+    with pytest.raises(ConfigurationError):
+        VirtualEeprom.unpack(b"\x00" * 10)
+
+
+def test_eeprom_requires_eight_records():
+    with pytest.raises(ConfigurationError):
+        VirtualEeprom(configs=[SensorConfig()] * 3)

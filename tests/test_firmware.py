@@ -1,0 +1,173 @@
+"""Firmware main loop: commands, streaming, config, markers."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DeviceError, ProtocolError
+from repro.common.rng import RngStream
+from repro.dut.base import ConstantRail
+from repro.firmware.device import Firmware, default_eeprom
+from repro.firmware.protocol import SensorReading, StreamDecoder, Timestamp
+from repro.firmware.version import FIRMWARE_VERSION
+from repro.hardware.baseboard import Baseboard
+from repro.hardware.eeprom import RECORD_SIZE, SENSORS, VirtualEeprom
+from repro.hardware.modules import SensorModule
+
+
+def make_firmware(slots=(0,)) -> Firmware:
+    board = Baseboard()
+    for slot in slots:
+        board.attach(
+            slot,
+            SensorModule.manufacture("pcie_slot_12v", RngStream(slot), perfect=True),
+        )
+        board.connect(slot, ConstantRail(12.0, 4.0))
+    return Firmware(board)
+
+
+def test_default_eeprom_enables_populated_pairs():
+    firmware = make_firmware((0, 2))
+    enabled = firmware.enabled_sensors()
+    assert enabled == [0, 1, 4, 5]
+
+
+def test_version_command():
+    firmware = make_firmware()
+    firmware.handle_input(b"V")
+    assert firmware.flush_responses() == FIRMWARE_VERSION.encode() + b"\x00"
+
+
+def test_read_config_returns_image():
+    firmware = make_firmware()
+    firmware.handle_input(b"R")
+    image = firmware.flush_responses()
+    assert len(image) == RECORD_SIZE * SENSORS
+    assert VirtualEeprom.unpack(image).get(0).enabled
+
+
+def test_write_config_split_across_calls():
+    firmware = make_firmware()
+    eeprom = VirtualEeprom()
+    eeprom.update(5, name="hello", enabled=True)
+    payload = b"W" + eeprom.pack()
+    firmware.handle_input(payload[:17])
+    firmware.handle_input(payload[17:])
+    assert firmware.eeprom.get(5).name == "hello"
+
+
+def test_unknown_command_raises():
+    firmware = make_firmware()
+    with pytest.raises(ProtocolError):
+        firmware.handle_input(b"?")
+
+
+def test_no_data_before_start():
+    firmware = make_firmware()
+    assert firmware.produce(10) == b""
+    firmware.handle_input(b"S")
+    assert len(firmware.produce(10)) > 0
+
+
+def test_stop_streaming():
+    firmware = make_firmware()
+    firmware.handle_input(b"S")
+    firmware.produce(1)
+    firmware.handle_input(b"X")
+    assert firmware.produce(5) == b""
+
+
+def test_time_advances_even_when_idle():
+    firmware = make_firmware()
+    before = firmware.clock.now
+    firmware.produce(100)
+    assert firmware.clock.now == pytest.approx(before + 100 * 50e-6, rel=1e-6)
+
+
+def test_config_read_refused_while_streaming():
+    firmware = make_firmware()
+    firmware.handle_input(b"S")
+    with pytest.raises(DeviceError):
+        firmware.handle_input(b"R")
+
+
+def test_stream_structure():
+    firmware = make_firmware()
+    firmware.handle_input(b"S")
+    data = firmware.produce(4)
+    events = list(StreamDecoder().feed(data))
+    timestamps = [e for e in events if isinstance(e, Timestamp)]
+    readings = [e for e in events if isinstance(e, SensorReading)]
+    assert len(timestamps) == 4
+    assert len(readings) == 4 * 2  # one enabled pair
+
+
+def test_marker_attached_to_next_sample():
+    firmware = make_firmware()
+    firmware.handle_input(b"S")
+    firmware.produce(2)
+    firmware.handle_input(b"M")
+    events = list(StreamDecoder().feed(firmware.produce(3)))
+    marked = [e for e in events if isinstance(e, SensorReading) and e.marker]
+    assert len(marked) == 1
+    assert marked[0].sensor == 0
+
+
+def test_two_markers_mark_two_samples():
+    firmware = make_firmware()
+    firmware.handle_input(b"SMM")
+    events = list(StreamDecoder().feed(firmware.produce(5)))
+    marked = [e for e in events if isinstance(e, SensorReading) and e.marker]
+    assert len(marked) == 2
+
+
+def test_reboot_resets_state():
+    firmware = make_firmware()
+    firmware.handle_input(b"S")
+    firmware.handle_input(b"B")
+    assert not firmware.streaming
+    assert firmware.boot_count == 1
+    assert not firmware.dfu_mode
+    firmware.handle_input(b"D")
+    assert firmware.dfu_mode
+
+
+def test_bandwidth_fits_usb_full_speed():
+    firmware = make_firmware((0, 1, 2, 3))
+    assert firmware.data_rate_bps() < 12e6
+    firmware.handle_input(b"S")  # must not raise
+
+
+def test_bytes_per_sample():
+    firmware = make_firmware((0, 1))
+    assert firmware.bytes_per_sample() == 2 + 2 * 4
+
+
+def test_produce_values_match_baseboard():
+    firmware = make_firmware()
+    firmware.handle_input(b"S")
+    data = firmware.produce(50)
+    events = list(StreamDecoder().feed(data))
+    values = [e.value for e in events if isinstance(e, SensorReading) and e.sensor == 0]
+    mean_code = np.mean(values)
+    # 4 A on a 0.12 V/A sensor: 1.65 + 0.48 V -> code ~ 660.
+    assert mean_code == pytest.approx(2.13 / (3.3 / 1024), rel=0.02)
+
+
+def test_display_refresh_only_when_idle():
+    firmware = make_firmware()
+    frames_before = firmware.baseboard.display.stats.frames_rendered
+    firmware.display_refresh()
+    assert firmware.baseboard.display.stats.frames_rendered == frames_before + 1
+    firmware.handle_input(b"S")
+    firmware.display_refresh()
+    assert firmware.baseboard.display.stats.frames_rendered == frames_before + 1
+
+
+def test_timestamps_wrap_consistently():
+    firmware = make_firmware()
+    firmware.handle_input(b"S")
+    data = firmware.produce(40)
+    events = list(StreamDecoder().feed(data))
+    raw = [e.micros for e in events if isinstance(e, Timestamp)]
+    deltas = [(b - a) % 1024 for a, b in zip(raw, raw[1:])]
+    assert all(d == 50 for d in deltas)

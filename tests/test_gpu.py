@@ -1,0 +1,137 @@
+"""GPU behavioural model: envelopes, waves, rails, DVFS power."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.energy import detect_activity, extract_features
+from repro.common.errors import MeasurementError
+from repro.common.rng import RngStream
+from repro.dut.gpu import GPU_CATALOG, Gpu, KernelLaunch, gpu_spec
+
+
+def render(gpu_key, launch=None, t_end=4.0):
+    gpu = Gpu(gpu_key, RngStream(0, "test"))
+    gpu.launch(launch or KernelLaunch(start=0.5, duration=2.0, n_waves=8))
+    return gpu, gpu.render(t_end, dt=2e-4)
+
+
+def test_catalog_entries():
+    assert set(GPU_CATALOG) == {"rtx4000ada", "w7700", "jetson_orin_gpu"}
+    assert gpu_spec("w7700").overshoot
+    assert not gpu_spec("rtx4000ada").overshoot
+
+
+def test_unknown_gpu():
+    with pytest.raises(MeasurementError):
+        gpu_spec("h100")
+
+
+def test_peak_tensor_tflops():
+    spec = gpu_spec("rtx4000ada")
+    assert spec.peak_tensor_tflops == pytest.approx(154, rel=0.01)
+
+
+def test_power_monotonic_in_utilization():
+    spec = gpu_spec("rtx4000ada")
+    powers = [spec.board_power(1800.0, u) for u in (0.2, 0.5, 0.8, 1.0)]
+    assert all(b >= a for a, b in zip(powers, powers[1:]))
+
+
+def test_power_monotonic_in_clock():
+    spec = gpu_spec("rtx4000ada")
+    powers = [spec.board_power(f, 0.7) for f in (1200, 1500, 1800, 2100)]
+    assert all(b >= a for a, b in zip(powers, powers[1:]))
+
+
+def test_power_capped_at_limit():
+    spec = gpu_spec("w7700")
+    assert spec.board_power(spec.boost_clock_mhz, 1.0) <= spec.power_limit_watts
+
+
+def test_trace_idle_before_launch():
+    _, trace = render("rtx4000ada")
+    before = trace.watts[trace.times < 0.4]
+    assert before.mean() == pytest.approx(14.0, abs=1.0)
+
+
+def test_nvidia_launch_then_ramp():
+    _, trace = render("rtx4000ada", KernelLaunch(0.5, 2.0, utilization=0.8))
+    at_launch = trace.watts[(trace.times > 0.5) & (trace.times < 0.52)].mean()
+    steady = trace.watts[(trace.times > 2.0) & (trace.times < 2.4)].mean()
+    assert at_launch == pytest.approx(95.0, abs=3.0)
+    assert steady == pytest.approx(120.0, abs=3.0)
+    assert steady > at_launch
+
+
+def test_amd_spike_drop_overshoot():
+    _, trace = render("w7700")
+    spike = trace.watts[(trace.times > 0.5) & (trace.times < 0.54)].mean()
+    drop = trace.watts[(trace.times > 0.56) & (trace.times < 0.60)].mean()
+    steady = trace.watts[(trace.times > 1.8) & (trace.times < 2.2)].mean()
+    assert spike == pytest.approx(150.0, abs=2.0)
+    assert drop < 0.75 * spike
+    assert steady == pytest.approx(150.0, abs=3.0)
+
+
+def test_wave_dips_present():
+    _, trace = render("rtx4000ada", KernelLaunch(0.5, 2.0, n_waves=8, utilization=0.8))
+    window = detect_activity(trace.times, trace.watts, min_duration=0.5)[0]
+    features = extract_features(trace.times, trace.watts, window)
+    assert features.n_dips == 7  # boundaries between 8 waves
+
+
+def test_no_dips_with_single_wave():
+    _, trace = render("rtx4000ada", KernelLaunch(0.5, 2.0, n_waves=1, utilization=0.8))
+    window = detect_activity(trace.times, trace.watts, min_duration=0.5)[0]
+    features = extract_features(trace.times, trace.watts, window)
+    assert features.n_dips == 0
+
+
+def test_idle_return_tail():
+    _, trace = render("rtx4000ada", t_end=6.0)
+    tail = trace.watts[trace.times > 5.5]
+    assert tail.mean() == pytest.approx(14.0, abs=2.0)
+
+
+def test_rails_conserve_power():
+    gpu, trace = render("rtx4000ada")
+    rails = gpu.rails(trace)
+    t0, dt, n = 1.0, 1e-4, 100
+    total = np.zeros(n)
+    for rail in rails.values():
+        volts, amps = rail.sample_uniform(t0, dt, n)
+        total += volts * amps
+    idx = np.searchsorted(trace.times, t0 + dt * np.arange(n), side="right") - 1
+    assert np.allclose(total, trace.watts[idx], rtol=1e-6)
+
+
+def test_rails_voltages():
+    gpu, trace = render("rtx4000ada")
+    rails = gpu.rails(trace)
+    v33, _ = rails["slot_3v3"].sample_uniform(1.0, 1e-4, 1)
+    v12, _ = rails["ext_12v"].sample_uniform(1.0, 1e-4, 1)
+    assert v33[0] == pytest.approx(3.3, abs=0.05)
+    assert v12[0] == pytest.approx(12.0, abs=0.1)
+
+
+def test_launch_validation():
+    gpu = Gpu("rtx4000ada")
+    with pytest.raises(MeasurementError):
+        gpu.launch(KernelLaunch(start=0.0, duration=0.0))
+
+
+def test_reset_clears_launches():
+    gpu = Gpu("rtx4000ada")
+    gpu.launch(KernelLaunch(0.0, 1.0))
+    gpu.reset()
+    assert gpu.launches == []
+
+
+def test_sequential_launches_render():
+    gpu = Gpu("rtx4000ada", RngStream(1))
+    gpu.launch(KernelLaunch(0.5, 0.5, utilization=0.8))
+    gpu.launch(KernelLaunch(2.0, 0.5, utilization=0.8))
+    trace = gpu.render(3.5, dt=2e-4)
+    gap = trace.watts[(trace.times > 1.7) & (trace.times < 1.95)]
+    active = trace.watts[(trace.times > 2.2) & (trace.times < 2.45)]
+    assert active.mean() > gap.mean() + 30

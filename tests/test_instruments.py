@@ -1,0 +1,89 @@
+"""Bench instruments: supply, electronic load, multimeter."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import MeasurementError
+from repro.dut.instruments import (
+    DigitalMultimeter,
+    ElectronicLoad,
+    LabSupply,
+    LoadedSupplyRail,
+)
+
+
+def test_supply_droops_under_load():
+    supply = LabSupply(12.0, source_impedance_ohms=0.01)
+    assert supply.voltage_under_load(np.array([10.0]))[0] == pytest.approx(11.9)
+
+
+def test_supply_disabled_reads_zero():
+    supply = LabSupply(12.0, enabled=False)
+    assert supply.voltage_under_load(np.array([5.0]))[0] == 0.0
+
+
+def test_load_constant_current():
+    load = ElectronicLoad()
+    load.set_current(3.0)
+    current = load.current_at(np.array([1.0, 2.0]))
+    assert np.allclose(current, 3.0)
+
+
+def test_load_steps_in_order_required():
+    load = ElectronicLoad()
+    load.set_current(1.0, at_time=1.0)
+    with pytest.raises(MeasurementError):
+        load.set_current(2.0, at_time=0.5)
+
+
+def test_load_slew_rate_limits_transition():
+    load = ElectronicLoad(slew_a_per_us=1.0)
+    load.set_current(0.0)
+    load.set_current(10.0, at_time=1.0)
+    # 10 A at 1 A/us: transition lasts 10 us.
+    mid = load.current_at(np.array([1.0 + 5e-6]))[0]
+    assert mid == pytest.approx(5.0, abs=0.2)
+    assert load.current_at(np.array([1.0 + 20e-6]))[0] == pytest.approx(10.0)
+
+
+def test_load_rejects_bad_slew():
+    with pytest.raises(MeasurementError):
+        ElectronicLoad(slew_a_per_us=0.0)
+
+
+def test_square_program_alternates():
+    load = ElectronicLoad()
+    load.set_current(3.3)
+    load.program_square(3.3, 8.0, frequency_hz=100.0, start=0.01, cycles=3)
+    high = load.current_at(np.array([0.012]))[0]
+    low = load.current_at(np.array([0.017]))[0]
+    assert high == pytest.approx(8.0)
+    assert low == pytest.approx(3.3)
+
+
+def test_loaded_rail_combines_supply_and_load():
+    supply = LabSupply(12.0, source_impedance_ohms=0.005)
+    load = ElectronicLoad()
+    load.set_current(8.0)
+    rail = LoadedSupplyRail(supply, load)
+    # Sample after the slew-limited turn-on transition has completed.
+    volts, amps = rail.sample_uniform(1.0, 1e-4, 10)
+    assert np.allclose(amps, 8.0)
+    assert np.allclose(volts, 12.0 - 0.04)
+
+
+def test_multimeter_reads_truth():
+    supply = LabSupply(12.0)
+    load = ElectronicLoad()
+    load.set_current(2.0)
+    rail = LoadedSupplyRail(supply, load)
+    dmm = DigitalMultimeter()
+    assert dmm.read_current(rail, at=1.0) == pytest.approx(2.0)
+    assert dmm.read_voltage(rail, at=1.0) == pytest.approx(11.99)
+    assert len(dmm.readings) == 2
+
+
+def test_multimeter_resolution_rounds():
+    rail = LoadedSupplyRail(LabSupply(12.345), ElectronicLoad())
+    dmm = DigitalMultimeter(resolution=0.1)
+    assert dmm.read_voltage(rail, at=0.0) == pytest.approx(12.3)

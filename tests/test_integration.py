@@ -1,0 +1,124 @@
+"""Cross-module integration: full byte-path measurement flows."""
+
+import numpy as np
+import pytest
+
+from repro.core.dump import DumpReader
+from repro.core.setup import SimulatedSetup
+from repro.core.state import joules, seconds, watts
+from repro.dut.gpu import Gpu, KernelLaunch
+from repro.dut.instruments import ElectronicLoad, LabSupply, LoadedSupplyRail
+from repro.pmt import create, pmt_joules
+
+
+def test_full_byte_path_measures_known_load_accurately():
+    """Unboxing flow: manufacture, calibrate, connect, measure over USB."""
+    setup = SimulatedSetup(["pcie_slot_12v"], seed=11, calibration_samples=32 * 1024)
+    load = ElectronicLoad()
+    load.set_current(6.0)
+    setup.connect(0, LoadedSupplyRail(LabSupply(12.0, source_impedance_ohms=0.0), load))
+    before = setup.ps.read()
+    setup.ps.pump_seconds(1.0)
+    after = setup.ps.read()
+    assert watts(before, after) == pytest.approx(72.0, rel=0.005)
+    assert seconds(before, after) == pytest.approx(1.0, abs=1e-4)
+    setup.close()
+
+
+def test_uncalibrated_setup_shows_production_errors():
+    calibrated = SimulatedSetup(
+        ["pcie_slot_12v"], seed=13, calibration_samples=32 * 1024, direct=True
+    )
+    raw = SimulatedSetup(
+        ["pcie_slot_12v"], seed=13, calibrate=False, direct=True
+    )
+    for setup in (calibrated, raw):
+        load = ElectronicLoad()
+        load.set_current(2.0)
+        setup.connect(0, LoadedSupplyRail(LabSupply(12.0), load))
+    cal_err = abs(calibrated.ps.pump(8192).pair_current(0).mean() - 2.0)
+    raw_err = abs(raw.ps.pump(8192).pair_current(0).mean() - 2.0)
+    assert cal_err < raw_err  # calibration visibly helps
+    assert cal_err < 0.02
+    calibrated.close()
+    raw.close()
+
+
+def test_marker_synced_kernel_energy_via_dump(tmp_path):
+    """Continuous mode: markers bracket a GPU kernel; dump integrates it."""
+    gpu = Gpu("rtx4000ada")
+    gpu.launch(KernelLaunch(start=0.2, duration=0.5, utilization=0.8))
+    trace = gpu.render(1.0, dt=1e-4)
+    setup = SimulatedSetup(["pcie8pin"], seed=3, calibration_samples=16 * 1024)
+    setup.connect(0, gpu.rails(trace)["ext_12v"])
+
+    path = tmp_path / "kernel.dump"
+    setup.ps.dump(path)
+    setup.ps.pump_seconds(0.2)
+    setup.ps.mark("S")
+    setup.ps.pump_seconds(0.5)
+    setup.ps.mark("E")
+    setup.ps.pump_seconds(0.3)
+    setup.ps.dump(None)
+
+    data = DumpReader.read(path)
+    start, stop = data.between_markers("S", "E")
+    assert stop - start == pytest.approx(0.5, abs=0.01)
+    energy = data.energy(start, stop)
+    # The ext rail carries 66 % of board power.
+    expected = trace.energy() * 0.66
+    window_truth = 0.66 * np.trapezoid(
+        trace.watts[(trace.times >= start) & (trace.times <= stop)],
+        trace.times[(trace.times >= start) & (trace.times <= stop)],
+    )
+    assert energy == pytest.approx(window_truth, rel=0.03)
+    setup.close()
+
+
+def test_pmt_over_byte_path_matches_direct_state_arithmetic():
+    setup = SimulatedSetup(["usbc"], seed=5, calibration_samples=16 * 1024)
+    load = ElectronicLoad()
+    load.set_current(1.5)
+    setup.connect(0, LoadedSupplyRail(LabSupply(20.0), load))
+    backend = create("powersensor3", setup.ps)
+    first = backend.read(0.1)
+    second = backend.read(0.6)
+    assert pmt_joules(first, second) == pytest.approx(30.0 * 0.5, rel=0.02)
+    state_first = setup.ps.read()
+    setup.ps.pump_seconds(0.5)
+    state_second = setup.ps.read()
+    assert joules(state_first, state_second) == pytest.approx(15.0, rel=0.02)
+    setup.close()
+
+
+def test_four_modules_concurrent_streams():
+    """A fully populated baseboard streams all four pairs over one link."""
+    setup = SimulatedSetup(
+        ["pcie_slot_3v3", "pcie_slot_12v", "pcie8pin", "usbc"],
+        seed=21,
+        calibration_samples=8192,
+    )
+    supplies = [(3.3, 2.0), (12.0, 4.0), (12.0, 10.0), (20.0, 1.0)]
+    for slot, (volts, amps) in enumerate(supplies):
+        load = ElectronicLoad()
+        load.set_current(amps)
+        setup.connect(slot, LoadedSupplyRail(LabSupply(volts), load))
+    block = setup.ps.pump(4000)
+    expected_total = sum(v * a for v, a in supplies)
+    assert block.total_power().mean() == pytest.approx(expected_total, rel=0.02)
+    for pair, (volts, amps) in enumerate(supplies):
+        assert block.pair_power(pair).mean() == pytest.approx(
+            volts * amps, rel=0.03
+        )
+    setup.close()
+
+
+def test_link_utilization_with_four_pairs_fits_usb():
+    setup = SimulatedSetup(
+        ["pcie_slot_3v3", "pcie_slot_12v", "pcie8pin", "usbc"],
+        seed=2,
+        calibration_samples=4096,
+    )
+    setup.ps.pump(5000)
+    assert setup.link.utilization() < 0.5  # 18 B / 50 us = 2.88 of 12 Mbit/s
+    setup.close()

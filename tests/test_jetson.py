@@ -1,0 +1,75 @@
+"""Jetson AGX Orin model: module vs total power, USB-C rail."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import RngStream
+from repro.dut.gpu import KernelLaunch
+from repro.dut.jetson import JetsonAgxOrin
+
+
+def make_jetson():
+    jetson = JetsonAgxOrin(RngStream(0, "jt"))
+    jetson.launch(KernelLaunch(start=0.5, duration=1.0, utilization=0.9))
+    return jetson
+
+
+def test_total_exceeds_module_by_carrier_power():
+    jetson = make_jetson()
+    module, total = jetson.render(2.0)
+    gap = (total.watts - module.watts).mean()
+    assert gap == pytest.approx(JetsonAgxOrin.CARRIER_WATTS, abs=0.1)
+
+
+def test_module_includes_cpu_idle():
+    jetson = make_jetson()
+    module, _ = jetson.render(2.0)
+    idle = module.watts[module.times < 0.4].mean()
+    # GPU idle (6 W) + CPU idle (3.2 W).
+    assert idle == pytest.approx(9.2, abs=0.5)
+
+
+def test_usb_c_voltage():
+    jetson = make_jetson()
+    _, total = jetson.render(2.0)
+    rail = jetson.usb_c_rail(total)
+    volts, amps = rail.sample_uniform(1.0, 1e-4, 10)
+    assert np.allclose(volts, 20.0)
+    assert (amps > 0).all()
+
+
+def test_workload_visible_in_total():
+    jetson = make_jetson()
+    _, total = jetson.render(2.0)
+    active = total.watts[(total.times > 0.9) & (total.times < 1.4)].mean()
+    idle = total.watts[total.times < 0.4].mean()
+    assert active > idle + 10
+
+
+def test_reset():
+    jetson = make_jetson()
+    jetson.reset()
+    assert jetson.gpu.launches == []
+
+
+def test_power_modes_cap_power():
+    import pytest as _pytest
+
+    from repro.common.errors import ConfigurationError
+    from repro.common.rng import RngStream
+    from repro.dut.gpu import KernelLaunch as _KL
+    from repro.dut.jetson import POWER_MODES
+
+    totals = {}
+    for mode in ("15W", "30W", "MAXN"):
+        jetson = JetsonAgxOrin(RngStream(1, mode), power_mode=mode)
+        jetson.launch(_KL(start=0.2, duration=1.0, utilization=1.0))
+        module, _ = jetson.render(1.4)
+        active = module.watts[(module.times > 0.8) & (module.times < 1.1)]
+        totals[mode] = float(active.mean())
+    assert totals["15W"] < totals["30W"] < totals["MAXN"]
+    # The 15 W profile keeps the module near its budget.
+    assert totals["15W"] <= 15.0 + 2.0
+    with _pytest.raises(ConfigurationError):
+        JetsonAgxOrin(power_mode="500W")
+    assert set(POWER_MODES) == {"15W", "30W", "50W", "MAXN"}

@@ -1,0 +1,176 @@
+"""Kernel performance/energy models."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RngStream
+from repro.tuner.kernels import (
+    BEAMFORMER_TARGETS,
+    SyntheticGemmKernel,
+    TensorCoreBeamformer,
+    beamformer_search_space,
+)
+
+BEST_CONFIG = {
+    "block_dim": (64, 8),
+    "fragments_per_block": 4,
+    "fragments_per_warp": 2,
+    "double_buffering": 1,
+    "unroll": 2,
+}
+
+WORST_CONFIG = {
+    "block_dim": (16, 8),
+    "fragments_per_block": 1,
+    "fragments_per_warp": 8,
+    "double_buffering": 1,
+    "unroll": 1,
+}
+
+
+def test_space_has_512_variants():
+    assert beamformer_search_space().size == 512  # paper, Section V-A2
+
+
+def test_restriction_prunes_oversized_blocks():
+    for config in beamformer_search_space().enumerate():
+        bx, by = config["block_dim"]
+        assert bx * by <= 1024
+
+
+def test_flops_complex_matmul():
+    kernel = TensorCoreBeamformer("rtx4000ada")
+    assert kernel.flops == pytest.approx(8 * 4096**3)
+
+
+def test_unknown_target():
+    with pytest.raises(ConfigurationError):
+        TensorCoreBeamformer("a100")
+
+
+def test_efficiency_best_beats_worst():
+    kernel = TensorCoreBeamformer("rtx4000ada")
+    assert kernel.efficiency(BEST_CONFIG) > 1.5 * kernel.efficiency(WORST_CONFIG)
+
+
+def test_efficiency_bounded():
+    kernel = TensorCoreBeamformer("rtx4000ada")
+    for config in beamformer_search_space().enumerate():
+        eff = kernel.efficiency(config)
+        assert 0.0 < eff <= kernel.target.best_efficiency * 1.01
+
+
+def test_execute_returns_consistent_run():
+    kernel = TensorCoreBeamformer("rtx4000ada")
+    run = kernel.execute(BEST_CONFIG, 2100.0)
+    assert run.exec_time_s == pytest.approx(kernel.flops / (run.tflops * 1e12))
+    assert run.tflops == pytest.approx(80.4, rel=0.03)
+    assert run.board_watts == pytest.approx(97.0, rel=0.03)
+
+
+def test_paper_pareto_endpoint_efficiency():
+    kernel = TensorCoreBeamformer("rtx4000ada")
+    run = kernel.execute(BEST_CONFIG, 1650.0)
+    tflop_per_j = run.tflops / run.board_watts
+    assert tflop_per_j == pytest.approx(0.935, rel=0.03)
+
+
+def test_throughput_scales_with_clock():
+    kernel = TensorCoreBeamformer("rtx4000ada")
+    slow = kernel.execute(BEST_CONFIG, 1200.0)
+    fast = kernel.execute(BEST_CONFIG, 2100.0)
+    assert fast.tflops > slow.tflops
+    assert fast.board_watts > slow.board_watts
+
+
+def test_efficiency_peaks_at_interior_clock():
+    kernel = TensorCoreBeamformer("rtx4000ada")
+    target = kernel.target
+    effs = []
+    for clock in target.clocks_mhz:
+        run = kernel.execute(BEST_CONFIG, clock)
+        effs.append(run.tflops / run.board_watts)
+    best = effs.index(max(effs))
+    assert 0 < best < len(effs) - 1  # not at either end: a real trade-off
+
+
+def test_trial_noise_varies_with_rng():
+    kernel = TensorCoreBeamformer("rtx4000ada")
+    rng = RngStream(0, "trials")
+    a = kernel.execute(BEST_CONFIG, 2100.0, rng)
+    b = kernel.execute(BEST_CONFIG, 2100.0, rng)
+    assert a.exec_time_s != b.exec_time_s
+    assert abs(a.exec_time_s / b.exec_time_s - 1.0) < 0.1
+
+
+def test_invalid_clock():
+    kernel = TensorCoreBeamformer("rtx4000ada")
+    with pytest.raises(ConfigurationError):
+        kernel.execute(BEST_CONFIG, 0.0)
+
+
+def test_orin_target_scales_down():
+    rtx = TensorCoreBeamformer("rtx4000ada").execute(BEST_CONFIG, 2100.0)
+    orin_kernel = TensorCoreBeamformer("jetson_orin_gpu")
+    orin = orin_kernel.execute(BEST_CONFIG, 1300.0)
+    assert orin.tflops < rtx.tflops / 2
+    assert orin.board_watts < rtx.board_watts / 2
+
+
+def test_gemm_kernel_small_space():
+    kernel = SyntheticGemmKernel("rtx4000ada")
+    space = kernel.search_space()
+    assert space.size == 12
+    run = kernel.execute({"tile": 4, "threads": 256}, 2100.0)
+    assert run.tflops > 0
+    assert run.exec_time_s > 0
+
+
+def test_w7700_target_amd_path():
+    """The beamformer runs on AMD matrix cores too (paper, Section V-A2)."""
+    kernel = TensorCoreBeamformer("w7700")
+    fast = kernel.execute(BEST_CONFIG, 2600.0)
+    assert 35.0 < fast.tflops < 50.0  # matrix cores, slower than tensor cores
+    assert fast.board_watts <= 150.0 * 1.05  # near the board's limit
+
+    # Efficiency peaks at an interior clock, like the NVIDIA targets.
+    effs = []
+    for clock in kernel.target.clocks_mhz:
+        run = kernel.execute(BEST_CONFIG, clock)
+        effs.append(run.tflops / run.board_watts)
+    best = effs.index(max(effs))
+    assert 0 < best < len(effs) - 1
+
+
+def test_all_targets_share_the_space():
+    from repro.tuner.kernels import BEAMFORMER_TARGETS
+
+    assert set(BEAMFORMER_TARGETS) == {"rtx4000ada", "w7700", "jetson_orin_gpu"}
+    for target in BEAMFORMER_TARGETS.values():
+        assert len(target.clocks_mhz) == 10  # paper: 10 clock frequencies
+
+
+def test_memory_bound_throughput_saturates_with_clock():
+    from repro.tuner.kernels import MemoryBoundStencil
+
+    kernel = MemoryBoundStencil("rtx4000ada")
+    config = {"tile": 2, "vector": 4}
+    low = kernel.execute(config, 900.0)
+    knee = kernel.execute(config, 1200.0)
+    high = kernel.execute(config, 2100.0)
+    assert knee.tflops > low.tflops  # below the knee clock still helps
+    assert high.tflops == pytest.approx(knee.tflops, rel=0.01)  # saturated
+    assert high.board_watts > knee.board_watts  # ...but power keeps rising
+
+
+def test_memory_bound_energy_optimum_below_compute_bound():
+    from repro.tuner.kernels import MemoryBoundStencil
+
+    stencil = MemoryBoundStencil("rtx4000ada")
+    config = {"tile": 2, "vector": 4}
+    effs = {}
+    for clock in (900.0, 1200.0, 1500.0, 1800.0, 2100.0):
+        run = stencil.execute(config, clock)
+        effs[clock] = run.tflops / run.board_watts
+    best_clock = max(effs, key=effs.get)
+    assert best_clock <= 1200.0  # near the memory knee, far below boost

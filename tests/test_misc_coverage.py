@@ -1,0 +1,125 @@
+"""Coverage for smaller utility paths not exercised elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.cli.psplot import render_chart
+from repro.experiments.common import _fmt, relative_delta
+from repro.firmware.commands import Command
+from repro.hardware.powersensor2 import PowerSensor2
+
+
+def test_render_chart_buckets_and_markers():
+    times = np.linspace(0, 1, 2000)
+    watts = np.where(times < 0.5, 10.0, 50.0)
+    chart = render_chart(times, watts, width=40, height=8, markers=[(0.25, "A")])
+    lines = chart.splitlines()
+    assert len(lines) == 8 + 3  # rows + axis + marker row + span labels
+    assert "A" in chart
+    assert "0.000 s" in chart and "1.000 s" in chart
+    # The high level appears on the top row to the right, not the left.
+    top = lines[0]
+    assert "#" in top or "|" in top
+
+
+def test_render_chart_too_few_samples():
+    assert "not enough samples" in render_chart(np.array([0.0]), np.array([1.0]))
+
+
+def test_render_chart_flat_signal():
+    times = np.linspace(0, 1, 100)
+    chart = render_chart(times, np.full(100, 5.0), width=20, height=4)
+    assert "5." in chart  # level labels render
+
+
+def test_fmt_float_forms():
+    assert _fmt(0.0) == "0"
+    assert _fmt(1234.5678) == "1.23e+03"
+    assert _fmt(0.0001234) == "0.000123"
+    assert _fmt(1.5) == "1.5"
+    assert _fmt("text") == "text"
+    assert _fmt(True) == "True"
+
+
+def test_relative_delta_edges():
+    assert relative_delta(0.0, 0.0) == 0.0
+    assert relative_delta(5.0, 0.0) == float("inf")
+    assert relative_delta(90.0, 100.0) == pytest.approx(-0.1)
+
+
+def test_command_lookup():
+    assert Command.lookup(b"S") is Command.START_STREAMING
+    assert Command.lookup(b"?") is None
+
+
+def test_ps2_unattached_channel_contributes_nothing():
+    ps2 = PowerSensor2([12.0, 5.0], seed=11)
+    ps2.calibrate()
+    from repro.dut.base import ConstantRail
+
+    ps2.attach(0, ConstantRail(12.0, 2.0))  # channel 1 left floating
+    _, watts = ps2.measure(0.1, 0.5)
+    assert watts.mean() == pytest.approx(24.0, rel=0.1)
+
+
+def test_powersensor_pump_zero_samples():
+    from tests.conftest import make_loaded_setup
+
+    setup = make_loaded_setup()
+    block = setup.ps.pump(0)
+    assert len(block) == 0
+    assert setup.ps.total_energy() == 0.0
+    setup.close()
+
+
+def test_firmware_produce_zero_flushes_responses():
+    from tests.conftest import make_loaded_setup
+
+    setup = make_loaded_setup(direct=False)
+    firmware = setup.firmware
+    assert firmware.produce(0) == b""
+    with pytest.raises(ValueError):
+        firmware.produce(-1)
+    setup.close()
+
+
+def test_source_version_string_exposed():
+    from tests.conftest import make_loaded_setup
+
+    setup = make_loaded_setup(direct=True)
+    assert "PowerSensor3" in setup.source.version
+    setup.close()
+
+
+def test_summary_shifted_preserves_count():
+    from repro.common.stats import summarize
+
+    summary = summarize(np.array([1.0, 3.0])).shifted(2.0)
+    assert summary.count == 2
+    assert summary.peak_to_peak == pytest.approx(2.0)
+
+
+def test_module_accuracy_label():
+    from repro.analysis.accuracy import worst_case_accuracy
+    from repro.hardware.modules import module_spec
+
+    accuracy = worst_case_accuracy(module_spec("usbc"))
+    assert accuracy.label == "20 V / 10 A"
+
+
+def test_pmt_state_is_frozen():
+    from repro.pmt.base import PmtState
+
+    state = PmtState(timestamp=0.0, joules=1.0, watts=2.0)
+    with pytest.raises(AttributeError):
+        state.joules = 5.0
+
+
+def test_hypervolume_reference_point():
+    from repro.analysis.pareto import hypervolume_2d
+
+    xs = np.array([3.0])
+    ys = np.array([3.0])
+    assert hypervolume_2d(xs, ys, reference=(1.0, 1.0)) == pytest.approx(4.0)
+    # Points below the reference contribute nothing.
+    assert hypervolume_2d(np.array([0.5]), np.array([0.5]), reference=(1.0, 1.0)) == 0.0

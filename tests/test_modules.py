@@ -1,0 +1,81 @@
+"""Sensor-module catalog and manufacturing."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RngStream
+from repro.hardware.modules import (
+    MODULE_CATALOG,
+    SensorModule,
+    module_spec,
+)
+
+
+def test_catalog_has_five_designs_plus_variant():
+    # The paper lists five module designs; the 10 A design ships in a 12 V
+    # and a 3.3 V variant, giving six catalog entries.
+    assert len(MODULE_CATALOG) == 6
+
+
+@pytest.mark.parametrize("key", sorted(MODULE_CATALOG))
+def test_spec_sanity(key):
+    spec = module_spec(key)
+    assert spec.sensitivity_v_per_a > 0
+    assert spec.voltage_full_scale_v >= spec.nominal_voltage_v
+    assert spec.min_current_a == -spec.max_current_a
+    # Full scale of the current channel must cover the rated range.
+    swing = spec.sensitivity_v_per_a * spec.max_current_a
+    assert swing <= 3.3 / 2
+
+
+def test_unknown_module_raises():
+    with pytest.raises(ConfigurationError, match="unknown module"):
+        module_spec("does-not-exist")
+
+
+def test_voltage_gain_maps_full_scale_to_vdd():
+    spec = module_spec("pcie_slot_12v")
+    assert spec.voltage_gain * spec.voltage_full_scale_v == pytest.approx(3.3)
+
+
+def test_lsb_properties():
+    spec = module_spec("pcie_slot_12v")
+    assert spec.current_lsb_a == pytest.approx(3.3 / 1024 / 0.12)
+    assert spec.voltage_lsb_v == pytest.approx(26.4 / 1024)
+
+
+def test_nominal_max_power():
+    assert module_spec("pcie8pin").nominal_max_power_w == pytest.approx(240.0)
+
+
+def test_manufacture_draws_tolerances():
+    module = SensorModule.manufacture("pcie_slot_12v", RngStream(0, "a"))
+    assert module.current_sensor.offset_a != 0.0
+    assert module.voltage_sensor.gain_error != 0.0
+
+
+def test_manufacture_perfect():
+    module = SensorModule.manufacture("pcie_slot_12v", RngStream(0), perfect=True)
+    assert module.current_sensor.offset_a == 0.0
+    assert module.voltage_sensor.gain_error == 0.0
+    assert module.current_sensor.nonlinearity == 0.0
+
+
+def test_manufacture_tolerances_within_spec():
+    for seed in range(20):
+        module = SensorModule.manufacture("pcie_slot_12v", RngStream(seed, "tol"))
+        assert abs(module.current_sensor.offset_a) < 0.05 * 10.0
+        assert abs(module.voltage_sensor.gain_error) < 0.03
+
+
+def test_manufacture_accepts_spec_object():
+    spec = module_spec("usbc")
+    module = SensorModule.manufacture(spec, RngStream(1))
+    assert module.spec is spec
+
+
+def test_with_spec_override():
+    module = SensorModule.manufacture("pcie_slot_12v", RngStream(0))
+    changed = module.with_spec(nominal_voltage_v=5.0)
+    assert changed.spec.nominal_voltage_v == 5.0
+    assert changed.current_sensor is module.current_sensor

@@ -1,0 +1,119 @@
+"""Noise models: stationarity, variance, correlation structure."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.common.noise import OrnsteinUhlenbeckNoise, WhiteNoise, _ar1_filter
+from repro.common.rng import RngStream
+
+
+def test_white_noise_statistics():
+    noise = WhiteNoise(0.5, RngStream(0))
+    samples = noise.sample(np.zeros(200_000))
+    assert samples.mean() == pytest.approx(0.0, abs=0.01)
+    assert samples.std() == pytest.approx(0.5, rel=0.02)
+
+
+def test_white_noise_zero_sigma():
+    noise = WhiteNoise(0.0, RngStream(0))
+    assert np.array_equal(noise.sample(np.arange(10.0)), np.zeros(10))
+
+
+def test_white_noise_rejects_negative_sigma():
+    with pytest.raises(ValueError):
+        WhiteNoise(-1.0, RngStream(0))
+
+
+def test_ou_stationary_variance():
+    noise = OrnsteinUhlenbeckNoise(2.0, bandwidth_hz=1000.0, rng=RngStream(1))
+    samples = noise.sample_uniform(0.0, 1e-2, 100_000)  # dt >> tau: iid
+    assert samples.std() == pytest.approx(2.0, rel=0.02)
+
+
+def test_ou_autocorrelation_matches_tau():
+    noise = OrnsteinUhlenbeckNoise(1.0, bandwidth_hz=100.0, rng=RngStream(2))
+    dt = noise.tau / 2
+    x = noise.sample_uniform(0.0, dt, 200_000)
+    rho = np.corrcoef(x[:-1], x[1:])[0, 1]
+    assert rho == pytest.approx(math.exp(-dt / noise.tau), abs=0.01)
+
+
+def test_ou_chunked_continuity():
+    """Chunked generation preserves correlation across the chunk boundary."""
+    noise = OrnsteinUhlenbeckNoise(1.0, bandwidth_hz=100.0, rng=RngStream(3))
+    dt = noise.tau / 10
+    boundary_pairs = []
+    for _ in range(2000):
+        a = noise.sample_uniform(0.0, dt, 2)
+        boundary_pairs.append(a)
+    pairs = np.asarray(boundary_pairs)
+    # Consecutive chunks are adjacent in time: correlation must persist.
+    rho = np.corrcoef(pairs[:-1, 1], pairs[1:, 0])[0, 1]
+    assert rho > 0.85
+
+
+def test_ou_sequential_and_uniform_agree_statistically():
+    seq = OrnsteinUhlenbeckNoise(1.5, 500.0, RngStream(4)).sample(
+        np.arange(50_000) * 1e-4
+    )
+    fast = OrnsteinUhlenbeckNoise(1.5, 500.0, RngStream(5)).sample_uniform(
+        0.0, 1e-4, 50_000
+    )
+    assert seq.std() == pytest.approx(fast.std(), rel=0.05)
+    rho_seq = np.corrcoef(seq[:-1], seq[1:])[0, 1]
+    rho_fast = np.corrcoef(fast[:-1], fast[1:])[0, 1]
+    assert rho_seq == pytest.approx(rho_fast, abs=0.02)
+
+
+def test_ou_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        OrnsteinUhlenbeckNoise(-1.0, 100.0, RngStream(0))
+    with pytest.raises(ValueError):
+        OrnsteinUhlenbeckNoise(1.0, 0.0, RngStream(0))
+
+
+def test_ou_rejects_decreasing_times():
+    noise = OrnsteinUhlenbeckNoise(1.0, 100.0, RngStream(0))
+    with pytest.raises(ValueError):
+        noise.sample(np.array([0.0, 1.0, 0.5]))
+
+
+def test_ou_zero_sigma_is_silent():
+    noise = OrnsteinUhlenbeckNoise(0.0, 100.0, RngStream(0))
+    assert np.array_equal(noise.sample_uniform(0.0, 1e-3, 100), np.zeros(100))
+
+
+def test_ou_reset_forgets_history():
+    noise = OrnsteinUhlenbeckNoise(1.0, 100.0, RngStream(6))
+    noise.sample_uniform(0.0, 1e-5, 10)
+    noise.reset()
+    assert noise._last_time is None
+
+
+def test_ar1_filter_matches_reference():
+    rng = np.random.default_rng(0)
+    innovations = rng.normal(size=5000)
+    for rho in (0.0, 1e-7, 0.3, 0.95, 0.999999):
+        out = _ar1_filter(rho, 1.7, innovations.copy())
+        # Sequential reference.
+        ref = np.empty_like(innovations)
+        x = 1.7
+        ref[0] = x
+        for i in range(1, innovations.size):
+            x = rho * x + innovations[i]
+            ref[i] = x
+        # rho below the filter's 1e-6 white-noise cutoff is approximated;
+        # the discrepancy is bounded by rho * max|x|.
+        assert np.allclose(out, ref, atol=1e-5), f"rho={rho}"
+
+
+def test_ar1_filter_block_boundaries():
+    """Long inputs cross internal block boundaries without discontinuity."""
+    rng = np.random.default_rng(1)
+    innovations = rng.normal(size=200_000)
+    rho = 0.5  # small block length: 30 / log10(2) ~ 99
+    out = _ar1_filter(rho, 0.0, innovations.copy())
+    ref_tail = rho * out[:-1] + innovations[1:]
+    assert np.allclose(out[1:], ref_tail, atol=1e-7)

@@ -1,0 +1,109 @@
+"""PMT interface and backends."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError, MeasurementError
+from repro.common.rng import RngStream
+from repro.dut.base import PowerTrace
+from repro.pmt import (
+    DummyBackend,
+    create,
+    pmt_joules,
+    pmt_seconds,
+    pmt_watts,
+)
+from repro.vendor.nvml import NvmlDevice
+from repro.vendor.rocm_smi import RocmSmiDevice
+from tests.conftest import make_loaded_setup
+
+
+def flat_trace(watts=100.0, t_end=5.0) -> PowerTrace:
+    times = np.arange(0.0, t_end, 1e-3)
+    return PowerTrace(times=times, volts=np.full(times.size, 12.0), amps=np.full(times.size, watts / 12.0))
+
+
+def test_state_arithmetic():
+    backend = DummyBackend()
+    a = backend.read(1.0)
+    b = backend.read(3.0)
+    assert pmt_seconds(a, b) == pytest.approx(2.0)
+    assert pmt_joules(a, b) == 0.0
+    with pytest.raises(MeasurementError):
+        pmt_watts(b, a)
+
+
+def test_create_factory():
+    assert create("dummy").name == "dummy"
+    with pytest.raises(ConfigurationError):
+        create("nonexistent")
+
+
+def test_powersensor_backend_pumps_simulation():
+    setup = make_loaded_setup(amps=8.0)
+    backend = create("powersensor3", setup.ps)
+    first = backend.read(0.0)
+    second = backend.read(1.0)
+    assert pmt_watts(first, second) == pytest.approx(96.0, rel=0.01)
+    setup.close()
+
+
+def test_powersensor_backend_cannot_rewind():
+    setup = make_loaded_setup()
+    backend = create("powersensor3", setup.ps)
+    backend.read(1.0)
+    with pytest.raises(MeasurementError):
+        backend.read(0.5)
+    setup.close()
+
+
+def test_nvml_backend_energy():
+    device = NvmlDevice(flat_trace(), RngStream(0), scale_error=0.0)
+    backend = create("nvml", device)
+    first = backend.read(1.0)
+    second = backend.read(3.0)
+    assert pmt_joules(first, second) == pytest.approx(200.0, rel=0.05)
+
+
+def test_rocm_backend_energy():
+    device = RocmSmiDevice(flat_trace(), RngStream(1))
+    backend = create("rocm", device)
+    first = backend.read(0.5)
+    second = backend.read(4.5)
+    assert pmt_joules(first, second) == pytest.approx(400.0, rel=0.05)
+
+
+def test_amdsmi_backend_matches_rocm():
+    from repro.vendor.rocm_smi import AmdSmiDevice
+
+    rocm = RocmSmiDevice(flat_trace(), RngStream(2))
+    amd_backend = create("amdsmi", AmdSmiDevice(rocm))
+    rocm_backend = create("rocm", rocm)
+    a = rocm_backend.read(2.0)
+    b = amd_backend.read(2.0)
+    assert a.watts == pytest.approx(b.watts, rel=1e-6)
+
+
+def test_jetson_backend():
+    from repro.vendor.jetson_ina import JetsonPowerMonitor
+
+    monitor = JetsonPowerMonitor(flat_trace(watts=25.0), RngStream(3))
+    backend = create("jetson", monitor)
+    first = backend.read(1.0)
+    second = backend.read(2.0)
+    assert pmt_watts(first, second) == pytest.approx(25.0, rel=0.1)
+
+
+def test_rapl_backend_accumulates():
+    from repro.vendor.rapl import RaplDomain
+
+    backend = create("rapl", RaplDomain(flat_trace(), RngStream(4)))
+    first = backend.read(1.0)
+    second = backend.read(2.0)
+    assert pmt_joules(first, second) == pytest.approx(100.0, rel=0.1)
+
+
+def test_dump_convenience():
+    backend = DummyBackend()
+    states = backend.dump([0.0, 1.0, 2.0])
+    assert [s.timestamp for s in states] == [0.0, 1.0, 2.0]

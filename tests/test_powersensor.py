@@ -1,0 +1,162 @@
+"""PowerSensor host class: states, energy accounting, markers, config."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import MeasurementError
+from repro.core.state import Joules, Watt, joules, seconds, watts
+from tests.conftest import make_loaded_setup
+
+
+def test_read_before_pump_is_time_zero():
+    setup = make_loaded_setup()
+    state = setup.ps.read()
+    assert state.time == 0.0
+    assert state.total_power == 0.0
+    setup.close()
+
+
+def test_interval_energy_matches_load():
+    setup = make_loaded_setup(amps=8.0, volts=12.0)
+    before = setup.ps.read()
+    setup.ps.pump_seconds(0.5)
+    after = setup.ps.read()
+    expected = 12.0 * 8.0 * 0.5  # minus small source droop
+    assert joules(before, after) == pytest.approx(expected, rel=0.01)
+    assert watts(before, after) == pytest.approx(96.0, rel=0.01)
+    assert seconds(before, after) == pytest.approx(0.5, rel=0.001)
+    setup.close()
+
+
+def test_cpp_style_aliases():
+    assert Joules is joules
+    assert Watt is watts
+
+
+def test_energy_is_cumulative_and_monotonic_under_load():
+    setup = make_loaded_setup(amps=2.0)
+    energies = []
+    for _ in range(5):
+        setup.ps.pump(1000)
+        energies.append(setup.ps.total_energy())
+    assert all(b > a for a, b in zip(energies, energies[1:]))
+    setup.close()
+
+
+def test_per_pair_energy_selects_pair():
+    setup = make_loaded_setup()
+    before = setup.ps.read()
+    setup.ps.pump(2000)
+    after = setup.ps.read()
+    assert joules(before, after, pair=0) == pytest.approx(
+        joules(before, after), rel=1e-9
+    )
+    assert joules(before, after, pair=1) == pytest.approx(0.0, abs=1e-9)
+    setup.close()
+
+
+def test_invalid_pair_rejected():
+    setup = make_loaded_setup()
+    state = setup.ps.read()
+    with pytest.raises(MeasurementError):
+        joules(state, state, pair=4)
+    with pytest.raises(MeasurementError):
+        setup.ps.total_energy(pair=7)
+    setup.close()
+
+
+def test_watts_requires_ordered_states():
+    setup = make_loaded_setup()
+    state = setup.ps.read()
+    with pytest.raises(MeasurementError):
+        watts(state, state)
+    setup.close()
+
+
+def test_state_snapshot_is_immutable_record():
+    setup = make_loaded_setup()
+    setup.ps.pump(100)
+    state = setup.ps.read()
+    with pytest.raises(AttributeError):
+        state.time = 0.0
+    setup.close()
+
+
+def test_latest_readings_in_state():
+    setup = make_loaded_setup(amps=8.0, volts=12.0)
+    setup.ps.pump(2000)
+    state = setup.ps.read()
+    assert state.voltage[0] == pytest.approx(12.0, rel=0.02)
+    assert state.current[0] == pytest.approx(8.0, rel=0.05)
+    assert state.pair_power(0) == pytest.approx(96.0, rel=0.05)
+    setup.close()
+
+
+def test_marker_chars_logged_in_order():
+    setup = make_loaded_setup()
+    setup.ps.mark("A")
+    setup.ps.pump(10)
+    setup.ps.mark("B")
+    setup.ps.pump(10)
+    chars = [c for _, c in setup.ps.marker_log]
+    assert chars == ["A", "B"]
+    assert setup.ps.read().marker_count == 2
+    setup.close()
+
+
+def test_marker_requires_single_char():
+    setup = make_loaded_setup()
+    with pytest.raises(MeasurementError):
+        setup.ps.mark("AB")
+    setup.close()
+
+
+def test_negative_pump_duration_rejected():
+    setup = make_loaded_setup()
+    with pytest.raises(MeasurementError):
+        setup.ps.pump_seconds(-1.0)
+    setup.close()
+
+
+def test_set_config_pauses_and_resumes_streaming():
+    setup = make_loaded_setup(direct=False)
+    setup.ps.pump(10)
+    cfg = setup.ps.set_config(0, name="renamed")
+    assert cfg.name == "renamed"
+    block = setup.ps.pump(10)  # streaming resumed
+    assert len(block) == 10
+    setup.close()
+
+
+def test_disabling_a_sensor_stops_its_data():
+    setup = make_loaded_setup(direct=False)
+    setup.ps.set_config(1, enabled=False)
+    block = setup.ps.pump(20)
+    assert not block.enabled[1]
+    assert (block.values[:, 1] == 0).all()
+    setup.close()
+
+
+def test_context_manager_closes():
+    setup = make_loaded_setup()
+    with setup.ps as ps:
+        ps.pump(10)
+    assert not setup.ps.source.streaming
+
+
+def test_samples_seen_counter():
+    setup = make_loaded_setup()
+    setup.ps.pump(123)
+    setup.ps.pump(77)
+    assert setup.ps.samples_seen == 200
+    setup.close()
+
+
+def test_energy_integration_uses_timestamps():
+    """Energy equals the sample-power sum times the sample interval."""
+    setup = make_loaded_setup()
+    block = setup.ps.pump(5000)
+    total = setup.ps.total_energy()
+    riemann = block.pair_power(0).sum() * (1.0 / setup.ps.sample_rate)
+    assert total == pytest.approx(riemann, rel=1e-3)
+    setup.close()

@@ -1,0 +1,240 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.pareto import dominates, pareto_front
+from repro.common.stats import block_average
+from repro.common.units import MIB
+from repro.dut.ssd import Ssd, SsdSpec
+from repro.firmware.protocol import (
+    SensorReading,
+    StreamDecoder,
+    Timestamp,
+    TimestampUnwrapper,
+    encode_sensor_packet,
+    encode_timestamp_packet,
+)
+from repro.hardware.eeprom import SensorConfig, VirtualEeprom
+from repro.tuner.searchspace import SearchSpace
+
+# --------------------------------------------------------------------- #
+# Protocol                                                               #
+# --------------------------------------------------------------------- #
+
+sensor_events = st.tuples(
+    st.integers(0, 7), st.integers(0, 1023), st.booleans()
+).map(lambda t: (t[0], t[1], t[2] and t[0] == 0))
+
+
+@given(st.lists(sensor_events, min_size=1, max_size=200))
+def test_protocol_roundtrip_any_sequence(events):
+    stream = b"".join(encode_sensor_packet(s, v, m) for s, v, m in events)
+    decoded = list(StreamDecoder().feed(stream))
+    expected = []
+    for sensor, value, marker in events:
+        if sensor == 7 and marker:
+            expected.append(Timestamp(micros=value))
+        else:
+            expected.append(SensorReading(sensor, value, marker))
+    assert decoded == expected
+
+
+@given(
+    st.lists(sensor_events, min_size=1, max_size=50),
+    st.lists(st.integers(1, 16), min_size=1, max_size=10),
+)
+def test_protocol_chunking_invariant(events, chunk_sizes):
+    """Decoding is invariant to how the byte stream is split."""
+    stream = b"".join(encode_sensor_packet(s, v, m) for s, v, m in events)
+    whole = list(StreamDecoder().feed(stream))
+    decoder = StreamDecoder()
+    split = []
+    offset = 0
+    i = 0
+    while offset < len(stream):
+        size = chunk_sizes[i % len(chunk_sizes)]
+        split.extend(decoder.feed(stream[offset : offset + size]))
+        offset += size
+        i += 1
+    assert split == whole
+
+
+@given(st.lists(st.integers(0, 200), min_size=1, max_size=300))
+def test_timestamp_unwrap_monotonic(deltas):
+    """Unwrapped time is non-decreasing for forward deltas < wrap/2."""
+    unwrapper = TimestampUnwrapper()
+    raw = 0
+    previous = -1.0
+    for delta in deltas:
+        raw = (raw + delta) % 1024
+        now = unwrapper.update(raw)
+        assert now >= previous
+        previous = now
+
+
+@given(st.integers(0, 1023), st.integers(0, 1023))
+def test_timestamp_packet_encodes_mod_1024(a, b):
+    stream = encode_timestamp_packet(a) + encode_timestamp_packet(b)
+    events = list(StreamDecoder().feed(stream))
+    assert events == [Timestamp(a), Timestamp(b)]
+
+
+# --------------------------------------------------------------------- #
+# EEPROM                                                                 #
+# --------------------------------------------------------------------- #
+
+names = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=15
+)
+
+
+@given(
+    names,
+    names,
+    st.floats(-10, 10, allow_nan=False),
+    st.floats(0.001, 10, allow_nan=False),
+    st.booleans(),
+)
+def test_eeprom_record_roundtrip(name, pair, vref, slope, enabled):
+    config = SensorConfig(
+        name=name, pair_name=pair, vref=vref, slope=slope, enabled=enabled
+    )
+    restored = SensorConfig.unpack(config.pack())
+    assert restored.name == name
+    assert restored.pair_name == pair
+    assert np.float32(vref) == np.float32(restored.vref)
+    assert restored.enabled == enabled
+
+
+@given(st.lists(st.integers(0, 7), min_size=1, max_size=8, unique=True))
+def test_eeprom_image_roundtrip(enabled_sensors):
+    eeprom = VirtualEeprom()
+    for sensor in enabled_sensors:
+        eeprom.update(sensor, enabled=True, name=f"s{sensor}")
+    restored = VirtualEeprom.unpack(eeprom.pack())
+    for sensor in range(8):
+        assert restored.get(sensor).enabled == (sensor in enabled_sensors)
+
+
+# --------------------------------------------------------------------- #
+# Statistics                                                             #
+# --------------------------------------------------------------------- #
+
+
+@given(
+    st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=500),
+    st.integers(1, 50),
+)
+def test_block_average_preserves_mean_of_covered_samples(values, block):
+    data = np.asarray(values)
+    if data.size < block:
+        return
+    covered = data[: (data.size // block) * block]
+    averaged = block_average(data, block)
+    assert np.isclose(averaged.mean(), covered.mean(), rtol=1e-9, atol=1e-6)
+
+
+@given(
+    st.lists(st.floats(-1e3, 1e3), min_size=2, max_size=500),
+    st.integers(1, 50),
+)
+def test_block_average_within_min_max(values, block):
+    data = np.asarray(values)
+    if data.size < block:
+        return
+    averaged = block_average(data, block)
+    assert averaged.min() >= data.min() - 1e-9
+    assert averaged.max() <= data.max() + 1e-9
+
+
+# --------------------------------------------------------------------- #
+# Pareto                                                                 #
+# --------------------------------------------------------------------- #
+
+points = st.lists(
+    st.tuples(st.floats(0, 100), st.floats(0, 100)), min_size=1, max_size=100
+)
+
+
+@given(points)
+def test_pareto_members_not_dominated(pts):
+    xs = np.array([p[0] for p in pts])
+    ys = np.array([p[1] for p in pts])
+    front = pareto_front(xs, ys)
+    assert front.size >= 1
+    for i in front:
+        for j in range(xs.size):
+            assert not dominates((xs[j], ys[j]), (xs[i], ys[i]))
+
+
+@given(points)
+def test_pareto_nonmembers_are_dominated(pts):
+    xs = np.array([p[0] for p in pts])
+    ys = np.array([p[1] for p in pts])
+    front = set(int(i) for i in pareto_front(xs, ys))
+    for j in range(xs.size):
+        if j in front:
+            continue
+        dominated_or_tied = any(
+            dominates((xs[i], ys[i]), (xs[j], ys[j]))
+            or (xs[i] == xs[j] and ys[i] == ys[j])
+            for i in front
+        )
+        assert dominated_or_tied
+
+
+# --------------------------------------------------------------------- #
+# Search space                                                           #
+# --------------------------------------------------------------------- #
+
+
+@given(
+    st.dictionaries(
+        st.sampled_from(["a", "b", "c"]),
+        st.lists(st.integers(0, 5), min_size=1, max_size=4, unique=True),
+        min_size=1,
+    )
+)
+def test_searchspace_size_matches_product(params):
+    space = SearchSpace(tune_params=params)
+    expected = 1
+    for values in params.values():
+        expected *= len(values)
+    assert len(space.enumerate()) == expected == space.cartesian_size
+
+
+# --------------------------------------------------------------------- #
+# FTL                                                                    #
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.lists(
+        st.lists(st.integers(0, 4095), min_size=1, max_size=512),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_ftl_invariants_under_arbitrary_writes(batches):
+    ssd = Ssd(SsdSpec(logical_bytes=16 * MIB))  # 4096 logical pages
+    written = set()
+    for batch in batches:
+        ssd.write_pages(np.asarray(batch, dtype=np.int64))
+        written.update(batch)
+        ssd.check_invariants()
+    assert ssd.mapped_pages == len(written)  # nothing lost, nothing extra
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_ftl_heavy_churn_keeps_all_data(seed):
+    ssd = Ssd(SsdSpec(logical_bytes=16 * MIB))
+    rng = np.random.default_rng(seed)
+    ssd.write_pages(np.arange(ssd.spec.logical_pages))
+    for _ in range(8):
+        ssd.write_pages(rng.integers(0, ssd.spec.logical_pages, 2048))
+    ssd.check_invariants()
+    assert ssd.mapped_pages == ssd.spec.logical_pages

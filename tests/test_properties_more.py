@@ -1,0 +1,161 @@
+"""Property-based tests, second batch: bench objects and host invariants."""
+
+import io
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.dump import DumpReader, DumpWriter
+from repro.dut.base import SegmentRail
+from repro.dut.cpu import CpuSpec
+from repro.dut.instruments import ElectronicLoad
+from repro.storage.fio import parse_size
+from tests.conftest import make_loaded_setup
+
+# --------------------------------------------------------------------- #
+# Electronic load                                                        #
+# --------------------------------------------------------------------- #
+
+step_lists = st.lists(
+    st.tuples(st.floats(0.001, 10.0), st.floats(-10.0, 10.0)),
+    min_size=1,
+    max_size=10,
+)
+
+
+@given(step_lists)
+def test_load_breakpoints_are_time_ordered(steps):
+    load = ElectronicLoad()
+    t = 0.0
+    for dt, amps in steps:
+        t += dt
+        load.set_current(amps, at_time=t)
+    times, _ = load._breakpoints()
+    assert (np.diff(times) >= 0).all()
+
+
+@given(step_lists, st.floats(0.0, 50.0))
+def test_load_current_between_setpoint_extremes(steps, query):
+    load = ElectronicLoad()
+    t = 0.0
+    values = [0.0]
+    for dt, amps in steps:
+        t += dt
+        load.set_current(amps, at_time=t)
+        values.append(amps)
+    current = load.current_at(np.array([query]))[0]
+    assert min(values) - 1e-9 <= current <= max(values) + 1e-9
+
+
+# --------------------------------------------------------------------- #
+# Segment rail                                                           #
+# --------------------------------------------------------------------- #
+
+segments = st.lists(
+    st.tuples(st.floats(0.001, 1.0), st.floats(0.001, 1.0), st.floats(1.0, 500.0)),
+    min_size=1,
+    max_size=8,
+)
+
+
+@given(segments)
+def test_segment_rail_reads_scheduled_levels(gaps):
+    rail = SegmentRail(volts=12.0, idle_watts=7.0)
+    t = 0.0
+    spans = []
+    for gap, duration, watts in gaps:
+        start = t + gap
+        stop = start + duration
+        rail.schedule(start, stop, watts)
+        spans.append((start, stop, watts))
+        t = stop
+    for start, stop, watts in spans:
+        mid = (start + stop) / 2
+        volts, amps = rail.sample_uniform(mid, 1.0, 1)
+        assert np.isclose(volts[0] * amps[0], watts, rtol=1e-12)
+    # Before the first segment the rail idles.
+    volts, amps = rail.sample_uniform(spans[0][0] - 1e-4, 1.0, 1)
+    assert np.isclose(volts[0] * amps[0], 7.0, rtol=1e-12)
+
+
+# --------------------------------------------------------------------- #
+# Dump files                                                             #
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.integers(2, 40),
+    st.integers(1, 3),
+    st.floats(0.1, 30.0),
+    st.floats(0.01, 20.0),
+)
+def test_dump_roundtrip_random_shapes(n, pairs, volts, amps):
+    times = np.arange(n) * 5e-5
+    v = np.full((n, pairs), volts)
+    i = np.full((n, pairs), amps)
+    buffer = io.StringIO()
+    writer = DumpWriter(buffer, [f"p{k}" for k in range(pairs)], 20_000.0)
+    writer.write_samples(times, v, i)
+    buffer.seek(0)
+    data = DumpReader.read(buffer)
+    assert data.times.size == n
+    assert data.volts.shape == (n, pairs)
+    assert np.allclose(data.volts, volts, atol=1e-4)
+    assert np.allclose(data.amps, amps, atol=1e-4)
+
+
+# --------------------------------------------------------------------- #
+# fio sizes                                                              #
+# --------------------------------------------------------------------- #
+
+
+@given(st.integers(1, 10_000), st.sampled_from(["", "k", "m"]))
+def test_parse_size_scales(value, suffix):
+    scale = {"": 1, "k": 1024, "m": 1024**2}[suffix]
+    assert parse_size(f"{value}{suffix}") == value * scale
+
+
+# --------------------------------------------------------------------- #
+# CPU power model                                                        #
+# --------------------------------------------------------------------- #
+
+
+@given(st.integers(0, 16))
+def test_cpu_power_within_envelope(cores):
+    spec = CpuSpec()
+    power = spec.package_power(cores)
+    assert spec.idle_watts <= power <= spec.tdp_watts
+
+
+@given(st.integers(0, 15))
+def test_cpu_power_monotone_step(cores):
+    spec = CpuSpec()
+    assert spec.package_power(cores + 1) >= spec.package_power(cores) - 1e-9
+
+
+# --------------------------------------------------------------------- #
+# Host energy accounting                                                 #
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=5, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.lists(st.integers(50, 400), min_size=2, max_size=5))
+def test_energy_additive_over_chunked_pumping(chunks):
+    """Pumping in chunks accumulates the same energy as one big pump.
+
+    Chunked noise generation is statistically (not bitwise) equivalent to
+    one draw, so the comparison allows the noise-mean tolerance.
+    """
+    chunked = make_loaded_setup(seed=99)
+    whole = make_loaded_setup(seed=99)
+    for n in chunks:
+        chunked.ps.pump(n)
+    whole.ps.pump(sum(chunks))
+    assert np.isclose(
+        chunked.ps.total_energy(), whole.ps.total_energy(), rtol=2e-3
+    )
+    assert chunked.ps.samples_seen == whole.ps.samples_seen
+    chunked.close()
+    whole.close()

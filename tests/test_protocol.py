@@ -1,0 +1,120 @@
+"""Wire protocol: packet encoding, stream decoding, timestamp unwrap."""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.firmware.protocol import (
+    SensorReading,
+    StreamDecoder,
+    Timestamp,
+    TimestampUnwrapper,
+    encode_sensor_packet,
+    encode_timestamp_packet,
+)
+
+
+def decode_all(data: bytes):
+    return list(StreamDecoder().feed(data))
+
+
+def test_sensor_packet_roundtrip():
+    for sensor in range(8):
+        for value in (0, 1, 511, 512, 1023):
+            packet = encode_sensor_packet(sensor, value)
+            events = decode_all(packet)
+            assert events == [SensorReading(sensor=sensor, value=value, marker=False)]
+
+
+def test_marker_only_on_sensor_zero():
+    packet = encode_sensor_packet(0, 100, marker=True)
+    (event,) = decode_all(packet)
+    assert event.marker
+    with pytest.raises(ProtocolError):
+        encode_sensor_packet(1, 100, marker=True)
+
+
+def test_first_byte_flagging():
+    packet = encode_sensor_packet(3, 700)
+    assert packet[0] & 0x80
+    assert not packet[1] & 0x80
+
+
+def test_value_bounds():
+    with pytest.raises(ProtocolError):
+        encode_sensor_packet(0, 1024)
+    with pytest.raises(ProtocolError):
+        encode_sensor_packet(0, -1)
+    with pytest.raises(ProtocolError):
+        encode_sensor_packet(8, 0)
+
+
+def test_timestamp_packet_roundtrip():
+    for micros in (0, 1, 1023, 1024, 5000):
+        (event,) = decode_all(encode_timestamp_packet(micros))
+        assert isinstance(event, Timestamp)
+        assert event.micros == micros % 1024
+
+
+def test_sensor7_without_marker_is_data():
+    (event,) = decode_all(encode_sensor_packet(7, 99))
+    assert isinstance(event, SensorReading)
+    assert event.sensor == 7
+
+
+def test_stream_decoder_handles_chunking():
+    data = b"".join(
+        encode_sensor_packet(s, v) for s, v in [(0, 10), (1, 20), (2, 30)]
+    )
+    decoder = StreamDecoder()
+    events = []
+    for i in range(len(data)):
+        events.extend(decoder.feed(data[i : i + 1]))
+    assert [e.value for e in events] == [10, 20, 30]
+
+
+def test_resync_on_dangling_second_byte():
+    decoder = StreamDecoder()
+    events = list(decoder.feed(b"\x05" + encode_sensor_packet(1, 42)))
+    assert decoder.resync_count == 1
+    assert [e.value for e in events] == [42]
+
+
+def test_resync_on_dangling_first_byte():
+    decoder = StreamDecoder()
+    broken = encode_sensor_packet(1, 42)[:1] + encode_sensor_packet(2, 7)
+    events = list(decoder.feed(broken))
+    assert decoder.resync_count == 1
+    assert [e.sensor for e in events] == [2]
+
+
+def test_decoder_reset():
+    decoder = StreamDecoder()
+    list(decoder.feed(b"\x81"))  # pending first byte
+    decoder.reset()
+    assert decoder.resync_count == 0
+    assert list(decoder.feed(encode_sensor_packet(0, 1))) == [
+        SensorReading(0, 1, False)
+    ]
+
+
+def test_unwrapper_monotonic_across_wraps():
+    unwrapper = TimestampUnwrapper()
+    # 50 us steps for 3 wraps of the 1024 us counter.
+    times = []
+    for k in range(70):
+        raw = (k * 50) % 1024
+        times.append(unwrapper.update(raw))
+    assert times[0] == pytest.approx(0.0)
+    deltas = [b - a for a, b in zip(times, times[1:])]
+    assert all(d == pytest.approx(50e-6) for d in deltas)
+
+
+def test_unwrapper_rejects_out_of_range():
+    with pytest.raises(ProtocolError):
+        TimestampUnwrapper().update(1024)
+
+
+def test_unwrapper_seconds_property():
+    unwrapper = TimestampUnwrapper()
+    unwrapper.update(100)
+    assert unwrapper.seconds == pytest.approx(100e-6)

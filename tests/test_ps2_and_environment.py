@@ -1,0 +1,191 @@
+"""PowerSensor2 model, external fields, cabled rails, CPU substrate."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError, MeasurementError
+from repro.common.rng import RngStream
+from repro.dut.base import CabledRail, ConstantRail
+from repro.dut.cpu import Cpu, CpuSpec, LoadPhase
+from repro.hardware.powersensor2 import PS2_SAMPLE_RATE_HZ, PowerSensor2
+from repro.hardware.sensors import CurrentSensor, ExternalField
+from repro.pmt import create, pmt_watts
+from repro.vendor.rapl import RaplDomain
+
+
+# --------------------------------------------------------------------- #
+# ExternalField                                                         #
+# --------------------------------------------------------------------- #
+
+
+def test_field_static_and_step():
+    field = ExternalField(static_mt=1.0)
+    field.add_step(at_time=5.0, level_mt=3.0)
+    values = field.at(np.array([0.0, 4.9, 5.0, 10.0]))
+    assert np.allclose(values, [1.0, 1.0, 3.0, 3.0])
+
+
+def test_field_ripple():
+    field = ExternalField(ripple_mt=0.5, ripple_hz=50.0)
+    t = np.linspace(0, 0.02, 200, endpoint=False)
+    values = field.at(t)
+    assert values.max() == pytest.approx(0.5, abs=0.01)
+    assert values.mean() == pytest.approx(0.0, abs=0.01)
+
+
+def test_differential_sensor_rejects_field():
+    field = ExternalField(static_mt=2.0)
+    sensor = CurrentSensor(
+        0.12, 0.0, RngStream(0), tempco_a_per_k=0.0, external_field=field
+    )
+    out = sensor.transduce_uniform(np.zeros(4), 0.0, 1e-4)
+    coupled_amps = (out[0] - 1.65) / 0.12
+    assert abs(coupled_amps) == pytest.approx(0.004, abs=1e-6)  # 2 mA/mT
+
+
+def test_single_ended_sensor_couples_field():
+    field = ExternalField(static_mt=2.0)
+    sensor = CurrentSensor(
+        0.12,
+        0.0,
+        RngStream(0),
+        tempco_a_per_k=0.0,
+        field_coupling_a_per_mt=0.25,
+        external_field=field,
+    )
+    out = sensor.transduce_uniform(np.zeros(4), 0.0, 1e-4)
+    coupled_amps = (out[0] - 1.65) / 0.12
+    assert coupled_amps == pytest.approx(0.5, abs=1e-6)
+
+
+# --------------------------------------------------------------------- #
+# PowerSensor2                                                          #
+# --------------------------------------------------------------------- #
+
+
+def test_ps2_channel_limits():
+    with pytest.raises(ConfigurationError):
+        PowerSensor2([])
+    with pytest.raises(ConfigurationError):
+        PowerSensor2([12.0] * 6)
+    with pytest.raises(ConfigurationError):
+        PowerSensor2([12.0]).attach(3, ConstantRail(12.0, 1.0))
+
+
+def test_ps2_sample_rate():
+    assert PowerSensor2([12.0]).sample_rate == PS2_SAMPLE_RATE_HZ == 2800.0
+
+
+def test_ps2_measures_current_against_nominal_voltage():
+    ps2 = PowerSensor2([12.0], seed=1)
+    ps2.calibrate()
+    # The true rail sags to 11 V; PS2 still assumes 12 V.
+    ps2.attach(0, ConstantRail(11.0, 5.0))
+    _, watts = ps2.measure(0.1, 0.5)
+    assert watts.mean() == pytest.approx(60.0, rel=0.03)  # 12 * 5, not 55
+
+
+def test_ps2_calibration_removes_offset():
+    raw = PowerSensor2([12.0], seed=2)
+    raw.attach(0, ConstantRail(12.0, 0.0))
+    _, before = raw.measure(0.1, 0.2)
+    cal = PowerSensor2([12.0], seed=2)
+    cal.calibrate()
+    cal.attach(0, ConstantRail(12.0, 0.0))
+    _, after = cal.measure(0.1, 0.2)
+    assert abs(after.mean()) < abs(before.mean())
+
+
+def test_ps2_energy():
+    ps2 = PowerSensor2([12.0], seed=3)
+    ps2.calibrate()
+    ps2.attach(0, ConstantRail(12.0, 2.0))
+    energy = ps2.measure_energy(0.1, 1.0)
+    assert energy == pytest.approx(24.0, rel=0.05)
+
+
+def test_ps2_noisier_than_ps3_spec():
+    ps2 = PowerSensor2([12.0], seed=4)
+    ps2.calibrate()
+    ps2.attach(0, ConstantRail(12.0, 1.0))
+    _, watts = ps2.measure(0.1, 2.0)
+    # ACS712-class noise at 2.8 kHz without averaging: ~1 W rms at 12 V.
+    assert watts.std() > 0.72
+
+
+# --------------------------------------------------------------------- #
+# CabledRail                                                            #
+# --------------------------------------------------------------------- #
+
+
+def test_cabled_rail_remote_sense_transparent():
+    rail = CabledRail(ConstantRail(12.0, 8.0), 0.05, remote_sense=True)
+    volts, amps = rail.sample_uniform(0.0, 1e-4, 3)
+    assert np.allclose(volts, 12.0)
+    assert np.allclose(amps, 8.0)
+
+
+def test_cabled_rail_local_sense_overreads():
+    rail = CabledRail(ConstantRail(12.0, 8.0), 0.05, remote_sense=False)
+    volts, _ = rail.sample_uniform(0.0, 1e-4, 3)
+    assert np.allclose(volts, 12.4)  # + I * R
+
+
+def test_cabled_rail_rejects_negative_resistance():
+    with pytest.raises(MeasurementError):
+        CabledRail(ConstantRail(12.0, 1.0), -0.1)
+
+
+# --------------------------------------------------------------------- #
+# CPU + RAPL                                                            #
+# --------------------------------------------------------------------- #
+
+
+def test_cpu_power_monotone_in_cores():
+    spec = CpuSpec()
+    powers = [spec.package_power(n) for n in range(spec.n_cores + 1)]
+    assert all(b >= a for a, b in zip(powers, powers[1:]))
+    assert powers[0] == spec.idle_watts
+    assert powers[-1] <= spec.tdp_watts
+
+
+def test_cpu_turbo_ladder():
+    spec = CpuSpec()
+    assert spec.clock_at(2) == spec.turbo_clock_ghz
+    assert spec.clock_at(spec.n_cores) == pytest.approx(spec.allcore_clock_ghz)
+    assert spec.clock_at(spec.n_cores) < spec.clock_at(spec.turbo_core_limit + 1)
+
+
+def test_cpu_invalid_cores():
+    with pytest.raises(MeasurementError):
+        CpuSpec().package_power(99)
+
+
+def test_cpu_render_phases():
+    cpu = Cpu()
+    cpu.schedule(LoadPhase(start=0.5, duration=1.0, active_cores=8))
+    trace = cpu.render(2.0)
+    idle = trace.watts[trace.times < 0.4].mean()
+    busy = trace.watts[(trace.times > 1.0) & (trace.times < 1.4)].mean()
+    assert idle == pytest.approx(cpu.spec.idle_watts, abs=1.0)
+    assert busy == pytest.approx(cpu.spec.package_power(8), rel=0.05)
+
+
+def test_cpu_schedule_validation():
+    cpu = Cpu()
+    with pytest.raises(MeasurementError):
+        cpu.schedule(LoadPhase(0.0, 0.0, 4))
+    with pytest.raises(MeasurementError):
+        cpu.schedule(LoadPhase(0.0, 1.0, 99))
+
+
+def test_rapl_over_cpu_trace_through_pmt():
+    cpu = Cpu()
+    cpu.schedule(LoadPhase(start=0.0, duration=2.0, active_cores=8))
+    trace = cpu.render(2.0)
+    backend = create("rapl", RaplDomain(trace, RngStream(5)))
+    first = backend.read(0.5)
+    second = backend.read(1.5)
+    assert pmt_watts(first, second) == pytest.approx(
+        cpu.spec.package_power(8), rel=0.1
+    )

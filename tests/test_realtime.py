@@ -1,0 +1,64 @@
+"""Realtime driver: background pumping at wall-clock pace."""
+
+import time
+
+import pytest
+
+from repro.core.realtime import RealtimeDriver
+from repro.core.state import joules, seconds
+from tests.conftest import make_loaded_setup
+
+
+def test_driver_pumps_in_background():
+    setup = make_loaded_setup(amps=4.0)
+    with RealtimeDriver(setup.ps, chunk_seconds=0.01) as driver:
+        before = driver.read()
+        time.sleep(0.15)
+        after = driver.read()
+    assert seconds(before, after) > 0.05
+    assert joules(before, after) > 0
+    setup.close()
+
+
+def test_time_scale_accelerates_simulation():
+    setup = make_loaded_setup(amps=4.0)
+    with RealtimeDriver(setup.ps, time_scale=10.0, chunk_seconds=0.01) as driver:
+        time.sleep(0.12)
+        state = driver.read()
+    # ~0.12 s of wall time at 10x => >= ~0.5 s simulated (scheduling slack).
+    assert state.time > 0.4
+    setup.close()
+
+
+def test_driver_mark_thread_safe():
+    setup = make_loaded_setup()
+    with RealtimeDriver(setup.ps, chunk_seconds=0.01) as driver:
+        driver.mark("A")
+        time.sleep(0.08)
+    assert [c for _, c in setup.ps.marker_log] == ["A"]
+    setup.close()
+
+
+def test_double_start_rejected():
+    setup = make_loaded_setup()
+    driver = RealtimeDriver(setup.ps)
+    driver.start()
+    with pytest.raises(RuntimeError):
+        driver.start()
+    driver.stop()
+    setup.close()
+
+
+def test_stop_is_idempotent():
+    setup = make_loaded_setup()
+    driver = RealtimeDriver(setup.ps).start()
+    driver.stop()
+    driver.stop()
+    setup.close()
+
+
+def test_invalid_time_scale():
+    setup = make_loaded_setup()
+    with pytest.raises(ValueError):
+        RealtimeDriver(setup.ps, time_scale=0.0)
+    setup.close()

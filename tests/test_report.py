@@ -1,0 +1,81 @@
+"""Reproduce-all report tool (structure only; full runs live in benchmarks)."""
+
+from repro.experiments import table1
+from repro.experiments.report import _experiment_plan, render_markdown
+
+
+def test_plan_covers_every_artifact():
+    sections = [section for section, _ in _experiment_plan(full=False)]
+    for expected in (
+        "Table I",
+        "Table II",
+        "Fig. 4",
+        "Fig. 5",
+        "Long-term stability",
+        "Fig. 7a (NVIDIA)",
+        "Fig. 7b (AMD)",
+        "Fig. 8",
+        "Fig. 10",
+        "Fig. 12",
+    ):
+        assert expected in sections
+    assert sum(1 for s in sections if s.startswith("Ablation")) == 6
+
+
+def test_plan_full_flag_changes_scale():
+    bench = dict(_experiment_plan(full=False))
+    paper = dict(_experiment_plan(full=True))
+    assert set(bench) == set(paper)
+
+
+def test_render_markdown():
+    result = table1.run()
+    report = render_markdown([("Table I", result, 1.23)], full=False)
+    assert "# PowerSensor3 reproduction report" in report
+    assert "## Table I" in report
+    assert "paper E_p" in report
+    assert "1.2 s" in report
+    assert "bench" in report
+    full_report = render_markdown([("Table I", result, 0.5)], full=True)
+    assert "paper (full)" in full_report
+
+
+def test_experiment_result_save_load_roundtrip(tmp_path):
+    import numpy as np
+
+    from repro.experiments.common import ExperimentResult
+
+    result = ExperimentResult(
+        name="demo",
+        rows=[{"x": 1.5, "ok": True, "label": "a"}],
+        series={"t": np.arange(5.0), "p": np.ones(5)},
+        notes=["hello"],
+    )
+    result.save(tmp_path / "artifact")
+    restored = ExperimentResult.load(tmp_path / "artifact")
+    assert restored.name == "demo"
+    assert restored.rows == [{"x": 1.5, "ok": True, "label": "a"}]
+    assert restored.notes == ["hello"]
+    assert np.array_equal(restored.series["t"], np.arange(5.0))
+
+
+def test_experiment_result_save_without_series(tmp_path):
+    from repro.experiments.common import ExperimentResult
+
+    result = ExperimentResult(name="tableonly", rows=[{"a": 1}])
+    directory = result.save(tmp_path / "t")
+    assert (directory / "result.json").exists()
+    assert not (directory / "series.npz").exists()
+    assert ExperimentResult.load(directory).rows == [{"a": 1}]
+
+
+def test_real_experiment_artifact_roundtrip(tmp_path):
+    import numpy as np
+
+    from repro.experiments.common import ExperimentResult
+
+    result = table1.run()
+    result.save(tmp_path / "table1")
+    restored = ExperimentResult.load(tmp_path / "table1")
+    assert len(restored.rows) == 4
+    assert restored.rows[0]["paper E_p"] == 4.2

@@ -1,0 +1,59 @@
+"""Deterministic hierarchical RNG streams."""
+
+import numpy as np
+
+from repro.common.rng import RngStream
+
+
+def test_same_seed_same_sequence():
+    a = RngStream(7, "x").normal(size=10)
+    b = RngStream(7, "x").normal(size=10)
+    assert np.array_equal(a, b)
+
+
+def test_different_paths_differ():
+    a = RngStream(7, "x").normal(size=10)
+    b = RngStream(7, "y").normal(size=10)
+    assert not np.array_equal(a, b)
+
+
+def test_child_streams_are_independent_of_sibling_consumption():
+    parent = RngStream(7)
+    child_a_before = parent.child("a").normal(size=5)
+    # Consuming a sibling stream must not perturb "a".
+    parent.child("b").normal(size=1000)
+    child_a_after = RngStream(7).child("a").normal(size=5)
+    assert np.array_equal(child_a_before, child_a_after)
+
+
+def test_nested_children_distinct():
+    root = RngStream(0)
+    a = root.child("sensor").child("noise").normal(size=4)
+    b = root.child("sensor").child("drift").normal(size=4)
+    assert not np.array_equal(a, b)
+
+
+def test_uniform_bounds():
+    values = RngStream(3).uniform(2.0, 5.0, size=1000)
+    assert values.min() >= 2.0
+    assert values.max() < 5.0
+
+
+def test_integers_range():
+    values = RngStream(3).integers(0, 10, size=1000)
+    assert set(np.unique(values)) <= set(range(10))
+
+
+def test_choice_and_shuffle_deterministic():
+    a = RngStream(9)
+    b = RngStream(9)
+    xs = list(range(20))
+    ys = list(range(20))
+    a.shuffle(xs)
+    b.shuffle(ys)
+    assert xs == ys
+    assert a.choice([1, 2, 3]) == b.choice([1, 2, 3])
+
+
+def test_exponential_positive():
+    assert (RngStream(1).exponential(2.0, size=100) > 0).all()

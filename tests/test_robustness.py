@@ -1,0 +1,163 @@
+"""Fault injection: corrupted streams, fragmented reads, odd inputs.
+
+The host library of a real measurement instrument must survive a noisy
+serial link; these tests inject the failure modes a physical deployment
+sees and check the pipeline degrades gracefully.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.sources import ProtocolSampleSource
+from repro.core.setup import SimulatedSetup
+from repro.dut.instruments import ElectronicLoad, LabSupply, LoadedSupplyRail
+from tests.conftest import make_loaded_setup
+
+
+def corrupting_setup(seed=0):
+    setup = make_loaded_setup(direct=False, seed=seed)
+    return setup
+
+
+def test_dropped_byte_loses_at_most_one_sample():
+    """A single lost byte resynchronises within the same sample set."""
+    setup = corrupting_setup()
+    source: ProtocolSampleSource = setup.source
+    link = setup.link
+    link.write(b"S") if not setup.firmware.streaming else None
+    data = bytearray(setup.firmware.produce(100))
+    del data[37]  # drop one mid-stream byte
+    block = source._decode(bytes(data), 100)
+    assert 98 <= len(block) <= 100
+    assert source._decoder.resync_count >= 1
+    # Subsequent clean data decodes normally.
+    clean = source._decode(setup.firmware.produce(50), 50)
+    assert len(clean) == 50
+    setup.close()
+
+
+def test_flipped_flag_bit_recovers():
+    setup = corrupting_setup(seed=1)
+    source = setup.source
+    data = bytearray(setup.firmware.produce(50))
+    data[12] ^= 0x80  # flip a first/second-byte flag
+    block = source._decode(bytes(data), 50)
+    assert len(block) >= 48
+    clean = source._decode(setup.firmware.produce(50), 50)
+    assert len(clean) == 50
+    setup.close()
+
+
+def test_random_noise_burst_does_not_crash_decoder():
+    setup = corrupting_setup(seed=2)
+    source = setup.source
+    rng = np.random.default_rng(0)
+    garbage = rng.integers(0, 256, size=64, dtype=np.uint8).tobytes()
+    source._decode(garbage, 0)  # must not raise
+    block = source._decode(setup.firmware.produce(20), 20)
+    assert 18 <= len(block) <= 21  # garbage may have left a partial sample
+    setup.close()
+
+
+def test_fragmented_reads_equal_bulk_read():
+    """Reading the link one byte at a time decodes identically."""
+    bulk = make_loaded_setup(direct=False, seed=3)
+    frag = make_loaded_setup(direct=False, seed=3)
+
+    bulk_block = bulk.ps.pump(40)
+
+    source = frag.source
+    data = frag.link.pump_samples(40)
+    pieces = []
+    for i in range(len(data)):
+        piece = source._decode(data[i : i + 1], 0)
+        if len(piece):
+            pieces.append(piece.values)
+    frag_values = np.concatenate(pieces)
+    assert frag_values.shape[0] == 40
+    assert np.allclose(frag_values[:, :2], bulk_block.values[:, :2])
+    bulk.close()
+    frag.close()
+
+
+def test_corrupted_samples_barely_move_long_energy():
+    """Energy over a long capture tolerates sporadic byte loss."""
+    setup = corrupting_setup(seed=4)
+    source = setup.source
+    total = 0.0
+    count = 0
+    rng = np.random.default_rng(1)
+    for _ in range(20):
+        data = bytearray(setup.firmware.produce(100))
+        if rng.random() < 0.5:
+            del data[int(rng.integers(0, len(data)))]
+        block = source._decode(bytes(data), 100)
+        if len(block):
+            total += float(block.pair_power(0).sum()) / 20_000.0
+            count += len(block)
+    # ~2000 samples at ~96 W -> ~9.6 J; a handful of lost samples is <1 %.
+    expected = count * 96.0 / 20_000.0
+    assert total == pytest.approx(expected, rel=0.02)
+    setup.close()
+
+
+def test_eeprom_image_corruption_detected():
+    from repro.common.errors import ConfigurationError
+    from repro.hardware.eeprom import VirtualEeprom
+
+    image = VirtualEeprom().pack()
+    with pytest.raises(ConfigurationError):
+        VirtualEeprom.unpack(image[:-1])
+
+
+def test_dump_reader_ignores_blank_lines(tmp_path):
+    from repro.core.dump import DumpReader
+
+    path = tmp_path / "gappy.txt"
+    path.write_text(
+        "# PowerSensor3 dump\n"
+        "# sample_rate_hz: 20000.0\n"
+        "# pairs: p0\n"
+        "# columns: time_s V I total_W\n"
+        "\n"
+        "0.0000500 12.0 1.0 12.0\n"
+        "\n"
+        "0.0001000 12.0 1.0 12.0\n"
+    )
+    data = DumpReader.read(path)
+    assert data.times.size == 2
+
+
+def test_zero_current_setpoint_and_negative_loads():
+    """The bench handles zero and negative (sourcing) currents."""
+    setup = make_loaded_setup(amps=0.0)
+    block = setup.ps.pump(2000)
+    assert block.pair_current(0).mean() == pytest.approx(0.0, abs=0.05)
+    setup.close()
+
+    negative = SimulatedSetup(
+        ["pcie_slot_12v"], seed=5, direct=True, calibration_samples=8192
+    )
+    load = ElectronicLoad()
+    load.set_current(-5.0)
+    negative.connect(0, LoadedSupplyRail(LabSupply(12.0), load))
+    negative.ps.pump_seconds(0.01)
+    block = negative.ps.pump(2000)
+    assert block.pair_current(0).mean() == pytest.approx(-5.0, abs=0.1)
+    assert block.pair_power(0).mean() == pytest.approx(-60.0, rel=0.02)
+    negative.close()
+
+
+def test_current_beyond_range_clips_visibly():
+    """Overdriving a module saturates the reading instead of wrapping."""
+    setup = SimulatedSetup(
+        ["pcie_slot_12v"], seed=6, direct=True, calibration_samples=8192
+    )
+    load = ElectronicLoad()
+    load.set_current(25.0)  # 2.5x the module's range
+    setup.connect(0, LoadedSupplyRail(LabSupply(12.0), load))
+    setup.ps.pump_seconds(0.01)
+    block = setup.ps.pump(1000)
+    reading = block.pair_current(0).mean()
+    assert 13.0 < reading < 15.0  # clipped at the ADC rail, not 25 A
+    setup.close()

@@ -1,0 +1,74 @@
+"""Tuner search spaces and restrictions."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.tuner.searchspace import SearchSpace, config_hash01, config_key
+
+
+def test_cartesian_enumeration():
+    space = SearchSpace(tune_params={"a": [1, 2], "b": ["x", "y", "z"]})
+    configs = space.enumerate()
+    assert len(configs) == 6
+    assert space.cartesian_size == 6
+    assert {"a": 1, "b": "x"} in configs
+
+
+def test_callable_restriction():
+    space = SearchSpace(
+        tune_params={"a": [1, 2, 3], "b": [1, 2, 3]},
+        restrictions=[lambda c: c["a"] <= c["b"]],
+    )
+    assert space.size == 6
+
+
+def test_string_restriction():
+    space = SearchSpace(
+        tune_params={"a": [1, 2, 3], "b": [1, 2, 3]},
+        restrictions=["a * b <= 4"],
+    )
+    assert all(c["a"] * c["b"] <= 4 for c in space.enumerate())
+
+
+def test_mixed_restrictions():
+    space = SearchSpace(
+        tune_params={"a": [1, 2, 3, 4]},
+        restrictions=["a > 1", lambda c: c["a"] < 4],
+    )
+    assert [c["a"] for c in space.enumerate()] == [2, 3]
+
+
+def test_empty_space_rejected():
+    with pytest.raises(ConfigurationError):
+        SearchSpace(tune_params={})
+    with pytest.raises(ConfigurationError):
+        SearchSpace(tune_params={"a": []})
+
+
+def test_enumeration_deterministic_order():
+    space = SearchSpace(tune_params={"a": [2, 1], "b": [True, False]})
+    assert space.enumerate() == space.enumerate()
+
+
+def test_config_key_order_independent():
+    assert config_key({"a": 1, "b": 2}) == config_key({"b": 2, "a": 1})
+
+
+def test_config_key_distinguishes_values():
+    assert config_key({"a": 1}) != config_key({"a": 2})
+
+
+def test_config_hash01_stable_and_salted():
+    config = {"x": 3, "y": (1, 2)}
+    assert config_hash01(config) == config_hash01(dict(config))
+    assert 0.0 <= config_hash01(config) < 1.0
+    assert config_hash01(config, salt="s1") != config_hash01(config, salt="s2")
+
+
+def test_restriction_cannot_use_builtins():
+    space = SearchSpace(
+        tune_params={"a": [1]},
+        restrictions=["__import__('os') is None"],
+    )
+    with pytest.raises(Exception):
+        space.enumerate()

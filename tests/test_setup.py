@@ -1,0 +1,91 @@
+"""SimulatedSetup assembly."""
+
+import pytest
+
+from repro.core.setup import SimulatedSetup
+from repro.core.sources import DirectSampleSource, ProtocolSampleSource
+
+
+def test_protocol_path_builds_firmware_and_link():
+    setup = SimulatedSetup(["pcie_slot_12v"], calibration_samples=4096)
+    assert setup.firmware is not None
+    assert setup.link is not None
+    assert isinstance(setup.source, ProtocolSampleSource)
+    setup.close()
+
+
+def test_direct_path_has_no_firmware():
+    setup = SimulatedSetup(["pcie_slot_12v"], direct=True, calibration_samples=4096)
+    assert setup.firmware is None
+    assert isinstance(setup.source, DirectSampleSource)
+    setup.close()
+
+
+def test_none_slots_left_empty():
+    setup = SimulatedSetup(
+        [None, "usbc", None, "pcie8pin"], calibration_samples=4096
+    )
+    slots = [c.slot for c in setup.baseboard.populated_slots()]
+    assert slots == [1, 3]
+    assert setup.eeprom.get(2).enabled
+    assert not setup.eeprom.get(0).enabled
+    setup.close()
+
+
+def test_too_many_slots_rejected():
+    with pytest.raises(ValueError):
+        SimulatedSetup(["usbc"] * 5)
+
+
+def test_calibration_results_recorded():
+    setup = SimulatedSetup(["pcie_slot_12v", "usbc"], calibration_samples=4096)
+    assert [r.slot for r in setup.calibration] == [0, 1]
+    setup.close()
+
+
+def test_skip_calibration():
+    setup = SimulatedSetup(
+        ["pcie_slot_12v"], calibrate=False, calibration_samples=4096
+    )
+    assert setup.calibration == []
+    assert setup.eeprom.get(0).vref == pytest.approx(1.65)
+    setup.close()
+
+
+def test_perfect_modules():
+    setup = SimulatedSetup(
+        ["pcie_slot_12v"],
+        perfect_modules=True,
+        calibrate=False,
+        calibration_samples=4096,
+    )
+    module = setup.baseboard.populated_slots()[0].module
+    assert module.current_sensor.offset_a == 0.0
+    setup.close()
+
+
+def test_sample_rate_is_20khz():
+    setup = SimulatedSetup(["usbc"], direct=True, calibration_samples=4096)
+    assert setup.sample_rate == pytest.approx(20_000, rel=1e-3)
+    setup.close()
+
+
+def test_context_manager():
+    with SimulatedSetup(["usbc"], direct=True, calibration_samples=4096) as setup:
+        assert setup.ps is not None
+
+
+def test_same_seed_reproducible():
+    a = SimulatedSetup(["pcie_slot_12v"], seed=5, direct=True, calibration_samples=4096)
+    b = SimulatedSetup(["pcie_slot_12v"], seed=5, direct=True, calibration_samples=4096)
+    assert a.eeprom.get(0).vref == b.eeprom.get(0).vref
+    a.close()
+    b.close()
+
+
+def test_different_seed_differs():
+    a = SimulatedSetup(["pcie_slot_12v"], seed=5, direct=True, calibration_samples=4096)
+    b = SimulatedSetup(["pcie_slot_12v"], seed=6, direct=True, calibration_samples=4096)
+    assert a.eeprom.get(0).vref != b.eeprom.get(0).vref
+    a.close()
+    b.close()

@@ -1,0 +1,125 @@
+"""Sample sources: conversion, markers, and protocol/direct equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.core.sources import SampleBlock, convert_codes
+from repro.core.setup import SimulatedSetup
+from repro.dut.instruments import ElectronicLoad, LabSupply, LoadedSupplyRail
+from repro.hardware.eeprom import SensorConfig
+
+
+def loaded(direct: bool, seed: int = 0) -> SimulatedSetup:
+    setup = SimulatedSetup(
+        ["pcie_slot_12v"], seed=seed, direct=direct, calibration_samples=8192
+    )
+    load = ElectronicLoad()
+    load.set_current(8.0)
+    setup.connect(0, LoadedSupplyRail(LabSupply(12.0), load))
+    return setup
+
+
+def test_convert_codes_disabled_sensors_zero():
+    configs = [SensorConfig() for _ in range(8)]
+    configs[0] = SensorConfig(vref=1.65, slope=0.12, enabled=True)
+    codes = np.full((4, 8), 512)
+    values, enabled = convert_codes(codes, configs)
+    assert enabled[0] and not enabled[1:].any()
+    assert (values[:, 1:] == 0).all()
+
+
+def test_convert_codes_physical_units():
+    configs = [SensorConfig() for _ in range(8)]
+    configs[0] = SensorConfig(vref=1.65, slope=0.12, enabled=True)
+    configs[1] = SensorConfig(vref=0.0, slope=0.125, enabled=True)
+    code_i = round((1.65 + 0.12 * 2.0) / (3.3 / 1024) - 0.5)
+    code_u = round((12.0 * 0.125) / (3.3 / 1024) - 0.5)
+    codes = np.array([[code_i, code_u, 0, 0, 0, 0, 0, 0]])
+    values, _ = convert_codes(codes, configs)
+    # Quantisation allows up to one LSB of error (27 mA / 26 mV here).
+    assert values[0, 0] == pytest.approx(2.0, abs=0.03)
+    assert values[0, 1] == pytest.approx(12.0, abs=0.05)
+
+
+def test_convert_codes_shape_check():
+    with pytest.raises(ValueError):
+        convert_codes(np.zeros((4, 7)), [SensorConfig()] * 8)
+
+
+def test_sample_block_power_helpers():
+    values = np.zeros((3, 8))
+    values[:, 0] = 2.0  # amps
+    values[:, 1] = 12.0  # volts
+    values[:, 2] = 1.0
+    values[:, 3] = 3.3
+    block = SampleBlock(
+        times=np.arange(3.0),
+        values=values,
+        markers=np.zeros(3, bool),
+        enabled=np.ones(8, bool),
+    )
+    assert block.pair_power(0) == pytest.approx(24.0)
+    assert block.total_power() == pytest.approx(27.3)
+    assert len(block) == 3
+
+
+def test_protocol_source_reads_version_and_configs():
+    setup = loaded(direct=False)
+    source = setup.source
+    assert "PowerSensor3" in source.version
+    assert source.configs[0].enabled
+    setup.close()
+
+
+def test_protocol_and_direct_agree_statistically():
+    """The byte-accurate and vectorised paths describe the same sensor."""
+    protocol = loaded(direct=False, seed=42)
+    direct = loaded(direct=True, seed=42)
+    n = 20_000
+    p_block = protocol.ps.pump(n)
+    d_block = direct.ps.pump(n)
+    p_power = p_block.pair_power(0)
+    d_power = d_block.pair_power(0)
+    assert p_power.mean() == pytest.approx(d_power.mean(), rel=0.002)
+    assert p_power.std() == pytest.approx(d_power.std(), rel=0.05)
+    assert len(p_block) == len(d_block) == n
+    protocol.close()
+    direct.close()
+
+
+def test_protocol_and_direct_timestamps_agree():
+    protocol = loaded(direct=False, seed=1)
+    direct = loaded(direct=True, seed=1)
+    p_times = protocol.ps.pump(100).times
+    d_times = direct.ps.pump(100).times
+    assert np.allclose(p_times, d_times, atol=1e-6)
+    protocol.close()
+    direct.close()
+
+
+def test_marker_flows_through_protocol():
+    setup = loaded(direct=False)
+    setup.ps.pump(10)
+    setup.ps.mark("A")
+    block = setup.ps.pump(10)
+    assert block.markers.sum() == 1
+    setup.close()
+
+
+def test_direct_source_stopped_returns_empty():
+    setup = loaded(direct=True)
+    setup.source.stop()
+    block = setup.source.read_block(50)
+    assert len(block) == 0
+    setup.close()
+
+
+def test_write_configs_direct():
+    setup = loaded(direct=True)
+    configs = list(setup.source.configs)
+    from dataclasses import replace
+
+    configs[0] = replace(configs[0], name="renamed")
+    setup.source.write_configs(configs)
+    assert setup.source.configs[0].name == "renamed"
+    setup.close()

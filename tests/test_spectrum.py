@@ -1,0 +1,60 @@
+"""Spectral analysis: PSD, dominant frequency, noise corner."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spectrum import welch_psd
+from repro.common.errors import MeasurementError
+from repro.common.noise import OrnsteinUhlenbeckNoise
+from repro.common.rng import RngStream
+from tests.conftest import make_loaded_setup
+
+
+def test_psd_parseval():
+    """Integrated PSD recovers the signal variance."""
+    rng = np.random.default_rng(0)
+    samples = rng.normal(0, 2.0, size=65536)
+    psd = welch_psd(samples, 20_000.0)
+    variance = np.trapezoid(psd.density, psd.frequencies)
+    assert variance == pytest.approx(4.0, rel=0.05)
+
+
+def test_dominant_frequency_of_sine():
+    t = np.arange(40_000) / 20_000.0
+    samples = 5.0 * np.sin(2 * np.pi * 100.0 * t) + 0.1
+    psd = welch_psd(samples, 20_000.0)
+    assert psd.dominant_frequency(min_hz=10.0) == pytest.approx(100.0, abs=5.0)
+
+
+def test_ou_corner_frequency_matches_bandwidth():
+    noise = OrnsteinUhlenbeckNoise(1.0, bandwidth_hz=1000.0, rng=RngStream(1))
+    samples = noise.sample_uniform(0.0, 1.0 / 20_000.0, 200_000)
+    psd = welch_psd(samples, 20_000.0, segment=8192)
+    assert psd.corner_frequency() == pytest.approx(1000.0, rel=0.5)
+
+
+def test_modulated_load_peak_visible_in_capture():
+    """The Fig. 5 square modulation shows up as a 100 Hz spectral line."""
+    setup = make_loaded_setup(amps=3.3)
+    setup.baseboard.populated_slots()[0]
+    from repro.dut.instruments import ElectronicLoad, LabSupply, LoadedSupplyRail
+
+    load = ElectronicLoad()
+    load.set_current(3.3)
+    load.program_square(3.3, 8.0, 100.0, start=0.01, cycles=50)
+    setup.connect(0, LoadedSupplyRail(LabSupply(12.0), load))
+    block = setup.ps.pump_seconds(0.55)
+    psd = welch_psd(block.pair_power(0), setup.sample_rate, segment=8192)
+    assert psd.dominant_frequency(min_hz=20.0) == pytest.approx(100.0, abs=5.0)
+    setup.close()
+
+
+def test_psd_needs_samples():
+    with pytest.raises(MeasurementError):
+        welch_psd(np.zeros(4), 100.0)
+
+
+def test_dominant_frequency_empty_band():
+    psd = welch_psd(np.random.default_rng(0).normal(size=1024), 100.0)
+    with pytest.raises(MeasurementError):
+        psd.dominant_frequency(min_hz=1e6)

@@ -1,0 +1,213 @@
+"""SSD FTL: mapping, garbage collection, SLC cache, performance models."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import MeasurementError
+from repro.common.units import GIB, MIB
+from repro.dut.ssd import Ssd, SsdSpec
+
+
+def small_ssd(**overrides) -> Ssd:
+    spec = SsdSpec(logical_bytes=overrides.pop("logical_bytes", 64 * MIB), **overrides)
+    return Ssd(spec)
+
+
+def test_geometry():
+    spec = SsdSpec(logical_bytes=1 * GIB)
+    assert spec.logical_pages == GIB // (4 * 1024)
+    assert spec.physical_pages > spec.logical_pages
+    # Blocks are rounded up and always leave spare space beyond logical.
+    assert spec.n_blocks * spec.pages_per_block >= spec.physical_pages
+    logical_blocks = -(-spec.logical_pages // spec.pages_per_block)
+    assert spec.n_blocks >= logical_blocks + 2
+
+
+def test_fresh_drive_is_unmapped():
+    ssd = small_ssd()
+    assert ssd.mapped_pages == 0
+    ssd.check_invariants()
+
+
+def test_write_maps_pages():
+    ssd = small_ssd()
+    ssd.write_pages(np.arange(100))
+    assert ssd.mapped_pages == 100
+    ssd.check_invariants()
+
+
+def test_overwrite_does_not_grow_mapping():
+    ssd = small_ssd()
+    ssd.write_pages(np.arange(100))
+    ssd.write_pages(np.arange(100))
+    assert ssd.mapped_pages == 100
+    assert ssd.counters.host_pages_written == 200
+    ssd.check_invariants()
+
+
+def test_duplicates_within_one_call_last_wins():
+    ssd = small_ssd()
+    lpns = np.array([5, 5, 5, 7])
+    ssd.write_pages(lpns)
+    assert ssd.mapped_pages == 2
+    ssd.check_invariants()
+    # The final physical location of 5 must be newer than 7's predecessor.
+    assert ssd.p2l[ssd.l2p[5]] == 5
+
+
+def test_lpn_out_of_range():
+    ssd = small_ssd()
+    with pytest.raises(MeasurementError):
+        ssd.write_pages(np.array([ssd.spec.logical_pages]))
+    with pytest.raises(MeasurementError):
+        ssd.write_pages(np.array([-1]))
+
+
+def test_fill_drive_triggers_gc():
+    ssd = small_ssd()
+    rng = np.random.default_rng(0)
+    # Write 3x the logical capacity randomly.
+    for _ in range(30):
+        ssd.write_pages(rng.integers(0, ssd.spec.logical_pages, 2048))
+    assert ssd.counters.gc_runs > 0
+    assert ssd.counters.write_amplification > 1.0
+    ssd.check_invariants()
+
+
+def test_gc_preserves_data_mapping():
+    """Every logical page written remains mapped after heavy GC churn."""
+    ssd = small_ssd()
+    all_lpns = np.arange(ssd.spec.logical_pages)
+    ssd.write_pages(all_lpns)
+    rng = np.random.default_rng(1)
+    for _ in range(40):
+        ssd.write_pages(rng.integers(0, ssd.spec.logical_pages, 1024))
+    assert ssd.mapped_pages == ssd.spec.logical_pages  # nothing lost
+    ssd.check_invariants()
+
+
+def test_format_resets():
+    ssd = small_ssd()
+    ssd.write_pages(np.arange(1000))
+    ssd.format()
+    assert ssd.mapped_pages == 0
+    assert ssd.counters.host_pages_written == 0
+    ssd.check_invariants()
+
+
+def test_slc_cache_depletes_and_flushes():
+    ssd = small_ssd()
+    assert ssd.in_slc_mode
+    ssd.write_pages(np.arange(ssd.spec.slc_cache_pages + 10) % ssd.spec.logical_pages)
+    assert not ssd.in_slc_mode
+    ssd.idle_flush()
+    assert ssd.in_slc_mode
+
+
+def test_write_budget_tracks_mode():
+    ssd = small_ssd()
+    slc_budget = ssd.write_budget_pages(0.1)
+    ssd.slc_pages_remaining = 0
+    tlc_budget = ssd.write_budget_pages(0.1)
+    assert slc_budget > tlc_budget
+
+
+def test_write_power_levels():
+    ssd = small_ssd()
+    assert ssd.write_power(1.0) == pytest.approx(ssd.spec.write_slc_watts)
+    ssd.slc_pages_remaining = 0
+    assert ssd.write_power(1.0) == pytest.approx(ssd.spec.write_tlc_watts)
+    assert ssd.write_power(0.0) == pytest.approx(ssd.spec.idle_watts)
+
+
+def test_read_bandwidth_increases_with_request_size():
+    ssd = small_ssd()
+    bws = [ssd.read_bandwidth(size, iodepth=4) for size in (4096, 65536, 1 << 20)]
+    assert bws[0] < bws[1] <= bws[2]
+    assert bws[2] <= ssd.spec.interface_bw
+
+
+def test_read_bandwidth_scales_with_iodepth_until_saturation():
+    ssd = small_ssd()
+    assert ssd.read_bandwidth(4096, 8) > ssd.read_bandwidth(4096, 1)
+
+
+def test_read_power_monotone_in_request_size():
+    ssd = small_ssd()
+    powers = []
+    for size in (1024, 4096, 65536, 1 << 20, 4 << 20):
+        bw = ssd.read_bandwidth(size, iodepth=4)
+        powers.append(ssd.read_power(bw, size))
+    assert all(b >= a - 1e-9 for a, b in zip(powers, powers[1:]))
+    assert powers[-1] <= ssd.spec.read_max_watts + 1e-9
+
+
+def test_read_bandwidth_rejects_bad_size():
+    with pytest.raises(MeasurementError):
+        small_ssd().read_bandwidth(0)
+
+
+def test_write_amplification_definition():
+    ssd = small_ssd()
+    ssd.write_pages(np.arange(100))
+    assert ssd.counters.write_amplification == pytest.approx(1.0)
+
+
+def test_steady_state_wa_reasonable_for_op():
+    """Greedy GC with ~9 % OP lands in the classic WA range under churn."""
+    ssd = small_ssd(logical_bytes=128 * MIB)
+    rng = np.random.default_rng(2)
+    ssd.write_pages(np.arange(ssd.spec.logical_pages))
+    base = ssd.counters.host_pages_written
+    base_gc = ssd.counters.gc_pages_relocated
+    for _ in range(60):
+        ssd.write_pages(rng.integers(0, ssd.spec.logical_pages, 2048))
+    host = ssd.counters.host_pages_written - base
+    gc = ssd.counters.gc_pages_relocated - base_gc
+    wa = (host + gc) / host
+    assert 2.0 < wa < 20.0
+    ssd.check_invariants()
+
+
+def test_trim_unmaps_pages():
+    ssd = small_ssd()
+    ssd.write_pages(np.arange(100))
+    freed = ssd.trim(np.arange(50))
+    assert freed == 50
+    assert ssd.mapped_pages == 50
+    ssd.check_invariants()
+
+
+def test_trim_idempotent_and_bounds():
+    ssd = small_ssd()
+    ssd.write_pages(np.arange(10))
+    assert ssd.trim(np.arange(10)) == 10
+    assert ssd.trim(np.arange(10)) == 0  # already deallocated
+    assert ssd.trim(np.array([], dtype=np.int64)) == 0
+    with pytest.raises(MeasurementError):
+        ssd.trim(np.array([ssd.spec.logical_pages]))
+    ssd.check_invariants()
+
+
+def test_trim_makes_gc_cheaper():
+    """TRIMmed space behaves as extra over-provisioning."""
+    import numpy as _np
+
+    def churn(trim_first: bool) -> float:
+        ssd = small_ssd(logical_bytes=128 * MIB)
+        rng = _np.random.default_rng(3)
+        ssd.write_pages(_np.arange(ssd.spec.logical_pages))
+        if trim_first:
+            # Deallocate a quarter of the LBA space.
+            ssd.trim(_np.arange(ssd.spec.logical_pages // 4))
+        base_h = ssd.counters.host_pages_written
+        base_g = ssd.counters.gc_pages_relocated
+        active = _np.arange(ssd.spec.logical_pages // 4, ssd.spec.logical_pages)
+        for _ in range(40):
+            ssd.write_pages(rng.choice(active, 2048))
+        ssd.check_invariants()
+        host = ssd.counters.host_pages_written - base_h
+        gc = ssd.counters.gc_pages_relocated - base_g
+        return (host + gc) / host
+
+    assert churn(trim_first=True) < churn(trim_first=False)

@@ -1,0 +1,93 @@
+"""Sample statistics and block averaging."""
+
+import numpy as np
+import pytest
+
+from repro.common.stats import (
+    SampleSummary,
+    block_average,
+    downsample_rate,
+    rolling_mean,
+    summarize,
+)
+
+
+def test_summarize_basic():
+    summary = summarize(np.array([1.0, 2.0, 3.0, 4.0]))
+    assert summary.count == 4
+    assert summary.mean == pytest.approx(2.5)
+    assert summary.minimum == 1.0
+    assert summary.maximum == 4.0
+    assert summary.peak_to_peak == 3.0
+    assert summary.std == pytest.approx(np.std([1, 2, 3, 4]))
+
+
+def test_summarize_empty_raises():
+    with pytest.raises(ValueError):
+        summarize(np.array([]))
+
+
+def test_summary_shifted():
+    summary = summarize(np.array([10.0, 12.0])).shifted(10.0)
+    assert summary.mean == pytest.approx(1.0)
+    assert summary.minimum == pytest.approx(0.0)
+    assert summary.std == pytest.approx(1.0)  # std unchanged by shift
+
+
+def test_block_average_means():
+    data = np.arange(12, dtype=float)
+    out = block_average(data, 4)
+    assert np.allclose(out, [1.5, 5.5, 9.5])
+
+
+def test_block_average_drops_partial_tail():
+    out = block_average(np.arange(10, dtype=float), 4)
+    assert out.size == 2
+
+
+def test_block_average_identity():
+    data = np.arange(5, dtype=float)
+    assert np.array_equal(block_average(data, 1), data)
+
+
+def test_block_average_invalid():
+    with pytest.raises(ValueError):
+        block_average(np.arange(4.0), 0)
+    with pytest.raises(ValueError):
+        block_average(np.arange(3.0), 5)
+
+
+def test_block_average_reduces_variance_sqrt_n():
+    rng = np.random.default_rng(0)
+    data = rng.normal(size=400_000)
+    reduced = block_average(data, 16)
+    assert reduced.std() == pytest.approx(1.0 / 4.0, rel=0.03)
+
+
+def test_downsample_rate():
+    assert downsample_rate(20_000, 10_000) == 2
+    assert downsample_rate(20_000, 500) == 40
+    assert downsample_rate(20_000, 20_000) == 1
+
+
+def test_downsample_rate_invalid():
+    with pytest.raises(ValueError):
+        downsample_rate(1000, 2000)
+    with pytest.raises(ValueError):
+        downsample_rate(0, 10)
+
+
+def test_rolling_mean_ramp_up():
+    data = np.array([1.0, 2.0, 3.0, 4.0])
+    out = rolling_mean(data, 2)
+    assert np.allclose(out, [1.0, 1.5, 2.5, 3.5])
+
+
+def test_rolling_mean_window_one_is_identity():
+    data = np.array([3.0, 1.0])
+    assert np.array_equal(rolling_mean(data, 1), data)
+
+
+def test_rolling_mean_invalid_window():
+    with pytest.raises(ValueError):
+        rolling_mean(np.arange(3.0), 0)

@@ -1,0 +1,140 @@
+"""Guided search strategies."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.tuner.kernels import BEAMFORMER_TARGETS, TensorCoreBeamformer, beamformer_search_space
+from repro.tuner.runner import BenchmarkRunner
+from repro.tuner.searchspace import SearchSpace
+from repro.tuner.strategies import (
+    OBJECTIVES,
+    hill_climb,
+    neighbors,
+    resolve_objective,
+)
+from repro.tuner.tuning import tune
+
+TARGET = BEAMFORMER_TARGETS["rtx4000ada"]
+
+
+def small_space() -> SearchSpace:
+    return SearchSpace(
+        tune_params={"a": [1, 2, 4], "b": [0, 1]},
+        restrictions=[lambda c: not (c["a"] == 4 and c["b"] == 1)],
+    )
+
+
+def test_neighbors_single_dimension_moves():
+    space = small_space()
+    moves = neighbors({"a": 1, "b": 0}, clock_idx=1, space=space, n_clocks=3)
+    # a -> 2 or 4, b -> 1, clock -> 0 or 2.
+    assert ({"a": 2, "b": 0}, 1) in moves
+    assert ({"a": 4, "b": 0}, 1) in moves
+    assert ({"a": 1, "b": 1}, 1) in moves
+    assert ({"a": 1, "b": 0}, 0) in moves
+    assert ({"a": 1, "b": 0}, 2) in moves
+    assert len(moves) == 5
+
+
+def test_neighbors_respect_restrictions():
+    space = small_space()
+    moves = neighbors({"a": 1, "b": 1}, clock_idx=0, space=space, n_clocks=1)
+    assert ({"a": 4, "b": 1}, 0) not in moves
+
+
+def test_resolve_objective():
+    assert resolve_objective("time") is OBJECTIVES["time"]
+    custom = lambda r: 1.0
+    assert resolve_objective(custom) is custom
+    with pytest.raises(ConfigurationError):
+        resolve_objective("qps")
+
+
+def test_hill_climb_respects_budget():
+    kernel = TensorCoreBeamformer(TARGET)
+    runner = BenchmarkRunner(kernel=kernel, trials=1)
+    results = hill_climb(
+        kernel,
+        beamformer_search_space(),
+        TARGET.clocks_mhz,
+        runner,
+        max_evaluations=30,
+        seed=1,
+    )
+    assert 1 <= len(results) <= 30
+
+
+def test_hill_climb_finds_near_optimal_fast():
+    kernel = TensorCoreBeamformer(TARGET)
+    space = beamformer_search_space()
+    brute = tune(kernel, space, TARGET.clocks_mhz, trials=1)
+    climb = tune(
+        kernel,
+        space,
+        TARGET.clocks_mhz,
+        trials=1,
+        strategy="hill_climbing",
+        max_configs=150,
+        objective="inverse_tflops",
+        seed=3,
+    )
+    assert len(climb.results) <= 150
+    assert climb.fastest.tflops > 0.95 * brute.fastest.tflops
+
+
+def test_hill_climb_energy_objective_prefers_lower_clocks():
+    kernel = TensorCoreBeamformer(TARGET)
+    space = beamformer_search_space()
+    climb = tune(
+        kernel,
+        space,
+        TARGET.clocks_mhz,
+        trials=1,
+        strategy="hill_climbing",
+        max_configs=150,
+        objective="inverse_tflop_per_j",
+        seed=4,
+    )
+    best = climb.most_efficient
+    # The efficiency optimum sits at an interior clock, not the maximum.
+    assert best.clock_mhz < max(TARGET.clocks_mhz)
+    assert best.tflop_per_joule > 0.88
+
+
+def test_hill_climbing_requires_budget():
+    kernel = TensorCoreBeamformer(TARGET)
+    with pytest.raises(ConfigurationError):
+        tune(kernel, beamformer_search_space(), TARGET.clocks_mhz, strategy="hill_climbing")
+
+
+def test_hill_climb_invalid_budget():
+    kernel = TensorCoreBeamformer(TARGET)
+    runner = BenchmarkRunner(kernel=kernel, trials=1)
+    with pytest.raises(ConfigurationError):
+        hill_climb(
+            kernel, beamformer_search_space(), TARGET.clocks_mhz, runner, max_evaluations=0
+        )
+
+
+def test_edp_objective_between_time_and_energy():
+    kernel = TensorCoreBeamformer(TARGET)
+    space = beamformer_search_space()
+    picks = {}
+    for objective in ("inverse_tflops", "edp", "inverse_tflop_per_j"):
+        outcome = tune(
+            kernel,
+            space,
+            TARGET.clocks_mhz,
+            trials=1,
+            strategy="hill_climbing",
+            max_configs=120,
+            objective=objective,
+            seed=5,
+        )
+        score = resolve_objective(objective)
+        best = min(outcome.results, key=score)
+        picks[objective] = best.clock_mhz
+    # EDP lands at or between the time- and energy-optimal clocks.
+    low = min(picks["inverse_tflop_per_j"], picks["inverse_tflops"])
+    high = max(picks["inverse_tflop_per_j"], picks["inverse_tflops"])
+    assert low <= picks["edp"] <= high

@@ -1,0 +1,113 @@
+"""Streaming statistics: Welford updates, merging, monitor integration."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.streaming import StreamingPowerMonitor, StreamingStats
+from repro.common.errors import MeasurementError
+from tests.conftest import make_loaded_setup
+
+
+def test_matches_numpy_on_one_chunk():
+    rng = np.random.default_rng(0)
+    data = rng.normal(5.0, 2.0, size=10_000)
+    stats = StreamingStats()
+    stats.update(data)
+    assert stats.count == 10_000
+    assert stats.mean == pytest.approx(data.mean())
+    assert stats.std == pytest.approx(data.std(), rel=1e-9)
+    assert stats.minimum == data.min()
+    assert stats.maximum == data.max()
+
+
+def test_chunked_equals_bulk():
+    rng = np.random.default_rng(1)
+    data = rng.normal(size=5000)
+    bulk = StreamingStats()
+    bulk.update(data)
+    chunked = StreamingStats()
+    for chunk in np.array_split(data, 13):
+        chunked.update(chunk)
+    assert chunked.mean == pytest.approx(bulk.mean, rel=1e-12)
+    assert chunked.variance == pytest.approx(bulk.variance, rel=1e-9)
+    assert chunked.peak_to_peak == bulk.peak_to_peak
+
+
+def test_merge_equals_single_accumulator():
+    rng = np.random.default_rng(2)
+    a_data = rng.normal(1.0, 1.0, size=3000)
+    b_data = rng.normal(4.0, 0.5, size=2000)
+    a = StreamingStats()
+    a.update(a_data)
+    b = StreamingStats()
+    b.update(b_data)
+    a.merge(b)
+    combined = np.concatenate([a_data, b_data])
+    assert a.count == 5000
+    assert a.mean == pytest.approx(combined.mean())
+    assert a.std == pytest.approx(combined.std(), rel=1e-9)
+
+
+def test_empty_stats_raise():
+    stats = StreamingStats()
+    with pytest.raises(MeasurementError):
+        _ = stats.variance
+    with pytest.raises(MeasurementError):
+        _ = stats.peak_to_peak
+    stats.update(np.zeros(0))  # no-op
+    assert stats.count == 0
+
+
+def test_merge_with_empty_is_identity():
+    stats = StreamingStats()
+    stats.update(np.array([1.0, 2.0]))
+    before = (stats.count, stats.mean)
+    stats.merge(StreamingStats())
+    assert (stats.count, stats.mean) == before
+    empty = StreamingStats()
+    empty.merge(stats)
+    assert empty.mean == stats.mean
+
+
+@given(
+    st.lists(
+        st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=50),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_welford_property_vs_numpy(chunks):
+    stats = StreamingStats()
+    for chunk in chunks:
+        stats.update(np.asarray(chunk))
+    everything = np.concatenate([np.asarray(c) for c in chunks])
+    assert stats.mean == pytest.approx(everything.mean(), rel=1e-6, abs=1e-6)
+    assert stats.variance == pytest.approx(
+        everything.var(), rel=1e-6, abs=1e-6
+    )
+
+
+def test_monitor_tracks_live_capture():
+    setup = make_loaded_setup(amps=8.0)
+    monitor = StreamingPowerMonitor()
+    for _ in range(5):
+        monitor.update(setup.ps.pump(2000))
+    assert monitor.total.count == 10_000
+    assert monitor.total.mean == pytest.approx(96.0, rel=0.01)
+    assert monitor.pairs[0].mean == pytest.approx(monitor.total.mean, rel=1e-9)
+    # Energy agrees with the host library's own accounting.
+    assert monitor.energy_joules == pytest.approx(
+        setup.ps.total_energy(), rel=0.001
+    )
+    setup.close()
+
+
+def test_monitor_handles_empty_blocks():
+    setup = make_loaded_setup()
+    setup.source.stop()
+    monitor = StreamingPowerMonitor()
+    monitor.update(setup.source.read_block(10))  # empty while stopped
+    assert monitor.total.count == 0
+    setup.close()

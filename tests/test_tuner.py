@@ -1,0 +1,180 @@
+"""Auto-tuner: runner accounting, observers, tune() strategies."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.tuner.kernels import BEAMFORMER_TARGETS, SyntheticGemmKernel, TensorCoreBeamformer
+from repro.tuner.observers import NvmlObserver, PowerSensorObserver, TrueEnergyObserver
+from repro.tuner.runner import BenchmarkRunner
+from repro.tuner.searchspace import SearchSpace
+from repro.tuner.tuning import tune
+
+TARGET = BEAMFORMER_TARGETS["rtx4000ada"]
+CONFIG = {
+    "block_dim": (64, 8),
+    "fragments_per_block": 4,
+    "fragments_per_warp": 2,
+    "double_buffering": 1,
+    "unroll": 2,
+}
+
+
+def gemm():
+    return SyntheticGemmKernel("rtx4000ada")
+
+
+def test_runner_compiles_each_variant_once():
+    runner = BenchmarkRunner(kernel=gemm(), trials=3)
+    runner.run_config({"tile": 4, "threads": 256}, 1800.0)
+    runner.run_config({"tile": 4, "threads": 256}, 2100.0)  # same variant
+    runner.run_config({"tile": 2, "threads": 256}, 2100.0)
+    assert runner.accounting.variants_compiled == 2
+    assert runner.accounting.configs_run == 3
+    assert runner.accounting.compile_s == pytest.approx(2 * 3.2)
+
+
+def test_runner_trials_recorded():
+    runner = BenchmarkRunner(kernel=gemm(), trials=5)
+    result = runner.run_config({"tile": 4, "threads": 256}, 2100.0)
+    assert len(result.exec_times) == 5
+    assert len(result.energies) == 5
+    assert result.mean_time > 0
+    assert result.tflops == pytest.approx(
+        result.flops / result.mean_time / 1e12
+    )
+
+
+def test_config_result_metrics_consistent():
+    runner = BenchmarkRunner(kernel=gemm(), trials=3)
+    result = runner.run_config({"tile": 4, "threads": 256}, 2100.0)
+    assert result.mean_watts == pytest.approx(
+        result.mean_energy / result.mean_time
+    )
+    assert result.tflop_per_joule == pytest.approx(
+        result.flops / result.mean_energy / 1e12
+    )
+
+
+def test_true_observer_exact_energy():
+    observer = TrueEnergyObserver()
+    energies = observer.measure_config(100.0, [0.01, 0.02])
+    assert energies == [pytest.approx(1.0), pytest.approx(2.0)]
+    assert observer.overhead_per_config == 0.0
+
+
+def test_powersensor_observer_close_to_truth():
+    observer = PowerSensorObserver(idle_watts=14.0, seed=1)
+    exec_times = [0.02] * 5
+    energies = observer.measure_config(110.0, exec_times)
+    for energy in energies:
+        assert energy == pytest.approx(110.0 * 0.02, rel=0.03)
+
+
+def test_nvml_observer_has_overhead_and_bias():
+    observer = NvmlObserver(seed=3)
+    assert observer.overhead_per_config == pytest.approx(1.0)
+    energies = observer.measure_config(100.0, [0.01] * 4)
+    # Consistent bias from the per-board scale error, same for all trials.
+    assert np.allclose(energies, energies[0])
+    assert energies[0] == pytest.approx(1.0, rel=0.15)
+    assert abs(energies[0] / 1.0 - 1.0) > 1e-4  # biased, not exact
+
+
+def test_tune_brute_force_covers_space():
+    result = tune(gemm(), gemm().search_space(), (1800.0, 2100.0), trials=2)
+    assert len(result.results) == 12 * 2
+    assert result.tuning_seconds > 0
+
+
+def test_tune_time_accounting_includes_observer_overhead():
+    kernel = gemm()
+    base = tune(kernel, kernel.search_space(), (2100.0,), trials=2)
+    with_nvml = tune(
+        kernel, kernel.search_space(), (2100.0,), trials=2, observer=NvmlObserver()
+    )
+    extra = with_nvml.tuning_seconds - base.tuning_seconds
+    assert extra == pytest.approx(12 * 1.0, rel=0.05)
+
+
+def test_tune_random_sample():
+    result = tune(
+        gemm(),
+        gemm().search_space(),
+        (2100.0,),
+        strategy="random_sample",
+        max_configs=5,
+        seed=3,
+    )
+    assert len(result.results) == 5
+
+
+def test_tune_random_sample_requires_cap():
+    with pytest.raises(ConfigurationError):
+        tune(gemm(), gemm().search_space(), (2100.0,), strategy="random_sample")
+
+
+def test_tune_unknown_strategy():
+    with pytest.raises(ConfigurationError):
+        tune(gemm(), gemm().search_space(), (2100.0,), strategy="genetic")
+
+
+def test_tune_requires_clocks():
+    with pytest.raises(ConfigurationError):
+        tune(gemm(), gemm().search_space(), ())
+
+
+def test_pareto_front_nonempty_and_optimal():
+    result = tune(gemm(), gemm().search_space(), TARGET.clocks_mhz[::3], trials=2)
+    front = result.pareto()
+    assert front
+    fastest = result.fastest
+    assert front[0].tflops == pytest.approx(fastest.tflops)
+    # No front member is dominated by any result.
+    for member in front:
+        for other in result.results:
+            dominated = (
+                other.tflops > member.tflops
+                and other.tflop_per_joule > member.tflop_per_joule
+            )
+            assert not dominated
+
+
+def test_summary_fields():
+    result = tune(gemm(), gemm().search_space(), (1500.0, 2100.0), trials=2)
+    summary = result.summary()
+    assert summary["configs"] == 24
+    assert summary["fastest_tflops"] >= summary["most_efficient_tflops"]
+    assert summary["most_efficient_tflop_per_j"] >= summary["fastest_tflop_per_j"]
+
+
+def test_beamformer_full_points_count():
+    kernel = TensorCoreBeamformer(TARGET)
+    from repro.tuner.kernels import beamformer_search_space
+
+    space = beamformer_search_space()
+    result = tune(kernel, space, TARGET.clocks_mhz, trials=1)
+    assert len(result.results) == 5120  # paper: 512 variants x 10 clocks
+
+
+def test_pmt_observer_through_rocm_backend():
+    """The AMD path: tuner -> PMT -> ROCm SMI, as the paper wires it."""
+    from repro.common.rng import RngStream
+    from repro.pmt import create
+    from repro.tuner.observers import PmtObserver
+    from repro.vendor.rocm_smi import RocmSmiDevice
+
+    def factory(trace):
+        return create("rocm", RocmSmiDevice(trace, RngStream(7, "pmt-obs")))
+
+    observer = PmtObserver(factory, continuous_duration_s=0.1)
+    energies = observer.measure_config(120.0, [0.01, 0.02])
+    assert energies[0] == pytest.approx(1.2, rel=0.05)
+    assert energies[1] == pytest.approx(2.4, rel=0.05)
+    assert observer.overhead_per_config == pytest.approx(0.1)
+
+
+def test_pmt_observer_needs_less_overhead_than_nvml():
+    from repro.tuner.observers import PmtObserver
+
+    assert PmtObserver(lambda t: None).overhead_per_config < NvmlObserver().overhead_per_config

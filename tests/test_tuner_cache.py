@@ -1,0 +1,105 @@
+"""Tuning cache files: persistence, resume, hit accounting."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.tuner.cache import CachedRunner, TuningCache, record_to_result, result_to_record
+from repro.tuner.kernels import SyntheticGemmKernel
+from repro.tuner.runner import BenchmarkRunner
+
+
+def gemm_runner(trials=2):
+    return BenchmarkRunner(kernel=SyntheticGemmKernel("rtx4000ada"), trials=trials)
+
+
+CONFIG_A = {"tile": 4, "threads": 256}
+CONFIG_B = {"tile": 2, "threads": 128}
+
+
+def test_record_roundtrip_preserves_result():
+    runner = gemm_runner()
+    result = runner.run_config(CONFIG_A, 2100.0)
+    restored = record_to_result(result_to_record(result))
+    assert restored.config == result.config
+    assert restored.clock_mhz == result.clock_mhz
+    assert restored.exec_times == result.exec_times
+    assert restored.tflops == pytest.approx(result.tflops)
+
+
+def test_record_roundtrip_with_tuple_values():
+    runner = BenchmarkRunner(
+        kernel=__import__("repro.tuner.kernels", fromlist=["x"]).TensorCoreBeamformer(
+            "rtx4000ada"
+        ),
+        trials=1,
+    )
+    config = {
+        "block_dim": (64, 8),
+        "fragments_per_block": 4,
+        "fragments_per_warp": 2,
+        "double_buffering": 1,
+        "unroll": 2,
+    }
+    result = runner.run_config(config, 2100.0)
+    restored = record_to_result(result_to_record(result))
+    assert restored.config["block_dim"] == (64, 8)  # tuple survives JSON
+
+
+def test_cache_persists_across_instances(tmp_path):
+    path = tmp_path / "cache.json"
+    cache = TuningCache(path)
+    runner = CachedRunner(gemm_runner(), cache)
+    first = runner.run_config(CONFIG_A, 2100.0)
+    runner.run_config(CONFIG_B, 1800.0)
+    assert runner.misses == 2
+
+    reloaded = TuningCache(path)
+    assert len(reloaded) == 2
+    assert reloaded.get(CONFIG_A, 2100.0).mean_time == pytest.approx(first.mean_time)
+
+
+def test_cache_hits_cost_no_tuning_time(tmp_path):
+    cache = TuningCache(tmp_path / "cache.json")
+    runner = CachedRunner(gemm_runner(), cache)
+    runner.run_config(CONFIG_A, 2100.0)
+    time_after_miss = runner.accounting.total_s
+    cached = runner.run_config(CONFIG_A, 2100.0)
+    assert runner.hits == 1
+    assert runner.accounting.total_s == time_after_miss  # no extra time
+    assert cached.mean_time > 0
+
+
+def test_resume_skips_measured_points(tmp_path):
+    path = tmp_path / "cache.json"
+    first_session = CachedRunner(gemm_runner(), TuningCache(path))
+    first_session.run_config(CONFIG_A, 2100.0)
+
+    second_session = CachedRunner(gemm_runner(), TuningCache(path))
+    second_session.run_config(CONFIG_A, 2100.0)  # hit from disk
+    second_session.run_config(CONFIG_A, 1800.0)  # new clock: miss
+    assert second_session.hits == 1
+    assert second_session.misses == 1
+
+
+def test_contains_and_results(tmp_path):
+    cache = TuningCache(tmp_path / "cache.json")
+    runner = CachedRunner(gemm_runner(), cache)
+    runner.run_config(CONFIG_A, 2100.0)
+    assert (CONFIG_A, 2100.0) in cache
+    assert (CONFIG_B, 2100.0) not in cache
+    assert len(cache.results()) == 1
+
+
+def test_version_mismatch_rejected(tmp_path):
+    path = tmp_path / "cache.json"
+    path.write_text(json.dumps({"cache_version": 99}) + "\n")
+    with pytest.raises(ConfigurationError, match="version"):
+        TuningCache(path)
+
+
+def test_empty_file_is_empty_cache(tmp_path):
+    path = tmp_path / "cache.json"
+    path.write_text("")
+    assert len(TuningCache(path)) == 0

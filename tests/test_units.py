@@ -1,0 +1,59 @@
+"""Unit helpers and constants."""
+
+import pytest
+
+from repro.common import units
+
+
+def test_byte_constants():
+    assert units.KIB == 1024
+    assert units.MIB == 1024**2
+    assert units.GIB == 1024**3
+
+
+def test_time_conversions():
+    assert units.microseconds(50) == pytest.approx(50e-6)
+    assert units.milliseconds(3) == pytest.approx(0.003)
+
+
+def test_energy_power_roundtrip():
+    joules = units.joules_from_watt_seconds(120.0, 2.5)
+    assert joules == pytest.approx(300.0)
+    assert units.mean_power(joules, 2.5) == pytest.approx(120.0)
+
+
+def test_mean_power_zero_duration_raises():
+    with pytest.raises(ZeroDivisionError):
+        units.mean_power(10.0, 0.0)
+
+
+def test_usb_full_speed():
+    assert units.USB_FULL_SPEED_BPS == 12_000_000
+    assert units.mbit_per_s(12) == units.USB_FULL_SPEED_BPS
+
+
+def test_default_sample_rate():
+    assert units.DEFAULT_SAMPLE_RATE_HZ == 20_000.0
+
+
+@pytest.mark.parametrize(
+    "value,unit,expected",
+    [
+        (0.02, "W", "20 mW"),
+        (0, "W", "0 W"),
+        (1500, "Hz", "1.5 kHz"),
+        (2.2e9, "B/s", "2.2 GB/s"),
+        (3.3e-6, "V", "3.3 uV"),
+    ],
+)
+def test_format_si(value, unit, expected):
+    assert units.format_si(value, unit) == expected
+
+
+def test_format_si_negative():
+    assert units.format_si(-0.5, "A") == "-500 mA"
+
+
+def test_identity_helpers():
+    assert units.volts(3.3) == 3.3
+    assert units.amps(-2) == -2.0

@@ -1,0 +1,80 @@
+"""Calibration verification sweep."""
+
+import pytest
+
+from repro.calibration import verify_all, verify_slot
+from repro.common.errors import CalibrationError
+from repro.core.setup import SimulatedSetup
+
+
+def test_calibrated_module_passes():
+    setup = SimulatedSetup(
+        ["pcie_slot_12v"], seed=17, direct=True, calibration_samples=32 * 1024
+    )
+    report = verify_slot(setup.baseboard, setup.eeprom, 0, n_samples=4096)
+    assert report.passed
+    assert report.worst_mean_error < 0.25 * report.bound_watts
+    assert len(report.points) == 5
+    setup.close()
+
+
+def test_uncalibrated_module_with_bad_offset_fails():
+    setup = SimulatedSetup(
+        ["pcie_slot_12v"], seed=18, direct=True, calibrate=False
+    )
+    # Inject a gross miscalibration: a 0.5 A offset error in the stored vref.
+    setup.eeprom.update(0, vref=1.65 + 0.5 * 0.12)
+    report = verify_slot(setup.baseboard, setup.eeprom, 0, n_samples=4096)
+    assert not report.passed
+    assert report.worst_mean_error > 0.25 * report.bound_watts
+    setup.close()
+
+
+def test_verification_sweep_covers_full_range():
+    setup = SimulatedSetup(["usbc"], seed=19, direct=True, calibration_samples=16 * 1024)
+    report = verify_slot(setup.baseboard, setup.eeprom, 0, n_points=7, n_samples=2048)
+    amps = [p.amps for p in report.points]
+    assert amps[0] == pytest.approx(-10.0)
+    assert amps[-1] == pytest.approx(10.0)
+    setup.close()
+
+
+def test_verify_empty_slot_raises():
+    setup = SimulatedSetup(["pcie_slot_12v"], direct=True, calibration_samples=4096)
+    with pytest.raises(CalibrationError):
+        verify_slot(setup.baseboard, setup.eeprom, 3)
+    setup.close()
+
+
+def test_verify_all_covers_slots():
+    setup = SimulatedSetup(
+        ["pcie_slot_12v", None, "usbc"],
+        seed=20,
+        direct=True,
+        calibration_samples=16 * 1024,
+    )
+    reports = verify_all(setup.baseboard, setup.eeprom, n_samples=2048)
+    assert [r.slot for r in reports] == [0, 2]
+    assert all(r.passed for r in reports)
+    setup.close()
+
+
+def test_verification_restores_rail():
+    setup = SimulatedSetup(["pcie_slot_12v"], direct=True, calibration_samples=4096)
+    from repro.dut.base import ConstantRail
+
+    rail = ConstantRail(12.0, 1.0)
+    setup.connect(0, rail)
+    verify_slot(setup.baseboard, setup.eeprom, 0, n_samples=1024)
+    assert setup.baseboard.populated_slots()[0].rail is rail
+    setup.close()
+
+
+def test_psconfig_verify_flag(capsys):
+    from repro.cli import psconfig
+
+    args = ["--direct", "--modules", "pcie_slot_12v", "--dut", "none", "--verify"]
+    assert psconfig.main(args) == 0
+    out = capsys.readouterr().out
+    assert "PASS" in out
+    assert "budget" in out
