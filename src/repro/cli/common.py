@@ -8,11 +8,61 @@ objects the library API exposes.
 from __future__ import annotations
 
 import argparse
+import sys
+from typing import Callable
 
+from repro.common.errors import (
+    CalibrationError,
+    ConfigurationError,
+    DeviceError,
+    MeasurementError,
+    ProtocolError,
+    ReproError,
+    StreamStalledError,
+    TransportError,
+)
 from repro.core.setup import SimulatedSetup
 from repro.dut.base import ConstantRail
 from repro.dut.gpu import Gpu, KernelLaunch
 from repro.dut.instruments import ElectronicLoad, LabSupply, LoadedSupplyRail
+from repro.transport.faults import FAULT_SPEC_HELP
+
+#: Distinct exit statuses per failure domain, above the range commands and
+#: argparse use, so scripts can tell *what* degraded without parsing text.
+#: Ordered most-specific first (``exit_status`` walks it with isinstance).
+EXIT_STATUSES: list[tuple[type[ReproError], int]] = [
+    (StreamStalledError, 69),
+    (MeasurementError, 70),
+    (TransportError, 71),
+    (ProtocolError, 72),
+    (DeviceError, 73),
+    (ConfigurationError, 74),
+    (CalibrationError, 75),
+]
+
+#: Fallback for a bare :class:`ReproError`.
+EXIT_REPRO_ERROR = 68
+
+
+def exit_status(error: ReproError) -> int:
+    """Map a library error to its documented CLI exit status."""
+    for cls, code in EXIT_STATUSES:
+        if isinstance(error, cls):
+            return code
+    return EXIT_REPRO_ERROR
+
+
+def run_with_diagnostics(prog: str, body: Callable[[], int]) -> int:
+    """Run a CLI body, degrading library errors to one-line diagnostics.
+
+    Any :class:`ReproError` escaping ``body`` becomes a single stderr line
+    and the matching nonzero exit status — never a traceback.
+    """
+    try:
+        return body()
+    except ReproError as error:
+        print(f"{prog}: {type(error).__name__}: {error}", file=sys.stderr)
+        return exit_status(error)
 
 
 def add_device_arguments(parser: argparse.ArgumentParser) -> None:
@@ -34,6 +84,18 @@ def add_device_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="use the vectorised sample path instead of the byte protocol",
     )
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help=f"inject link faults ({FAULT_SPEC_HELP}); protocol path only",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="seed for the fault generator (defaults to --seed)",
+    )
 
 
 def build_setup(args: argparse.Namespace) -> SimulatedSetup:
@@ -41,7 +103,13 @@ def build_setup(args: argparse.Namespace) -> SimulatedSetup:
         None if key.strip().lower() in ("none", "") else key.strip()
         for key in args.modules.split(",")
     ]
-    setup = SimulatedSetup(keys, seed=args.seed, direct=args.direct)
+    setup = SimulatedSetup(
+        keys,
+        seed=args.seed,
+        direct=args.direct,
+        faults=getattr(args, "faults", None),
+        fault_seed=getattr(args, "fault_seed", None),
+    )
     rail = _build_rail(args.dut, args.seed)
     if rail is not None:
         for channel in setup.baseboard.populated_slots():

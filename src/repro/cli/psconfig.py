@@ -11,7 +11,7 @@ from __future__ import annotations
 import argparse
 
 from repro.calibration.procedure import calibrate_all
-from repro.cli.common import add_device_arguments, build_setup
+from repro.cli.common import add_device_arguments, build_setup, run_with_diagnostics
 from repro.firmware.commands import Command
 
 
@@ -49,8 +49,18 @@ def main(argv: list[str] | None = None) -> int:
         "--dfu", action="store_true", help="reboot into DFU mode (firmware upload)"
     )
     args = parser.parse_args(argv)
+    return run_with_diagnostics("psconfig", lambda: _configure(args))
 
+
+def _configure(args: argparse.Namespace) -> int:
     setup = build_setup(args)
+    try:
+        return _apply(args, setup)
+    finally:
+        setup.close()
+
+
+def _apply(args: argparse.Namespace, setup) -> int:
     ps = setup.ps
 
     if args.calibrate:
@@ -104,7 +114,6 @@ def main(argv: list[str] | None = None) -> int:
             print(f"device rebooted to {mode}")
         else:
             print("direct-path bench has no device to reboot")
-    setup.close()
     return 0
 
 

@@ -7,7 +7,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro.cli.common import add_device_arguments, build_setup
+from repro.cli.common import add_device_arguments, build_setup, run_with_diagnostics
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -16,8 +16,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     add_device_arguments(parser)
     args = parser.parse_args(argv)
+    return run_with_diagnostics("psinfo", lambda: _show(args))
 
+
+def _show(args: argparse.Namespace) -> int:
     setup = build_setup(args)
+    try:
+        return _report(setup)
+    finally:
+        setup.close()
+
+
+def _report(setup) -> int:
     ps = setup.ps
     ps.pump_seconds(0.05)  # a short burst of fresh samples
     state = ps.read()
@@ -42,7 +52,8 @@ def main(argv: list[str] | None = None) -> int:
             f"{state.current[pair]:>9.3f} {state.pair_power(pair):>9.3f}"
         )
     print(f"\ntotal power: {state.total_power:.3f} W")
-    setup.close()
+    if ps.health.degraded:
+        print(f"stream health: {ps.health.summary()}")
     return 0
 
 

@@ -9,9 +9,10 @@ than stored).
 from __future__ import annotations
 
 import argparse
+import sys
 
 from repro.analysis.streaming import StreamingPowerMonitor, StreamingStats
-from repro.cli.common import add_device_arguments, build_setup
+from repro.cli.common import add_device_arguments, build_setup, run_with_diagnostics
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -33,38 +34,47 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.interval <= 0 or args.duration <= 0:
         parser.error("duration and interval must be positive")
+    return run_with_diagnostics("psmonitor", lambda: _monitor(args))
 
+
+def _monitor(args: argparse.Namespace) -> int:
     setup = build_setup(args)
-    monitor = StreamingPowerMonitor()
-    print(f"{'t':>6} {'mean W':>9} {'min W':>9} {'max W':>9} {'std W':>8} {'energy J':>10}")
+    try:
+        monitor = StreamingPowerMonitor()
+        print(
+            f"{'t':>6} {'mean W':>9} {'min W':>9} {'max W':>9} {'std W':>8} {'energy J':>10}"
+        )
 
-    elapsed = 0.0
-    while elapsed < args.duration:
-        span = min(args.interval, args.duration - elapsed)
-        window = StreamingStats()
-        block = setup.ps.pump_seconds(span)
-        monitor.update(block)
-        if len(block):
-            window.update(block.total_power())
-            print(
-                f"{elapsed + span:5.1f}s {window.mean:9.3f} {window.minimum:9.3f} "
-                f"{window.maximum:9.3f} {window.std:8.3f} "
-                f"{monitor.energy_joules:10.3f}"
-            )
-        elapsed += span
-        if not args.fast:
-            import time
+        elapsed = 0.0
+        while elapsed < args.duration:
+            span = min(args.interval, args.duration - elapsed)
+            window = StreamingStats()
+            block = setup.ps.pump_seconds(span)
+            monitor.update(block)
+            if len(block):
+                window.update(block.total_power())
+                print(
+                    f"{elapsed + span:5.1f}s {window.mean:9.3f} {window.minimum:9.3f} "
+                    f"{window.maximum:9.3f} {window.std:8.3f} "
+                    f"{monitor.energy_joules:10.3f}"
+                )
+            elapsed += span
+            if not args.fast:
+                import time
 
-            time.sleep(span)
+                time.sleep(span)
 
-    total = monitor.total
-    print(
-        f"\n{total.count} samples: mean {total.mean:.3f} W "
-        f"(p-p {total.peak_to_peak:.3f} W, std {total.std:.3f} W), "
-        f"total energy {monitor.energy_joules:.3f} J"
-    )
-    setup.close()
-    return 0
+        total = monitor.total
+        print(
+            f"\n{total.count} samples: mean {total.mean:.3f} W "
+            f"(p-p {total.peak_to_peak:.3f} W, std {total.std:.3f} W), "
+            f"total energy {monitor.energy_joules:.3f} J"
+        )
+        if setup.ps.health.degraded:
+            print(f"stream health: {setup.ps.health.summary()}", file=sys.stderr)
+        return 0
+    finally:
+        setup.close()
 
 
 if __name__ == "__main__":

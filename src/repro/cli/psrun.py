@@ -4,6 +4,10 @@ Simulation analogue of the paper's ``psrun`` (Section III-C): connects to
 the device, runs the given executable, and reports total energy and mean
 power over the execution.  The measured device is the *simulated* bench
 (see ``--dut``), pumped in real time while the command runs.
+
+``psrun`` propagates the wrapped command's exit code; measurement
+failures degrade to a one-line diagnostic with a distinct exit status
+(see ``repro.cli.common.EXIT_STATUSES``) instead of a traceback.
 """
 
 from __future__ import annotations
@@ -12,9 +16,27 @@ import argparse
 import subprocess
 import sys
 
-from repro.cli.common import add_device_arguments, build_setup
+from repro.cli.common import add_device_arguments, build_setup, run_with_diagnostics
 from repro.core.realtime import RealtimeDriver
-from repro.core.state import joules, seconds, watts
+from repro.core.state import State, joules, seconds, watts
+
+#: Exit status when the wrapped command itself cannot be launched.
+EXIT_COMMAND_NOT_RUN = 127
+
+
+def format_measurement(before: State, after: State) -> str:
+    """Render the interval measurement, tolerating a zero-length interval.
+
+    A command can finish before a single new sample arrives; the interval
+    is then empty (dt=0) and mean power is undefined, not an error.
+    """
+    duration = seconds(before, after)
+    if duration <= 0:
+        return "0.000 s, 0.000 J, n/a W"
+    return (
+        f"{duration:.3f} s, {joules(before, after):.3f} J, "
+        f"{watts(before, after):.3f} W"
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -37,25 +59,32 @@ def main(argv: list[str] | None = None) -> int:
     if not args.command:
         parser.error("no command given")
     command = args.command[1:] if args.command[0] == "--" else args.command
+    return run_with_diagnostics("psrun", lambda: _measure(args, command))
 
+
+def _measure(args: argparse.Namespace, command: list[str]) -> int:
     setup = build_setup(args)
-    ps = setup.ps
-    if args.dump:
-        ps.dump(args.dump)
+    try:
+        ps = setup.ps
+        if args.dump:
+            ps.dump(args.dump)
+        with RealtimeDriver(ps, time_scale=args.time_scale) as driver:
+            before = driver.read()
+            try:
+                completed = subprocess.run(command)
+            except OSError as error:
+                print(f"psrun: cannot run {command[0]!r}: {error}", file=sys.stderr)
+                return EXIT_COMMAND_NOT_RUN
+            exit_code = completed.returncode
+            after = driver.read()
 
-    exit_code = 0
-    with RealtimeDriver(ps, time_scale=args.time_scale) as driver:
-        before = driver.read()
-        completed = subprocess.run(command)
-        exit_code = completed.returncode
-        after = driver.read()
-
-    duration = seconds(before, after)
-    energy = joules(before, after)
-    print(f"exit status: {exit_code}", file=sys.stderr)
-    print(f"{duration:.3f} s, {energy:.3f} J, {watts(before, after):.3f} W")
-    setup.close()
-    return exit_code
+        print(f"exit status: {exit_code}", file=sys.stderr)
+        print(format_measurement(before, after))
+        if ps.health.degraded:
+            print(f"stream health: {ps.health.summary()}", file=sys.stderr)
+        return exit_code
+    finally:
+        setup.close()
 
 
 if __name__ == "__main__":

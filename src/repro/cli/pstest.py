@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro.cli.common import add_device_arguments, build_setup
+from repro.cli.common import add_device_arguments, build_setup, run_with_diagnostics
 from repro.common.stats import summarize
 from repro.core.state import joules, seconds, watts
 
@@ -35,37 +35,42 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--dump", metavar="FILE", help="write samples to a dump file")
     args = parser.parse_args(argv)
+    return run_with_diagnostics("pstest", lambda: _selftest(args))
 
+
+def _selftest(args: argparse.Namespace) -> int:
     setup = build_setup(args)
-    ps = setup.ps
-    if args.dump:
-        ps.dump(args.dump)
+    try:
+        ps = setup.ps
+        if args.dump:
+            ps.dump(args.dump)
 
-    interval = 0.001
-    print(f"{'interval':>12} {'energy':>12} {'power':>10}")
-    for _ in range(args.intervals):
-        before = ps.read()
-        ps.pump_seconds(interval)
-        after = ps.read()
-        print(
-            f"{seconds(before, after):>10.4f} s "
-            f"{joules(before, after):>10.4f} J "
-            f"{watts(before, after):>9.3f} W"
-        )
-        interval *= 2
+        interval = 0.001
+        print(f"{'interval':>12} {'energy':>12} {'power':>10}")
+        for _ in range(args.intervals):
+            before = ps.read()
+            ps.pump_seconds(interval)
+            after = ps.read()
+            print(
+                f"{seconds(before, after):>10.4f} s "
+                f"{joules(before, after):>10.4f} J "
+                f"{watts(before, after):>9.3f} W"
+            )
+            interval *= 2
 
-    if args.capture:
-        block = ps.pump(args.capture)
-        power = block.pair_power(0)
-        summary = summarize(power)
-        print(
-            f"\ncaptured {summary.count} samples: "
-            f"mean={summary.mean:.4f} W min={summary.minimum:.4f} W "
-            f"max={summary.maximum:.4f} W p-p={summary.peak_to_peak:.4f} W "
-            f"std={summary.std:.4f} W"
-        )
-    setup.close()
-    return 0
+        if args.capture:
+            block = ps.pump(args.capture)
+            power = block.pair_power(0)
+            summary = summarize(power)
+            print(
+                f"\ncaptured {summary.count} samples: "
+                f"mean={summary.mean:.4f} W min={summary.minimum:.4f} W "
+                f"max={summary.maximum:.4f} W p-p={summary.peak_to_peak:.4f} W "
+                f"std={summary.std:.4f} W"
+            )
+        return 0
+    finally:
+        setup.close()
 
 
 if __name__ == "__main__":

@@ -32,3 +32,12 @@ class ConfigurationError(ReproError):
 
 class MeasurementError(ReproError):
     """A measurement could not be completed (no samples, bad interval...)."""
+
+
+class StreamStalledError(MeasurementError):
+    """The sample stream stopped producing data.
+
+    Raised after the recovery policy exhausts its retries on empty reads,
+    or by the realtime driver's watchdog when the pump thread makes no
+    progress within its deadline.
+    """

@@ -16,7 +16,8 @@ direct path for experiments needing millions of samples (see DESIGN.md).
 """
 
 from repro.core.dump import DumpReader, DumpWriter
-from repro.core.powersensor import PowerSensor
+from repro.core.health import StreamHealth
+from repro.core.powersensor import DEFAULT_RECOVERY, PowerSensor, RecoveryPolicy
 from repro.core.setup import SimulatedSetup
 from repro.core.sources import (
     DirectSampleSource,
@@ -28,6 +29,9 @@ from repro.core.state import State, joules, seconds, watts
 
 __all__ = [
     "PowerSensor",
+    "RecoveryPolicy",
+    "DEFAULT_RECOVERY",
+    "StreamHealth",
     "State",
     "joules",
     "watts",

@@ -1,0 +1,77 @@
+"""Stream-health accounting for the sample path.
+
+A real PowerSensor3 deployment rides a noisy USB-serial link: bytes get
+dropped, packets arrive corrupted, the device occasionally stalls.  The
+host library survives all of that (it resynchronises on the first-byte
+flag and retries empty reads), but silent recovery is only acceptable if
+it is *accounted for* — a measurement that bridged a hundred gaps is not
+the same measurement as a clean one.  :class:`StreamHealth` is the single
+counter block every layer of the receive path writes into:
+
+* the sample sources count bytes read, packets decoded and packets
+  dropped during resynchronisation,
+* :class:`~repro.core.powersensor.PowerSensor` counts empty reads, retry
+  attempts, bridged inter-sample gaps and declared stalls.
+
+The CLI tools surface these counters when a run degraded, and the
+robustness tests assert that every injected fault lands in exactly one of
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass
+class StreamHealth:
+    """Counters describing how cleanly the sample stream is arriving.
+
+    Attributes:
+        bytes_read: raw device->host bytes handed to the decoder.
+        packets_decoded: 2-byte packets successfully parsed.
+        packets_dropped: packets lost to resynchronisation (dangling
+            first/second bytes discarded while scanning for a frame).
+        samples_decoded: complete sample sets folded into the measurement.
+        empty_reads: reads that yielded no samples while streaming.
+        retries: recovery-policy retry reads issued after an empty read.
+        gaps_bridged: inter-sample gaps larger than 1.5x the nominal
+            interval that were bridged by energy integration.
+        stalls: times the stream was declared stalled (retries exhausted
+            or the realtime watchdog tripped).
+    """
+
+    bytes_read: int = 0
+    packets_decoded: int = 0
+    packets_dropped: int = 0
+    samples_decoded: int = 0
+    empty_reads: int = 0
+    retries: int = 0
+    gaps_bridged: int = 0
+    stalls: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        """True if the stream needed any recovery at all."""
+        return bool(
+            self.packets_dropped
+            or self.empty_reads
+            or self.retries
+            or self.gaps_bridged
+            or self.stalls
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        return asdict(self)
+
+    def summary(self) -> str:
+        """One-line counter summary for diagnostics and CLI output."""
+        return (
+            f"{self.packets_decoded} packets decoded, "
+            f"{self.packets_dropped} dropped/resynced, "
+            f"{self.samples_decoded} samples, "
+            f"{self.gaps_bridged} gaps bridged, "
+            f"{self.empty_reads} empty reads, "
+            f"{self.retries} retries, "
+            f"{self.stalls} stalls"
+        )

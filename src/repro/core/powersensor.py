@@ -15,30 +15,67 @@ threaded behaviour for the interactive CLI tools.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
-from repro.common.errors import ConfigurationError, MeasurementError
+from repro.common.errors import (
+    ConfigurationError,
+    MeasurementError,
+    StreamStalledError,
+)
 from repro.core.dump import DumpWriter
+from repro.core.health import StreamHealth
 from repro.core.sources import DirectSampleSource, ProtocolSampleSource, SampleBlock
 from repro.core.state import PAIRS, State
 from repro.hardware.eeprom import SENSORS, SensorConfig
+from repro.transport.faults import FaultySerialLink
 from repro.transport.link import VirtualSerialLink
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Bounded retry-with-backoff for empty reads on a live stream.
+
+    When a read that should have produced samples comes back empty (a
+    stalled or lossy device), the PowerSensor re-reads up to
+    ``max_retries`` times, widening the requested span by
+    ``backoff_factor`` each attempt (capped at ``max_retry_seconds`` of
+    stream time) before declaring the stream stalled.
+    """
+
+    max_retries: int = 4
+    backoff_factor: float = 2.0
+    max_retry_seconds: float = 0.1
+
+
+#: Default policy: tolerate brief dropouts, fail within ~0.1 s of stream time.
+DEFAULT_RECOVERY = RecoveryPolicy()
 
 
 class PowerSensor:
     """Host-side handle to a (simulated) PowerSensor3 device."""
 
     def __init__(
-        self, device: VirtualSerialLink | ProtocolSampleSource | DirectSampleSource
+        self,
+        device: (
+            VirtualSerialLink
+            | FaultySerialLink
+            | ProtocolSampleSource
+            | DirectSampleSource
+        ),
+        recovery: RecoveryPolicy | None = DEFAULT_RECOVERY,
     ) -> None:
-        if isinstance(device, VirtualSerialLink):
+        if isinstance(device, (VirtualSerialLink, FaultySerialLink)):
             self.source: ProtocolSampleSource | DirectSampleSource = (
                 ProtocolSampleSource(device)
             )
         else:
             self.source = device
+        self.recovery = recovery
+        self.health: StreamHealth = getattr(self.source, "health", None) or StreamHealth()
+        self._pump_residual = 0.0  # fractional samples carried across pump_seconds
         self._energy = np.zeros(PAIRS)
         self._last_current = np.zeros(PAIRS)
         self._last_voltage = np.zeros(PAIRS)
@@ -64,16 +101,53 @@ class PowerSensor:
         return 1.0 / self.source.sample_rate
 
     def pump(self, n_samples: int) -> SampleBlock:
-        """Advance the stream by ``n_samples`` and fold them into the state."""
+        """Advance the stream by ``n_samples`` and fold them into the state.
+
+        An empty read while the device is streaming engages the recovery
+        policy: bounded re-reads with widening spans, then
+        :class:`StreamStalledError` if the stream stays silent.
+        """
         block = self.source.read_block(n_samples)
+        if (
+            len(block) == 0
+            and n_samples > 0
+            and getattr(self.source, "streaming", False)
+        ):
+            self.health.empty_reads += 1
+            if self.recovery is not None:
+                block = self._retry_read(n_samples)
         self._process(block)
         return block
 
+    def _retry_read(self, n_samples: int) -> SampleBlock:
+        policy = self.recovery
+        cap = max(int(policy.max_retry_seconds * self.sample_rate), 1)
+        span = n_samples
+        for _ in range(policy.max_retries):
+            span = min(max(int(span * policy.backoff_factor), 1), cap)
+            self.health.retries += 1
+            block = self.source.read_block(span)
+            if len(block):
+                return block
+        self.health.stalls += 1
+        raise StreamStalledError(
+            f"stream produced no samples after {policy.max_retries} retries "
+            f"(device stalled or all data lost)"
+        )
+
     def pump_seconds(self, seconds: float) -> SampleBlock:
-        """Advance the stream by a duration of simulated time."""
+        """Advance the stream by a duration of simulated time.
+
+        The fractional-sample remainder is carried across calls, so
+        repeated short pumps cover exactly the requested total duration
+        instead of accumulating per-call rounding drift.
+        """
         if seconds < 0:
             raise MeasurementError(f"cannot pump a negative duration ({seconds} s)")
-        return self.pump(int(round(seconds * self.sample_rate)))
+        exact = seconds * self.sample_rate + self._pump_residual
+        n = max(int(round(exact)), 0)
+        self._pump_residual = exact - n
+        return self.pump(n)
 
     def _process(self, block: SampleBlock) -> None:
         n = len(block)
@@ -90,6 +164,11 @@ class PowerSensor:
         dts[0] = max(first_dt, 0.0)
         if n > 1:
             dts[1:] = np.diff(block.times)
+        # Samples lost to faults show up as oversized inter-sample gaps;
+        # integration bridges them, but the bridging is accounted for.
+        gaps = int(np.count_nonzero(dts > 1.5 * self.sample_interval))
+        if gaps:
+            self.health.gaps_bridged += gaps
         self._energy += power.T @ dts
         self._last_current = currents[-1].copy()
         self._last_voltage = volts[-1].copy()

@@ -5,6 +5,13 @@ sensor values.  Against the simulated device, :class:`RealtimeDriver`
 plays that role for the interactive CLI tools: a daemon thread pumps the
 PowerSensor at wall-clock pace (optionally time-scaled), so ``psrun`` and
 ``psinfo`` behave like their real counterparts.
+
+The driver is also where a stuck measurement is detected: if the pump
+thread raises, the error is captured and re-raised at the next
+:meth:`read`/:meth:`mark`; if the thread blocks without making progress
+for ``watchdog_seconds``, those calls raise
+:class:`~repro.common.errors.StreamStalledError` instead of hanging, so a
+wedged device fails the measurement cleanly rather than freezing the tool.
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ from __future__ import annotations
 import threading
 import time
 
+from repro.common.errors import StreamStalledError
 from repro.core.powersensor import PowerSensor
 
 
@@ -23,19 +31,26 @@ class RealtimeDriver:
         ps: PowerSensor,
         time_scale: float = 1.0,
         chunk_seconds: float = 0.02,
+        watchdog_seconds: float | None = 5.0,
     ) -> None:
         if time_scale <= 0:
             raise ValueError("time_scale must be positive")
+        if watchdog_seconds is not None and watchdog_seconds <= 0:
+            raise ValueError("watchdog_seconds must be positive (or None)")
         self.ps = ps
         self.time_scale = time_scale
         self.chunk_seconds = chunk_seconds
+        self.watchdog_seconds = watchdog_seconds
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
         self._lock = threading.Lock()
+        self._error: BaseException | None = None
+        self._last_progress = time.monotonic()
 
     def start(self) -> "RealtimeDriver":
         if self._thread is not None:
             raise RuntimeError("driver already started")
+        self._last_progress = time.monotonic()
         self._thread = threading.Thread(target=self._run, daemon=True)
         self._thread.start()
         return self
@@ -43,8 +58,13 @@ class RealtimeDriver:
     def _run(self) -> None:
         next_deadline = time.monotonic()
         while not self._stop.is_set():
-            with self._lock:
-                self.ps.pump_seconds(self.chunk_seconds * self.time_scale)
+            try:
+                with self._lock:
+                    self.ps.pump_seconds(self.chunk_seconds * self.time_scale)
+            except Exception as error:
+                self._error = error
+                return
+            self._last_progress = time.monotonic()
             next_deadline += self.chunk_seconds
             delay = next_deadline - time.monotonic()
             if delay > 0:
@@ -52,14 +72,50 @@ class RealtimeDriver:
             else:
                 next_deadline = time.monotonic()  # fell behind; resync
 
+    @property
+    def failed(self) -> bool:
+        """True if the pump thread died on an error."""
+        return self._error is not None
+
+    def _check_health(self) -> None:
+        if self._error is not None:
+            raise self._error
+        if (
+            self._thread is not None
+            and self.watchdog_seconds is not None
+            and time.monotonic() - self._last_progress > self.watchdog_seconds
+        ):
+            self.ps.health.stalls += 1
+            raise StreamStalledError(
+                f"pump thread made no progress for {self.watchdog_seconds:.1f} s "
+                f"(stalled device or blocked read)"
+            )
+
+    def _acquire(self) -> None:
+        timeout = -1 if self.watchdog_seconds is None else self.watchdog_seconds
+        if not self._lock.acquire(timeout=timeout):
+            self.ps.health.stalls += 1
+            raise StreamStalledError(
+                f"pump thread held the stream lock for more than "
+                f"{self.watchdog_seconds:.1f} s"
+            )
+
     def read(self):
         """Thread-safe snapshot of the PowerSensor state."""
-        with self._lock:
+        self._check_health()
+        self._acquire()
+        try:
             return self.ps.read()
+        finally:
+            self._lock.release()
 
     def mark(self, char: str = "M") -> None:
-        with self._lock:
+        self._check_health()
+        self._acquire()
+        try:
             self.ps.mark(char)
+        finally:
+            self._lock.release()
 
     def stop(self) -> None:
         self._stop.set()

@@ -9,12 +9,14 @@ simulation analogue of unboxing and installing a PowerSensor3.
 from __future__ import annotations
 
 from repro.calibration.procedure import calibrate_all, CalibrationResult
+from repro.common.errors import ConfigurationError
 from repro.common.rng import RngStream
-from repro.core.powersensor import PowerSensor
+from repro.core.powersensor import PowerSensor, RecoveryPolicy, DEFAULT_RECOVERY
 from repro.core.sources import DirectSampleSource, ProtocolSampleSource
 from repro.firmware.device import Firmware, default_eeprom
 from repro.hardware.baseboard import Baseboard, PowerRail
 from repro.hardware.modules import SensorModule
+from repro.transport.faults import FaultModel, FaultySerialLink, parse_fault_spec
 from repro.transport.link import VirtualSerialLink
 
 #: Default calibration length for programmatic setups.  The paper's
@@ -34,6 +36,12 @@ class SimulatedSetup:
             byte-accurate protocol path (for large experiments).
         calibrate: run the one-time calibration before connecting.
         calibration_samples: samples averaged per calibration point.
+        faults: fault models to inject on the serial link — a spec string
+            (see :func:`repro.transport.faults.parse_fault_spec`) or a
+            list of :class:`~repro.transport.faults.FaultModel`; protocol
+            path only.
+        fault_seed: seed for the fault generator (defaults to ``seed``).
+        recovery: retry policy for the PowerSensor (None disables).
 
     Attributes:
         baseboard, eeprom, firmware (None on the direct path), link (None
@@ -50,6 +58,9 @@ class SimulatedSetup:
         calibration_samples: int = SETUP_CALIBRATION_SAMPLES,
         perfect_modules: bool = False,
         external_field=None,
+        faults: str | list[FaultModel] | None = None,
+        fault_seed: int | None = None,
+        recovery: RecoveryPolicy | None = DEFAULT_RECOVERY,
     ) -> None:
         if len(module_keys) > 4:
             raise ValueError("a baseboard has at most four slots")
@@ -73,7 +84,13 @@ class SimulatedSetup:
                 self.baseboard, self.eeprom, n_samples=calibration_samples
             )
 
+        fault_models = parse_fault_spec(faults) if isinstance(faults, str) else faults
         if direct:
+            if fault_models:
+                raise ConfigurationError(
+                    "fault injection requires the byte-accurate protocol path "
+                    "(construct the bench without direct=True)"
+                )
             self.firmware = None
             self.link = None
             self.source: DirectSampleSource | ProtocolSampleSource = (
@@ -82,8 +99,14 @@ class SimulatedSetup:
         else:
             self.firmware = Firmware(self.baseboard, eeprom=self.eeprom)
             self.link = VirtualSerialLink(self.firmware)
+            if fault_models:
+                self.link = FaultySerialLink(
+                    self.link,
+                    fault_models,
+                    seed=seed if fault_seed is None else fault_seed,
+                )
             self.source = ProtocolSampleSource(self.link)
-        self.ps = PowerSensor(self.source)
+        self.ps = PowerSensor(self.source, recovery=recovery)
 
     def connect(self, slot: int, rail: PowerRail) -> None:
         """Wire a DUT power rail to a slot's sensor module."""

@@ -28,6 +28,7 @@ from repro.firmware.protocol import (
     TimestampUnwrapper,
 )
 from repro.firmware.version import FIRMWARE_VERSION
+from repro.core.health import StreamHealth
 from repro.hardware.baseboard import Baseboard
 from repro.hardware.eeprom import RECORD_SIZE, SENSORS, SensorConfig, VirtualEeprom
 from repro.transport.link import VirtualSerialLink
@@ -101,6 +102,8 @@ class ProtocolSampleSource:
         self.link = link
         self._decoder = StreamDecoder()
         self._unwrapper = TimestampUnwrapper()
+        self.health = StreamHealth()
+        self.streaming = False
         self.configs: list[SensorConfig] = []
         self.version = self._read_version()
         self.refresh_configs()
@@ -136,9 +139,11 @@ class ProtocolSampleSource:
 
     def start(self) -> None:
         self.link.write(Command.START_STREAMING.value)
+        self.streaming = True
 
     def stop(self) -> None:
         self.link.write(Command.STOP_STREAMING.value)
+        self.streaming = False
 
     def mark(self) -> None:
         self.link.write(Command.MARKER.value)
@@ -154,8 +159,11 @@ class ProtocolSampleSource:
         markers: list[bool] = []
         enabled_sensors = [i for i, c in enumerate(self.configs) if c.enabled]
         n_enabled = len(enabled_sensors)
+        self.health.bytes_read += len(data)
+        resyncs_before = self._decoder.resync_count
 
         for event in self._decoder.feed(data):
+            self.health.packets_decoded += 1
             if isinstance(event, Timestamp):
                 self._flush_sample(times, rows, markers, n_enabled)
                 self._current_time = self._unwrapper.update(event.micros)
@@ -166,6 +174,8 @@ class ProtocolSampleSource:
                 self._pending_sample[event.sensor] = event.value
                 self._pending_marker = self._pending_marker or event.marker
         self._flush_sample(times, rows, markers, n_enabled)
+        self.health.packets_dropped += self._decoder.resync_count - resyncs_before
+        self.health.samples_decoded += len(times)
 
         if not times:
             return SampleBlock(
@@ -213,6 +223,7 @@ class DirectSampleSource:
         self.clock = clock or VirtualClock()
         self.clock.configure_ticks(baseboard.timing.output_interval_s)
         self.version = FIRMWARE_VERSION
+        self.health = StreamHealth()
         self._marker_pending = 0
         self.streaming = False
 
@@ -254,6 +265,7 @@ class DirectSampleSource:
             )
         codes = self.baseboard.averaged_codes(start, n_samples)
         self.clock.tick(n_samples)
+        self.health.samples_decoded += n_samples
         values, enabled = convert_codes(codes, self.configs)
         # Match the firmware timestamp convention (after 3 of 6 scans),
         # including its microsecond rounding.

@@ -81,6 +81,7 @@ class StreamDecoder:
     def __init__(self) -> None:
         self._pending_first: int | None = None
         self.resync_count = 0
+        self.packet_count = 0
 
     def feed(self, data: bytes) -> Iterator[SensorReading | Timestamp]:
         for byte in data:
@@ -97,6 +98,7 @@ class StreamDecoder:
             sensor = (first >> 4) & 0x07
             marker = bool(first & 0x08)
             value = ((first & 0x07) << 7) | (byte & 0x7F)
+            self.packet_count += 1
             if sensor == TIMESTAMP_SENSOR and marker:
                 yield Timestamp(micros=value)
             else:
@@ -107,6 +109,7 @@ class StreamDecoder:
     def reset(self) -> None:
         self._pending_first = None
         self.resync_count = 0
+        self.packet_count = 0
 
 
 class TimestampUnwrapper:

@@ -1,5 +1,25 @@
 """Virtual USB-serial transport between firmware and host library."""
 
+from repro.transport.faults import (
+    BitFlips,
+    DeviceStall,
+    DroppedBytes,
+    FaultModel,
+    FaultySerialLink,
+    OverflowBurst,
+    PartialReads,
+    parse_fault_spec,
+)
 from repro.transport.link import VirtualSerialLink
 
-__all__ = ["VirtualSerialLink"]
+__all__ = [
+    "VirtualSerialLink",
+    "FaultySerialLink",
+    "FaultModel",
+    "DroppedBytes",
+    "BitFlips",
+    "PartialReads",
+    "DeviceStall",
+    "OverflowBurst",
+    "parse_fault_spec",
+]

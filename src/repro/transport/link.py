@@ -33,6 +33,7 @@ class VirtualSerialLink:
         self.bandwidth_bps = float(bandwidth_bps)
         self.buffer_limit = int(buffer_limit)
         self._rx = bytearray()  # device -> host bytes not yet read
+        self._pump_residual = 0.0  # fractional samples carried across pump_seconds
         self.is_open = True
         self.bytes_to_host = 0
         self.bytes_to_device = 0
@@ -86,7 +87,12 @@ class VirtualSerialLink:
         return self.read()
 
     def pump_seconds(self, seconds: float) -> bytes:
-        n = int(round(seconds / self.firmware.baseboard.timing.output_interval_s))
+        # Carry the fractional-sample remainder across calls so repeated
+        # short pumps (e.g. 20 ms realtime chunks) never accumulate drift.
+        exact = seconds / self.firmware.baseboard.timing.output_interval_s
+        exact += self._pump_residual
+        n = max(int(round(exact)), 0)
+        self._pump_residual = exact - n
         return self.pump_samples(n)
 
     def utilization(self) -> float:

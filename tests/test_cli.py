@@ -141,3 +141,86 @@ def test_psmonitor_validates_arguments():
 
     with pytest.raises(SystemExit):
         psmonitor.main(FAST + ["--duration", "0"])
+
+
+# --------------------------------------------------------------------- #
+# Error handling, graceful degradation, fault injection                 #
+# --------------------------------------------------------------------- #
+
+PROTO = ["--modules", "pcie_slot_12v", "--dut", "load:4.0@12.0"]
+
+
+def test_psrun_zero_duration_reports_na_watts():
+    from repro.core.state import State
+
+    state = State(time=1.0, consumed_energy=(2.0,) * 4, current=(0,) * 4, voltage=(0,) * 4)
+    assert psrun.format_measurement(state, state) == "0.000 s, 0.000 J, n/a W"
+
+
+def test_psrun_missing_command_cleans_up(tmp_path, capsys):
+    dump = tmp_path / "leak.txt"
+    code = psrun.main(FAST + ["--dump", str(dump), "--", "/nonexistent-binary-zz"])
+    assert code == psrun.EXIT_COMMAND_NOT_RUN
+    assert "cannot run" in capsys.readouterr().err
+    # The dump writer was closed by the finally-path cleanup.
+    assert dump.read_text().startswith("# PowerSensor3 dump")
+
+
+def test_psrun_dead_stream_fails_cleanly(capsys):
+    code = psrun.main(PROTO + ["--faults", "dead", "--", sys.executable, "-c", "pass"])
+    assert code == 69  # StreamStalledError
+    err = capsys.readouterr().err
+    assert "StreamStalledError" in err
+    assert "Traceback" not in err
+
+
+def test_psmonitor_dead_stream_fails_cleanly(capsys):
+    from repro.cli import psmonitor
+
+    args = PROTO + ["--faults", "dead", "--fast", "--duration", "0.2", "--interval", "0.1"]
+    assert psmonitor.main(args) == 69
+    err = capsys.readouterr().err
+    assert "StreamStalledError" in err
+    assert "Traceback" not in err
+
+
+def test_psmonitor_recovers_from_mild_faults(capsys):
+    from repro.cli import psmonitor
+
+    args = PROTO + ["--faults", "drop:0.002", "--fast", "--duration", "0.4", "--interval", "0.2"]
+    assert psmonitor.main(args) == 0
+    captured = capsys.readouterr()
+    assert "total energy" in captured.out
+    assert "stream health:" in captured.err  # degradation is surfaced
+
+
+def test_psinfo_faults_require_protocol_path(capsys):
+    code = psinfo.main(FAST + ["--faults", "drop:0.1"])
+    assert code == 74  # ConfigurationError
+    assert "ConfigurationError" in capsys.readouterr().err
+
+
+def test_psinfo_survives_lossy_stream(capsys):
+    assert psinfo.main(PROTO + ["--faults", "drop:0.001"]) == 0
+    assert "total power" in capsys.readouterr().out
+
+
+def test_exit_status_mapping_is_distinct():
+    from repro.cli.common import exit_status
+    from repro.common.errors import (
+        ConfigurationError,
+        MeasurementError,
+        ReproError,
+        StreamStalledError,
+        TransportError,
+    )
+
+    codes = [
+        exit_status(StreamStalledError("x")),
+        exit_status(MeasurementError("x")),
+        exit_status(TransportError("x")),
+        exit_status(ConfigurationError("x")),
+        exit_status(ReproError("x")),
+    ]
+    assert codes == [69, 70, 71, 74, 68]
+    assert len(set(codes)) == len(codes)

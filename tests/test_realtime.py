@@ -62,3 +62,78 @@ def test_invalid_time_scale():
     with pytest.raises(ValueError):
         RealtimeDriver(setup.ps, time_scale=0.0)
     setup.close()
+
+
+# --------------------------------------------------------------------- #
+# Watchdog and pump-thread failure handling                             #
+# --------------------------------------------------------------------- #
+
+import threading
+
+from repro.common.errors import StreamStalledError, TransportError
+from repro.core.health import StreamHealth
+
+
+class _FakePowerSensor:
+    """Minimal PowerSensor stand-in with a controllable pump."""
+
+    def __init__(self, pump):
+        self._pump = pump
+        self.health = StreamHealth()
+
+    def pump_seconds(self, seconds):
+        self._pump(seconds)
+
+    def read(self):
+        return "state"
+
+    def mark(self, char="M"):
+        pass
+
+
+def test_pump_thread_error_surfaces_in_read():
+    def pump(_seconds):
+        raise TransportError("link is closed")
+
+    driver = RealtimeDriver(_FakePowerSensor(pump), chunk_seconds=0.01)
+    driver.start()
+    time.sleep(0.05)
+    assert driver.failed
+    with pytest.raises(TransportError):
+        driver.read()
+    driver.stop()
+
+
+def test_watchdog_detects_stalled_pump():
+    release = threading.Event()
+
+    def pump(_seconds):
+        release.wait(2.0)  # a wedged blocking read
+
+    driver = RealtimeDriver(
+        _FakePowerSensor(pump), chunk_seconds=0.01, watchdog_seconds=0.05
+    )
+    driver.start()
+    time.sleep(0.12)
+    with pytest.raises(StreamStalledError):
+        driver.read()
+    assert driver.ps.health.stalls >= 1
+    release.set()
+    driver.stop()
+
+
+def test_watchdog_quiet_on_healthy_stream():
+    setup = make_loaded_setup(amps=4.0)
+    with RealtimeDriver(setup.ps, chunk_seconds=0.01, watchdog_seconds=0.5) as driver:
+        time.sleep(0.1)
+        state = driver.read()  # must not trip
+    assert state.time > 0
+    assert not driver.failed
+    setup.close()
+
+
+def test_invalid_watchdog_rejected():
+    setup = make_loaded_setup()
+    with pytest.raises(ValueError):
+        RealtimeDriver(setup.ps, watchdog_seconds=0.0)
+    setup.close()

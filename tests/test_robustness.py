@@ -161,3 +161,241 @@ def test_current_beyond_range_clips_visibly():
     reading = block.pair_current(0).mean()
     assert 13.0 < reading < 15.0  # clipped at the ADC rail, not 25 A
     setup.close()
+
+
+# --------------------------------------------------------------------- #
+# Fault injection subsystem                                             #
+# --------------------------------------------------------------------- #
+
+from repro.common.errors import (  # noqa: E402
+    ConfigurationError as _ConfigurationError,
+    StreamStalledError,
+    TransportError,
+)
+from repro.core.setup import SimulatedSetup as _Setup  # noqa: E402
+from repro.transport.faults import (  # noqa: E402
+    BitFlips,
+    DeviceStall,
+    DroppedBytes,
+    FaultModel,
+    FaultySerialLink,
+    OverflowBurst,
+    PartialReads,
+    parse_fault_spec,
+)
+
+
+def test_dropped_bytes_model_is_deterministic():
+    data = bytes(range(200))
+    a = DroppedBytes(0.2)
+    b = DroppedBytes(0.2)
+    out_a = a.transform(data, np.random.default_rng(7))
+    out_b = b.transform(data, np.random.default_rng(7))
+    assert out_a == out_b
+    assert a.injected == len(data) - len(out_a) > 0
+
+
+def test_bit_flips_model_counts_corruptions():
+    data = bytes(200)
+    model = BitFlips(0.1)
+    out = model.transform(data, np.random.default_rng(0))
+    assert len(out) == len(data)
+    differing = sum(1 for x, y in zip(data, out) if x != y)
+    assert differing == model.injected > 0
+
+
+def test_partial_reads_lose_no_bytes():
+    model = PartialReads(probability=1.0)
+    rng = np.random.default_rng(3)
+    chunks = [bytes([k] * 50) for k in range(10)]
+    delivered = b"".join(model.transform(c, rng) for c in chunks)
+    delivered += model.transform(b"", rng) + model._backlog
+    assert delivered == b"".join(chunks)
+    assert model.injected > 0
+
+
+def test_partial_reads_backlog_overflow_raises():
+    model = PartialReads(probability=1.0, max_fraction=0.0, max_backlog=100)
+    rng = np.random.default_rng(0)
+    with pytest.raises(TransportError, match="overflow"):
+        for _ in range(5):
+            model.transform(bytes(60), rng)
+
+
+def test_device_stall_swallows_reads():
+    model = DeviceStall(probability=1.0, duration_reads=3)
+    rng = np.random.default_rng(0)
+    for _ in range(5):
+        assert model.transform(b"data", rng) == b""
+    assert model.injected == 5
+
+
+def test_overflow_burst_prepends_garbage():
+    model = OverflowBurst(probability=1.0, burst_bytes=32)
+    out = model.transform(b"tail", np.random.default_rng(0))
+    assert len(out) == 32 + 4
+    assert out.endswith(b"tail")
+    assert model.injected == 1
+
+
+def test_parse_fault_spec_round_trip():
+    models = parse_fault_spec("drop:0.01, flip:0.002, stall:0.1@7, burst:0.05@64, partial:0.3")
+    assert [m.name for m in models] == ["drop", "flip", "stall", "burst", "partial"]
+    assert models[2].duration_reads == 7
+    assert models[3].burst_bytes == 64
+    with pytest.raises(_ConfigurationError):
+        parse_fault_spec("gremlins:0.5")
+
+
+def test_no_fault_wrapper_is_byte_identical():
+    """With no fault models the wrapper must not perturb the stream."""
+    bare = make_loaded_setup(direct=False, seed=11)
+    wrapped = make_loaded_setup(direct=False, seed=11)
+    faulty = FaultySerialLink(wrapped.link, [], seed=0)
+    assert bare.link.pump_samples(200) == faulty.pump_samples(200)
+    bare.close()
+    wrapped.close()
+
+
+def test_faulty_setup_decodes_most_samples_and_accounts_drops():
+    setup = _Setup(
+        ["pcie_slot_12v"],
+        seed=12,
+        calibration_samples=8192,
+        faults="drop:0.002",
+    )
+    load = ElectronicLoad()
+    load.set_current(4.0)
+    setup.connect(0, LoadedSupplyRail(LabSupply(12.0), load))
+    block = setup.ps.pump(5000)
+    health = setup.ps.health
+    assert 4500 <= len(block) <= 5000
+    assert health.packets_dropped > 0
+    assert health.samples_decoded == len(block)
+    assert setup.link.injected()["drop"] > 0
+    setup.close()
+
+
+def test_stream_health_accounts_every_packet_on_single_drop():
+    """Dropping one byte loses exactly one packet, and the books balance."""
+    setup = make_loaded_setup(direct=False, seed=13)
+    source = setup.source
+    data = bytearray(setup.firmware.produce(100))
+    total_packets = len(data) // 2
+    del data[41]
+    source._decode(bytes(data), 100)
+    health = source.health
+    assert health.packets_dropped == 1
+    assert health.packets_decoded == total_packets - 1
+    assert health.packets_decoded + health.packets_dropped == total_packets
+    setup.close()
+
+
+def test_burst_faults_resync_and_bridge_gaps():
+    setup = _Setup(
+        ["pcie_slot_12v"],
+        seed=14,
+        calibration_samples=8192,
+        faults="burst:0.2@64",
+    )
+    load = ElectronicLoad()
+    load.set_current(4.0)
+    setup.connect(0, LoadedSupplyRail(LabSupply(12.0), load))
+    for _ in range(20):
+        setup.ps.pump(100)
+    health = setup.ps.health
+    assert health.packets_dropped > 0  # garbage swept out by resync
+    assert health.samples_decoded > 1800  # stream survives
+    setup.close()
+
+
+class _TransientBlackout(FaultModel):
+    """Swallow the first ``n`` reads, then pass everything through."""
+
+    name = "blackout"
+
+    def __init__(self, n: int) -> None:
+        super().__init__()
+        self.n = n
+
+    def transform(self, data, rng):
+        if self.n > 0:
+            self.n -= 1
+            self.injected += 1
+            return b""
+        return data
+
+
+def test_recovery_policy_retries_through_transient_blackout():
+    setup = _Setup(
+        ["pcie_slot_12v"],
+        seed=15,
+        calibration_samples=8192,
+        faults=[_TransientBlackout(2)],
+    )
+    load = ElectronicLoad()
+    load.set_current(4.0)
+    setup.connect(0, LoadedSupplyRail(LabSupply(12.0), load))
+    block = setup.ps.pump(50)
+    health = setup.ps.health
+    assert len(block) > 0  # recovered within the retry budget
+    assert health.empty_reads == 1
+    assert 1 <= health.retries <= 4
+    assert health.stalls == 0
+    setup.close()
+
+
+def test_retry_exhaustion_raises_stream_stalled():
+    setup = _Setup(
+        ["pcie_slot_12v"],
+        seed=16,
+        calibration_samples=8192,
+        faults="dead",
+    )
+    with pytest.raises(StreamStalledError):
+        setup.ps.pump(100)
+    assert setup.ps.health.stalls == 1
+    assert setup.ps.health.retries == 4  # the full default budget
+    setup.close()
+
+
+def test_recovery_disabled_returns_empty_block():
+    setup = _Setup(
+        ["pcie_slot_12v"],
+        seed=17,
+        calibration_samples=8192,
+        faults="dead",
+        recovery=None,
+    )
+    block = setup.ps.pump(100)
+    assert len(block) == 0
+    assert setup.ps.health.empty_reads == 1
+    setup.close()
+
+
+def test_direct_path_rejects_fault_injection():
+    with pytest.raises(_ConfigurationError):
+        _Setup(["pcie_slot_12v"], direct=True, faults="drop:0.1")
+
+
+# --------------------------------------------------------------------- #
+# pump_seconds drift (fractional-sample remainder)                      #
+# --------------------------------------------------------------------- #
+
+
+def test_powersensor_pump_seconds_carries_remainder():
+    setup = make_loaded_setup()
+    # 0.6 samples per call: naive per-call rounding would pump 1 each
+    # (100 samples); the remainder carry must pump exactly 60.
+    for _ in range(100):
+        setup.ps.pump_seconds(0.00003)
+    assert setup.ps.samples_seen == 60
+    setup.close()
+
+
+def test_link_pump_seconds_carries_remainder():
+    setup = make_loaded_setup(direct=False, seed=18)
+    per_sample = setup.firmware.bytes_per_sample()
+    total = sum(len(setup.link.pump_seconds(0.00003)) for _ in range(100))
+    assert total == 60 * per_sample
+    setup.close()
