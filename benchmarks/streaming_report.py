@@ -1,0 +1,166 @@
+"""Measure the streaming hot path and write ``BENCH_streaming.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/streaming_report.py [--samples N]
+
+The report compares three stages of the receive/persist pipeline:
+
+* **decode** — wire bytes to ``SampleBlock``: the retained scalar decoder
+  (``vectorized=False``, the pre-optimisation implementation) against the
+  vectorised block decoder, on identical pre-produced 4-pair streams.
+* **read_block** — the full pull path including the simulated device
+  producing the bytes (the device side bounds this number; the host-side
+  share is the decode row above).
+* **dump I/O** — ``DumpWriter``/``DumpReader`` on a tmpfs file.  The old
+  row-loop writer and the pure ``np.loadtxt`` reader no longer exist in
+  the tree, so their throughput is carried as recorded baselines
+  (measured on this repo at the commit before the vectorisation).
+
+Timings are best-of-``--repeat`` wall-clock; the JSON lands at the repo
+root so the numbers ride along with the code that produced them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.dump import DumpReader, DumpWriter
+from repro.core.setup import SimulatedSetup
+
+_MODULES = ["pcie_slot_12v", "pcie8pin", "pcie_slot_3v3", "usbc"]
+
+#: Throughput of the implementations this PR replaced, measured on the
+#: same workload (1M samples / rows, 4 pairs) at the pre-optimisation
+#: commit.  The scalar decoder still exists and is re-measured live; the
+#: old dump code paths do not, so their numbers are recorded here.
+RECORDED_BASELINES = {
+    "decode_scalar_samples_per_s": 70_541,
+    "dump_write_samples_per_s": 169_772,
+    "dump_read_samples_per_s": 349_073,
+    "dump_roundtrip_samples_per_s": 114_217,
+}
+
+
+def best_of(fn, repeat: int) -> float:
+    times = []
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def bench_decode(n_samples: int, repeat: int) -> dict:
+    setup = SimulatedSetup(_MODULES, seed=0, calibration_samples=1024)
+    setup.source.start()
+    data = setup.link.firmware.produce(n_samples)
+    source = setup.source
+
+    vec_t = best_of(lambda: source._decode(data, n_samples), repeat)
+
+    # The scalar reference is ~50x slower; time a slice and scale the
+    # sample count, not the measured rate.
+    n_scalar = max(n_samples // 10, 10_000)
+    scalar_data = data[: len(data) * n_scalar // n_samples]
+    scalar_t = best_of(lambda: source._decode_scalar(scalar_data, n_scalar), repeat)
+
+    read_t = best_of(lambda: setup.source.read_block(50_000), repeat)
+    setup.close()
+    vec_rate = n_samples / vec_t
+    scalar_rate = n_scalar / scalar_t
+    return {
+        "n_samples": n_samples,
+        "n_pairs": 4,
+        "wire_bytes": len(data),
+        "scalar_samples_per_s": round(scalar_rate),
+        "vectorized_samples_per_s": round(vec_rate),
+        "decode_speedup": round(vec_rate / scalar_rate, 1),
+        "read_block_samples_per_s": round(50_000 / read_t),
+        "read_block_includes_device_simulation": True,
+    }
+
+
+def bench_dump(n_rows: int, repeat: int) -> dict:
+    rng = np.random.default_rng(0)
+    times = np.arange(n_rows) * 5e-5
+    volts = rng.uniform(0.0, 13.0, size=(n_rows, 4))
+    amps = rng.uniform(0.0, 20.0, size=(n_rows, 4))
+
+    tmpdir = "/dev/shm" if os.access("/dev/shm", os.W_OK) else None
+    with tempfile.TemporaryDirectory(dir=tmpdir) as d:
+        path = Path(d) / "report.dump"
+
+        def write():
+            writer = DumpWriter(path, ["a", "b", "c", "d"], 20_000.0)
+            writer.write_samples(times, volts, amps)
+            writer.close()
+
+        write_t = best_of(write, repeat)
+        read_t = best_of(lambda: DumpReader.read(path), repeat)
+        size = path.stat().st_size
+
+    write_rate = n_rows / write_t
+    read_rate = n_rows / read_t
+    rt_rate = n_rows / (write_t + read_t)
+    base = RECORDED_BASELINES
+    return {
+        "n_rows": n_rows,
+        "n_pairs": 4,
+        "file_bytes": size,
+        "tmpfs": tmpdir is not None,
+        "write_samples_per_s": round(write_rate),
+        "read_samples_per_s": round(read_rate),
+        "roundtrip_samples_per_s": round(rt_rate),
+        "write_speedup": round(write_rate / base["dump_write_samples_per_s"], 1),
+        "read_speedup": round(read_rate / base["dump_read_samples_per_s"], 1),
+        "roundtrip_speedup": round(rt_rate / base["dump_roundtrip_samples_per_s"], 1),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--samples", type=int, default=1_000_000)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument(
+        "--output", default=str(Path(__file__).resolve().parent.parent / "BENCH_streaming.json")
+    )
+    args = parser.parse_args()
+
+    commit = "unknown"
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, cwd=Path(__file__).parent,
+        ).stdout.strip() or "unknown"
+    except OSError:
+        pass
+
+    report = {
+        "generated_by": "benchmarks/streaming_report.py",
+        "commit": commit,
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpus": os.cpu_count(),
+        },
+        "recorded_baselines": RECORDED_BASELINES,
+        "decode": bench_decode(args.samples, args.repeat),
+        "dump": bench_dump(args.samples, args.repeat),
+    }
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -144,42 +144,18 @@ class OrnsteinUhlenbeckNoise:
 def _ar1_filter(rho: float, x0: float, innovations: np.ndarray) -> np.ndarray:
     """Evaluate x[i] = rho * x[i-1] + innovations[i], x[0] = x0, vectorised.
 
-    Uses the closed form x[i] = rho^i * x0 + sum_j rho^(i-j) e[j] in blocks
-    short enough that rho^-j neither overflows nor destroys precision.
+    The recurrence is a single-pole IIR filter, so ``scipy.signal.lfilter``
+    evaluates it exactly in one C pass — no block-size/precision trade-off
+    like the closed-form cumulative-sum formulation needs, and ~2 orders of
+    magnitude faster than a Python loop for the short chunk sizes the
+    firmware simulation uses.
     """
+    from scipy.signal import lfilter
+
     n = innovations.size
-    out = np.empty(n)
-    if rho < 1e-6:
-        # Correlation between consecutive samples is negligible.
-        out[:] = innovations
-        out[0] = x0
-        return out
-    # Keep rho^-block below ~1e30 so the scaled cumulative sum stays accurate.
-    if rho >= 1.0 - 1e-12:
-        max_block = n
-    else:
-        max_block = max(int(30.0 / -math.log10(rho)), 1)
-    start = 0
-    x_prev = x0
-    first = True
-    while start < n:
-        stop = min(start + max_block, n)
-        m = stop - start
-        e = innovations[start:stop].copy()
-        if first:
-            e[0] = 0.0
-        # x[k] = rho^(k+1) * x_prev + sum_{j<=k} rho^(k-j) e[j], computed as
-        # rho^k * cumsum(e[j] * rho^-j); j <= k keeps every product O(1).
-        ks = np.arange(m, dtype=float)
-        inv = rho**-ks
-        scaled = np.cumsum(e * inv)
-        base = rho**ks
-        if first:
-            out[start:stop] = base * (x_prev + scaled)
-            out[start] = x_prev
-        else:
-            out[start:stop] = base * rho * x_prev + base * scaled
-        x_prev = out[stop - 1]
-        start = stop
-        first = False
+    if n == 0:
+        return np.empty(0)
+    driven = np.array(innovations, dtype=float, copy=True)
+    driven[0] = x0  # the first output is x0 exactly; innovations[0] is unused
+    out = lfilter([1.0], [1.0, -rho], driven)
     return out

@@ -9,6 +9,13 @@ microcontroller (paper, Section III-C).  The format is line-oriented text:
 * data lines are ``<time> <V I> per enabled pair ... <total W>``.
 
 :class:`DumpReader` parses a dump back into numpy arrays for analysis.
+
+Both directions are vectorised: the writer renders whole sample blocks as
+right-aligned fixed-decimal columns with one digit-extraction pass (no
+per-sample string formatting), and the reader recognises such fixed-width
+blocks and converts them back with one digit-weight matrix product.
+Irregular input (hand-edited files, non-finite values) falls back to the
+general per-line paths, so any previously valid dump still parses.
 """
 
 from __future__ import annotations
@@ -20,6 +27,86 @@ from pathlib import Path
 import numpy as np
 
 from repro.common.errors import MeasurementError
+
+TIME_DECIMALS = 7
+VALUE_DECIMALS = 5
+
+_SPACE, _MINUS, _DOT, _ZERO, _NINE, _NEWLINE = 0x20, 0x2D, 0x2E, 0x30, 0x39, 0x0A
+
+#: Rows per render/parse chunk: keeps every intermediate array resident in
+#: the CPU cache, where repeated small passes run an order of magnitude
+#: faster than streaming the whole block through main memory.
+_CHUNK_ROWS = 8192
+
+_POW10_I64 = 10 ** np.arange(19, dtype=np.int64)
+
+
+def _int_digit_count(max_abs_scaled: int, decimals: int) -> int:
+    """Digits needed for the integer part of the largest scaled value."""
+    return max(1, len(str(max_abs_scaled // 10**decimals)))
+
+
+def _field_view(line: np.ndarray, offset: int, c: int, cells: int, pitch: int):
+    """(rows, c, cells) writable view of ``c`` equally spaced field slots.
+
+    Field ``j`` of a row maps to ``line[row, offset + j*pitch : ... + cells]``.
+    A strided view lets one assignment per digit place cover every field —
+    fancy-index scatter per element would dominate the render time.
+    """
+    return np.lib.stride_tricks.as_strided(
+        line[:, offset:],
+        shape=(line.shape[0], c, cells),
+        strides=(line.strides[0], pitch, 1),
+    )
+
+
+def _render_fields(
+    fields: np.ndarray, scaled: np.ndarray, decimals: int, int_cells: int
+) -> None:
+    """Render scaled int64 values (n, c) into a (n, c, cells) char view.
+
+    ``cells = int_cells + 1 + decimals``: the integer part right-aligned
+    (leading zeros blanked, ``-`` directly before the first digit), then
+    the dot, then ``decimals`` fraction digits.  One division chain per
+    digit place across all fields at once — no per-value formatting.
+    """
+    cells = int_cells + 1 + decimals
+    neg = scaled < 0
+    a = np.abs(scaled)
+    fields[:, :, int_cells] = _DOT
+
+    # Fraction digits, least significant first (always shown).  The
+    # fraction fits int32, where constant division is much faster.
+    x = (a % 10**decimals).astype(np.int32)
+    for k in range(decimals):
+        q = x // 10
+        d = (x - q * 10).astype(np.uint8)
+        fields[:, :, cells - 1 - k] = d + _ZERO
+        x = q
+
+    # Integer digits.  A digit above the value's magnitude is 0, so
+    # "space if not shown" is the branch-free ``0x20 + d + 0x10*shown``
+    # (shown -> '0'+d, hidden -> d == 0 -> space).
+    ip = a // 10**decimals
+    x = ip
+    for k in range(int_cells):
+        q = x // 10
+        d = (x - q * 10).astype(np.uint8)
+        if k == 0:
+            fields[:, :, int_cells - 1] = d + _ZERO
+        else:
+            shown = (ip >= 10**k).view(np.uint8)
+            fields[:, :, int_cells - 1 - k] = _SPACE + d + (shown << 4)
+        x = q
+
+    if neg.any():
+        # int_cells was sized with a spare slot, so the sign always fits
+        # directly before the first shown digit.
+        rows, cs = np.nonzero(neg)
+        n_digits = np.maximum(
+            np.searchsorted(_POW10_I64, ip[rows, cs], side="right"), 1
+        )
+        fields[rows, cs, int_cells - 1 - n_digits] = _MINUS
 
 
 class DumpWriter:
@@ -37,6 +124,10 @@ class DumpWriter:
         else:
             self._file = path
             self._owns_file = False
+        # When we own the file, rendered blocks go to the binary buffer
+        # directly — encoding 100 MB of ASCII through the text layer costs
+        # more than rendering it.
+        self._raw = getattr(self._file, "buffer", None) if self._owns_file else None
         self.pair_names = list(pair_names)
         self._file.write("# PowerSensor3 dump\n")
         self._file.write(f"# sample_rate_hz: {sample_rate_hz}\n")
@@ -49,17 +140,119 @@ class DumpWriter:
         self, times: np.ndarray, volts: np.ndarray, amps: np.ndarray
     ) -> None:
         """Append samples; volts/amps are (n, n_pairs) for enabled pairs."""
+        times = np.asarray(times, dtype=float)
+        volts = np.asarray(volts, dtype=float)
+        amps = np.asarray(amps, dtype=float)
+        n = times.size
+        if n == 0:
+            return
         total = (volts * amps).sum(axis=1)
-        lines = []
-        for k in range(times.size):
-            fields = [f"{times[k]:.7f}"]
-            for p in range(volts.shape[1]):
-                fields.append(f"{volts[k, p]:.5f}")
-                fields.append(f"{amps[k, p]:.5f}")
-            fields.append(f"{total[k]:.5f}")
-            lines.append(" ".join(fields))
-        self._file.write("\n".join(lines) + "\n" if lines else "")
-        self.samples_written += int(times.size)
+        block = self._render_block(times, volts, amps, total)
+        if block is None:
+            values = np.empty((n, volts.shape[1] * 2 + 1))
+            values[:, 0:-1:2] = volts
+            values[:, 1:-1:2] = amps
+            values[:, -1] = total
+            block = self._render_block_slow(times, values).encode("ascii")
+        if self._raw is not None:
+            # The rendered uint8 matrix goes out via the buffer protocol —
+            # no tobytes() copy of the whole block.
+            self._file.flush()
+            self._raw.write(block)
+        elif isinstance(block, bytes):
+            self._file.write(block.decode("ascii"))
+        else:
+            self._file.write(block.tobytes().decode("ascii"))
+        self.samples_written += int(n)
+
+    @staticmethod
+    def _render_block(
+        times: np.ndarray,
+        volts: np.ndarray,
+        amps: np.ndarray,
+        total: np.ndarray,
+    ) -> np.ndarray | None:
+        """Fixed-width vectorised rendering; None if the data needs the
+        general path (non-finite values or magnitudes past the int64 scale).
+
+        Works in row chunks so the scaled integers, digit-division temps
+        and rendered characters all stay cache-resident; only the input
+        floats and the finished text stream through main memory.
+        """
+        # A non-finite volt/amp always propagates into the row total, so
+        # checking times+total covers every rendered column.
+        if not (np.isfinite(times).all() and np.isfinite(total).all()):
+            return None
+        # Column sizing from the float extrema.  ``|x|*10**d == |x*10**d|``
+        # exactly and round() is monotone, so the digit count of the
+        # largest rounded value equals that of the rounded maximum.
+        t_min, t_max = float(times.min()), float(times.max())
+        t_abs = max(-t_min, t_max)
+        v_min = float(min(volts.min(), amps.min(), total.min()))
+        v_max = float(max(volts.max(), amps.max(), total.max()))
+        v_abs = max(-v_min, v_max)
+        if t_abs >= 1e10 or v_abs >= 1e12:
+            return None
+
+        cells_t = _int_digit_count(int(round(t_abs * 10**TIME_DECIMALS)), TIME_DECIMALS)
+        cells_t += int(round(t_min * 10**TIME_DECIMALS) < 0)
+        cells_v = _int_digit_count(int(round(v_abs * 10**VALUE_DECIMALS)), VALUE_DECIMALS)
+        cells_v += int(round(v_min * 10**VALUE_DECIMALS) < 0)
+        # int32 halves the memory traffic of the digit-division chains and
+        # its constant division is roughly twice as fast.
+        dt_t = np.int32 if t_abs * 10**TIME_DECIMALS < 2**31 - 1 else np.int64
+        dt_v = np.int32 if v_abs * 10**VALUE_DECIMALS < 2**31 - 1 else np.int64
+
+        n = times.size
+        n_cols = volts.shape[1] * 2 + 1
+        w_t = cells_t + 1 + TIME_DECIMALS
+        w_v = cells_v + 1 + VALUE_DECIMALS
+        width = w_t + (1 + w_v) * n_cols + 1
+        # No full-matrix space fill: the field renderer writes every cell
+        # of every field (pads included), so only the separator columns
+        # and the newline need explicit stores.
+        lines = np.empty((n, width), dtype=np.uint8)
+        for col in range(w_t, width - 1, 1 + w_v):
+            lines[:, col] = _SPACE
+        lines[:, -1] = _NEWLINE
+        vals = np.empty((_CHUNK_ROWS, n_cols))
+        for s in range(0, n, _CHUNK_ROWS):
+            e = min(s + _CHUNK_ROWS, n)
+            block = lines[s:e]
+            vc = vals[: e - s]
+            vc[:, 0:-1:2] = volts[s:e]
+            vc[:, 1:-1:2] = amps[s:e]
+            vc[:, -1] = total[s:e]
+            scaled_t = np.round(times[s:e] * 10**TIME_DECIMALS).astype(dt_t)
+            scaled_v = np.round(vc * 10**VALUE_DECIMALS).astype(dt_v)
+            _render_fields(
+                _field_view(block, 0, 1, w_t, w_t),
+                scaled_t[:, None],
+                TIME_DECIMALS,
+                cells_t,
+            )
+            _render_fields(
+                _field_view(block, w_t + 1, n_cols, w_v, 1 + w_v),
+                scaled_v,
+                VALUE_DECIMALS,
+                cells_v,
+            )
+        return lines
+
+    @staticmethod
+    def _render_block_slow(times: np.ndarray, values: np.ndarray) -> str:
+        """General path: classic ``%``-style row formatting (handles nan/inf)."""
+        row_fmt = "%.7f" + " %.5f" * values.shape[1] + "\n"
+        flat = np.column_stack([times, values]).ravel()
+        width = values.shape[1] + 1
+        chunks = []
+        step = 16384
+        for start in range(0, times.size, step):
+            stop = min(start + step, times.size)
+            chunks.append(
+                (row_fmt * (stop - start)) % tuple(flat[start * width : stop * width])
+            )
+        return "".join(chunks)
 
     def write_marker(self, time: float, char: str) -> None:
         self._file.write(f"M {time:.7f} {char}\n")
@@ -113,41 +306,336 @@ class DumpReader:
     @staticmethod
     def read(path: str | Path | io.TextIOBase) -> DumpData:
         if isinstance(path, (str, Path)):
-            with open(path) as f:
+            with open(path, "rb") as f:
                 return DumpReader._parse(f)
         return DumpReader._parse(path)
 
     @staticmethod
     def _parse(f) -> DumpData:
+        content = f.read()
+        raw = content.encode("utf-8") if isinstance(content, str) else bytes(content)
+        if raw and not raw.endswith(b"\n"):
+            raw += b"\n"
+
         sample_rate = 0.0
         pair_names: list[str] = []
-        times: list[float] = []
-        rows: list[list[float]] = []
         markers: list[tuple[float, str]] = []
-        for line in f:
-            line = line.strip()
-            if not line:
-                continue
+
+        def handle_special(line: str) -> None:
+            nonlocal sample_rate, pair_names
             if line.startswith("#"):
                 if "sample_rate_hz:" in line:
                     sample_rate = float(line.split(":", 1)[1])
                 elif "pairs:" in line:
                     pair_names = line.split(":", 1)[1].split()
-                continue
-            if line.startswith("M "):
+            else:
+                if not line.startswith("M "):
+                    raise ValueError(f"could not parse dump line: {line!r}")
                 _, t, char = line.split(maxsplit=2)
                 markers.append((float(t), char))
-                continue
-            fields = [float(x) for x in line.split()]
-            times.append(fields[0])
-            rows.append(fields[1:-1])  # drop the redundant total column
+
+        arr = np.frombuffer(raw, dtype=np.uint8)
+        grid = DumpReader._regular_grid(raw, arr)
+        if grid is not None:
+            # Common shape — header lines, then one uniform block of
+            # equal-width data lines — indexed without the full newline
+            # scan and per-line masks.
+            special_lines, data_off, width, n_rows = grid
+            for line in special_lines:
+                handle_special(line)
+            data_starts = data_off + (width + 1) * np.arange(n_rows, dtype=np.int64)
+            data_lens = np.full(n_rows, width, dtype=np.int64)
+        else:
+            newlines = np.flatnonzero(arr == _NEWLINE)
+            starts = np.empty(newlines.size, dtype=np.int64)
+            if newlines.size:
+                starts[0] = 0
+                starts[1:] = newlines[:-1] + 1
+            lens = newlines - starts
+
+            nonblank = lens > 0
+            first = np.zeros(newlines.size, dtype=np.uint8)
+            first[nonblank] = arr[starts[nonblank]]
+            special = nonblank & ((first == ord("#")) | (first == ord("M")))
+            for i in np.flatnonzero(special):
+                handle_special(raw[starts[i] : starts[i] + lens[i]].decode("utf-8").strip())
+
+            data_mask = nonblank & ~special
+            data_starts = starts[data_mask]
+            data_lens = lens[data_mask]
         n_pairs = len(pair_names)
-        data = np.asarray(rows, dtype=float).reshape(len(rows), 2 * n_pairs)
+        n_rows = int(data_starts.size)
+        if n_rows == 0:
+            data = np.zeros((0, 2 * n_pairs))
+            return DumpData(
+                sample_rate_hz=sample_rate,
+                pair_names=pair_names,
+                times=np.zeros(0),
+                volts=data[:, 0::2],
+                amps=data[:, 1::2],
+                markers=markers,
+            )
+
+        fields = None
+        width = int(data_lens[0])
+        if width > 0 and (data_lens == width).all():
+            fields = DumpReader._parse_fixed(arr, data_starts, width)
+        if fields is None:
+            # General path: any whitespace-separated float rows.
+            lines = [
+                raw[s : s + l].decode("utf-8") for s, l in zip(data_starts, data_lens)
+            ]
+            fields = np.loadtxt(lines, dtype=float, ndmin=2)
+
+        times = fields[:, 0]
+        data = fields[:, 1:-1]  # drop the redundant total column
+        data = data.reshape(n_rows, 2 * n_pairs)
         return DumpData(
             sample_rate_hz=sample_rate,
             pair_names=pair_names,
-            times=np.asarray(times),
+            times=np.ascontiguousarray(times),
             volts=data[:, 0::2],
             amps=data[:, 1::2],
             markers=markers,
         )
+
+    @staticmethod
+    def _regular_grid(
+        raw: bytes, arr: np.ndarray
+    ) -> tuple[list[str], int, int, int] | None:
+        """Detect a header prefix followed by one uniform data block.
+
+        Walks the leading ``#``/``M``/blank lines with ``bytes.find``,
+        then verifies the rest of the file is a grid of equal-width
+        lines with no interleaved special lines — two strided column
+        checks instead of scanning every byte for newlines.  Returns
+        (special_lines, data_offset, width, n_rows), or None to use the
+        general line scan.
+        """
+        size = len(raw)
+        specials: list[str] = []
+        off = 0
+        while off < size:
+            nl = raw.find(b"\n", off)
+            if nl < 0:
+                return None
+            if nl == off:
+                off = nl + 1  # blank line
+                continue
+            if raw[off] in (0x23, 0x4D):  # '#' / 'M'
+                specials.append(raw[off:nl].decode("utf-8").strip())
+                off = nl + 1
+                continue
+            break
+        if off >= size:
+            return None  # no data lines: the general path handles it
+        width = raw.find(b"\n", off) - off
+        stride = width + 1
+        if width <= 0 or (size - off) % stride:
+            return None
+        n_rows = (size - off) // stride
+        if not (arr[off + width :: stride] == _NEWLINE).all():
+            return None  # not a uniform grid of lines
+        firsts = arr[off::stride]
+        if ((firsts == 0x23) | (firsts == 0x4D)).any():
+            return None  # special lines interleaved with the data
+        return specials, off, width, n_rows
+
+    @staticmethod
+    def _parse_fixed(
+        arr: np.ndarray, data_starts: np.ndarray, width: int
+    ) -> np.ndarray | None:
+        """Parse equal-length aligned fixed-decimal data lines.
+
+        Consecutive data lines form contiguous byte runs (interrupted only
+        by the occasional marker or header line), so each run reshapes
+        zero-copy into a (rows, width+1) character matrix.  Fields are
+        located from the decimal dots of the first line assuming the
+        writer's layout (``TIME_DECIMALS`` for the first field,
+        ``VALUE_DECIMALS`` for the rest, single-space separators); every
+        assumption is then *verified* on all rows, so a file with any
+        other layout returns None and takes the general parser instead of
+        ever being misparsed.
+        """
+        line0 = arr[data_starts[0] : data_starts[0] + width]
+        dots = np.flatnonzero(line0 == _DOT)
+        if dots.size < 2 or int(dots[0]) < 1:
+            return None
+        p0 = int(dots[0])
+        end_t = p0 + 1 + TIME_DECIMALS
+        # Value fields must share one geometry (the writer's always do):
+        # equal integer width and a uniform column pitch, so all of them
+        # parse through a single strided (rows, c, w) view.
+        c = dots.size - 1
+        s1 = end_t + 1
+        d1 = int(dots[1])
+        intw = d1 - s1
+        if intw < 1:
+            return None
+        pitch = d1 + 1 + VALUE_DECIMALS + 1 - s1
+        if (dots[1:] != d1 + pitch * np.arange(c)).any():
+            return None
+        if s1 + c * pitch - 1 != width:
+            return None
+        nd_t = p0 + TIME_DECIMALS
+        nd_v = intw + VALUE_DECIMALS
+        if nd_t > 18 or nd_v > 18:
+            return None  # packed digit strings must fit uint64
+        seps = s1 - 1 + pitch * np.arange(c)
+        dotcols = np.concatenate(([p0], d1 + pitch * np.arange(c)))
+
+        wb_t = 8 * -(-nd_t // 8)
+        wb_v = 8 * -(-nd_v // 8)
+        buf_t = np.full((_CHUNK_ROWS, wb_t), _SPACE, dtype=np.uint8)
+        buf_v = np.full((_CHUNK_ROWS * c, wb_v), _SPACE, dtype=np.uint8)
+
+        n_rows = int(data_starts.size)
+        values = np.empty((n_rows, 1 + c))
+        run_breaks = np.flatnonzero(np.diff(data_starts) != width + 1)
+        run_edges = np.concatenate(([0], run_breaks + 1, [n_rows]))
+        strided = np.lib.stride_tricks.as_strided
+        for i0, i1 in zip(run_edges[:-1], run_edges[1:]):
+            i0, i1 = int(i0), int(i1)
+            s0 = int(data_starts[i0])
+            run = arr[s0 : s0 + (i1 - i0) * (width + 1)].reshape(i1 - i0, width + 1)
+            for r0 in range(0, i1 - i0, _CHUNK_ROWS):
+                r1 = min(r0 + _CHUNK_ROWS, i1 - i0)
+                chunk = run[r0:r1]
+                r = r1 - r0
+                if not (chunk[:, seps] == _SPACE).all():
+                    return None
+                if not (chunk[:, dotcols] == _DOT).all():
+                    return None
+                # Pack each field's digits (dot dropped, left pad kept as
+                # spaces) straight from the line chunk into reusable
+                # uint64-width row buffers: the validity checks and the
+                # parse then run entirely on contiguous words, and the
+                # packed digit string reads back as the scaled integer
+                # with no post-hoc dot arithmetic.
+                bt = buf_t[:r]
+                if wb_t > nd_t:
+                    bt[:, : wb_t - nd_t] = _SPACE  # re-blank: the lift mutates
+                bt[:, wb_t - nd_t : wb_t - TIME_DECIMALS] = chunk[:, :p0]
+                bt[:, wb_t - TIME_DECIMALS :] = chunk[:, p0 + 1 : end_t]
+                bv = buf_v[: r * c].reshape(r, c, wb_v)
+                if wb_v > nd_v:
+                    bv[:, :, : wb_v - nd_v] = _SPACE
+                ls = chunk.strides[0]
+                bv[:, :, wb_v - nd_v : wb_v - VALUE_DECIMALS] = strided(
+                    chunk[:, s1:], (r, c, intw), (ls, pitch, 1)
+                )
+                bv[:, :, wb_v - VALUE_DECIMALS :] = strided(
+                    chunk[:, s1 + intw + 1 :], (r, c, VALUE_DECIMALS), (ls, pitch, 1)
+                )
+                t_col = DumpReader._parse_packed(buf_t[:r], TIME_DECIMALS)
+                v_cols = DumpReader._parse_packed(buf_v[: r * c], VALUE_DECIMALS)
+                if t_col is None or v_cols is None:
+                    return None
+                out = values[i0 + r0 : i0 + r1]
+                out[:, 0] = t_col
+                out[:, 1:] = v_cols.reshape(r, c)
+        return values
+
+    @staticmethod
+    def _parse_packed(buf: np.ndarray, decimals: int) -> np.ndarray | None:
+        """Validate and parse packed right-aligned decimal fields.
+
+        Each ``buf`` row holds one field: a space left pad, optionally a
+        ``-``, and the field's digits with the decimal dot removed (the
+        caller verified the dot column), widened on the left to a
+        multiple of 8 chars by more space pad.  The structural checks
+        run SWAR-style on uint64 words — one flag bit per byte — instead
+        of per-byte boolean matrices: a valid field is a contiguous
+        "low" (below ``'0'``) prefix of spaces, plus at most one ``-``
+        as the last low char, followed by digits only.  Returns the
+        (m,) float64 values, or None on any violation so the caller
+        falls back to the general parser.
+        """
+        m, wb = buf.shape
+        k = wb // 8
+        if not m:
+            return np.empty(0)
+        if buf.max() > _NINE:
+            return None  # bytes above '9' (incl. non-ASCII)
+        # All bytes are now <= 0x39, so none of the byte-wise adds below
+        # can carry across byte lanes and every flag is exact.
+        b7 = np.uint64(0x8080808080808080)
+        eight = np.uint64(8)
+        x = buf.reshape(-1, 8).view(np.uint64).ravel()
+        low = ~(x + np.uint64(0x5050505050505050)) & b7  # chars below '0'
+        if ((low >> eight) & ~low).any():
+            return None  # lows must form a contiguous left prefix
+        y = x ^ np.uint64(0x2D2D2D2D2D2D2D2D)
+        minus = ~(y + np.uint64(0x7F7F7F7F7F7F7F7F)) & b7  # '-' bytes
+        y = x ^ np.uint64(0x2020202020202020)
+        space = ~(y + np.uint64(0x7F7F7F7F7F7F7F7F)) & b7  # ' ' bytes
+        if (low & ~(minus | space)).any():
+            return None  # the pad is spaces plus at most a sign
+        # The topmost low byte of each word: with a contiguous prefix
+        # there is at most one, and it is the only legal sign position.
+        l_top = low & ~(low >> eight)
+        neg = None
+        if k == 1:
+            if (minus & ~l_top).any():
+                return None  # the sign sits directly before the digits
+            if (low == b7).any():
+                return None  # a field with no digits at all
+            if minus.any():
+                neg = minus != 0
+        else:
+            lw = low.reshape(m, k)
+            mw = minus.reshape(m, k)
+            tw = l_top.reshape(m, k)
+            above = np.zeros(m, dtype=bool)  # any low in higher words
+            neg_rows = np.zeros(m, dtype=bool)
+            for j in range(k - 1, -1, -1):
+                if j and ((lw[:, j] != 0) & (lw[:, j - 1] != b7)).any():
+                    return None  # the prefix must span the lower words
+                has_minus = mw[:, j] != 0
+                if has_minus.any():
+                    if ((mw[:, j] & ~tw[:, j]) != 0).any():
+                        return None  # sign not directly before the digits
+                    if (has_minus & above).any():
+                        return None  # sign below other pad chars
+                    neg_rows |= has_minus
+                above |= lw[:, j] != 0
+            if np.logical_and.reduce(lw == b7, axis=1).any():
+                return None  # fields with no digits at all
+            if neg_rows.any():
+                neg = neg_rows
+        # Lift the (now validated) pad and sign chars to '0' so they
+        # contribute zero; the packed digits then read back as the
+        # scaled integer directly.
+        np.maximum(buf, _ZERO, out=buf)
+        scaled = DumpReader._parse_digits(buf)
+        if scaled.max() > np.uint64(1) << np.uint64(53):
+            return None  # keep scaled exactly representable -> float()-exact
+        out = scaled.astype(np.float64)
+        if neg is not None:
+            out[neg] = -out[neg]
+        out /= 10.0**decimals
+        return out
+
+    @staticmethod
+    def _parse_digits(buf: np.ndarray) -> np.ndarray:
+        """Reduce (m, 8k) ASCII-digit rows to their uint64 values.
+
+        Every byte must already be a digit (the caller validates and
+        lifts pad/sign chars).  Eight characters at a time are viewed as
+        one uint64 and reduced with three multiply-shift steps instead of
+        per-digit arithmetic; multi-word rows fold with Horner steps.
+        """
+        m = buf.shape[0]
+        x = buf.reshape(-1, 8).view(np.uint64).ravel()
+        x = x - np.uint64(0x3030303030303030)
+        x = (x * np.uint64(2561)) >> np.uint64(8) & np.uint64(0x00FF00FF00FF00FF)
+        x = (x * np.uint64(6553601)) >> np.uint64(16) & np.uint64(0x0000FFFF0000FFFF)
+        x = (x * np.uint64(42949672960001)) >> np.uint64(32) & np.uint64(0xFFFFFFFF)
+        if x.size == m:
+            return x
+        x = x.reshape(m, -1)
+        total = x[:, 0].copy()
+        for i in range(1, x.shape[1]):
+            total *= np.uint64(10**8)
+            total += x[:, i]
+        return total

@@ -61,6 +61,7 @@ class SimulatedSetup:
         faults: str | list[FaultModel] | None = None,
         fault_seed: int | None = None,
         recovery: RecoveryPolicy | None = DEFAULT_RECOVERY,
+        vectorized: bool = True,
     ) -> None:
         if len(module_keys) > 4:
             raise ValueError("a baseboard has at most four slots")
@@ -105,7 +106,7 @@ class SimulatedSetup:
                     fault_models,
                     seed=seed if fault_seed is None else fault_seed,
                 )
-            self.source = ProtocolSampleSource(self.link)
+            self.source = ProtocolSampleSource(self.link, vectorized=vectorized)
         self.ps = PowerSensor(self.source, recovery=recovery)
 
     def connect(self, slot: int, rail: PowerRail) -> None:

@@ -10,6 +10,23 @@ Two implementations with identical semantics:
   samples.  The sensor physics, ADC quantisation, firmware averaging and
   conversion math are the *same code*; only packet encode/decode is
   skipped.  ``tests/test_sources.py`` pins the two paths to each other.
+
+The protocol source decodes in three tiers, fastest applicable first:
+
+1. **Template fast path** — a clean stream is strictly periodic
+   (``timestamp + one packet per enabled sensor``), so one vectorised
+   mask-and-compare proves the whole buffer well-formed and the decode
+   collapses to reshapes and bitwise ops.
+2. **Generic vectorised path** — any other buffer (corruption, odd
+   chunking, carried partial samples) goes through
+   :class:`~repro.firmware.protocol.BlockDecoder` plus a vectorised
+   grouping pass that splits packets into sample sets on timestamp
+   packets; only the rare corrupted stretches fall back to per-boundary
+   Python dictionaries.
+3. **Scalar reference path** — the original per-event implementation,
+   kept bit-for-bit intact behind ``vectorized=False``;
+   ``tests/test_block_decoder.py`` pins the fast paths to it, including
+   under every fault model.
 """
 
 from __future__ import annotations
@@ -22,8 +39,10 @@ from repro.common.clock import VirtualClock
 from repro.common.errors import DeviceError, ProtocolError
 from repro.firmware.commands import Command
 from repro.firmware.protocol import (
+    BlockDecoder,
     SensorReading,
     StreamDecoder,
+    TIMESTAMP_SENSOR,
     Timestamp,
     TimestampUnwrapper,
 )
@@ -72,6 +91,26 @@ class SampleBlock:
         return self.values[:, 2 * pair + 1]
 
 
+def _conversion_arrays(
+    configs: list[SensorConfig],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-sensor ``(enabled, vref, slope)`` arrays, padded to 8 sensors.
+
+    Disabled sensors get a unit slope so the vectorised division never
+    hits a configured zero slope.
+    """
+    enabled = np.zeros(SENSORS, dtype=bool)
+    vref = np.zeros(SENSORS)
+    slope = np.ones(SENSORS)
+    for sensor, config in enumerate(configs[:SENSORS]):
+        if not config.enabled:
+            continue
+        enabled[sensor] = True
+        vref[sensor] = config.vref
+        slope[sensor] = config.slope
+    return enabled, vref, slope
+
+
 def convert_codes(
     codes: np.ndarray, configs: list[SensorConfig]
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -84,23 +123,25 @@ def convert_codes(
     codes = np.asarray(codes)
     if codes.ndim != 2 or codes.shape[1] != SENSORS:
         raise ValueError(f"codes must be (n, {SENSORS}), got {codes.shape}")
-    values = np.zeros(codes.shape, dtype=float)
-    enabled = np.zeros(SENSORS, dtype=bool)
+    enabled, vref, slope = _conversion_arrays(configs)
     adc_volts = (codes.astype(float) + 0.5) * ADC_LSB
-    for sensor, config in enumerate(configs):
-        if not config.enabled:
-            continue
-        enabled[sensor] = True
-        values[:, sensor] = (adc_volts[:, sensor] - config.vref) / config.slope
+    values = (adc_volts - vref) / slope
+    values[:, ~enabled] = 0.0
     return values, enabled
 
 
 class ProtocolSampleSource:
-    """Byte-accurate source over the virtual serial link."""
+    """Byte-accurate source over the virtual serial link.
 
-    def __init__(self, link: VirtualSerialLink) -> None:
+    ``vectorized=False`` selects the scalar per-event reference decoder;
+    the default batch decoder produces numerically identical
+    :class:`SampleBlock` streams and :class:`StreamHealth` counters.
+    """
+
+    def __init__(self, link: VirtualSerialLink, vectorized: bool = True) -> None:
         self.link = link
-        self._decoder = StreamDecoder()
+        self._vectorized = bool(vectorized)
+        self._decoder = BlockDecoder() if self._vectorized else StreamDecoder()
         self._unwrapper = TimestampUnwrapper()
         self.health = StreamHealth()
         self.streaming = False
@@ -130,12 +171,39 @@ class ProtocolSampleSource:
         self.link.write(Command.READ_CONFIG.value)
         raw = self.link.read(RECORD_SIZE * SENSORS)
         self.configs = VirtualEeprom.unpack(raw).configs
+        self._rebuild_caches()
 
     def write_configs(self, configs: list[SensorConfig]) -> None:
         """Write a full set of sensor configs to the device EEPROM."""
         image = VirtualEeprom(configs=list(configs)).pack()
         self.link.write(Command.WRITE_CONFIG.value + image)
         self.refresh_configs()
+
+    def _rebuild_caches(self) -> None:
+        """Precompute per-sensor conversion arrays and the wire template.
+
+        Recomputed whenever the configs change (connect, config write), so
+        the per-block hot path never loops over config objects.
+        """
+        self._enabled_mask, self._vref, self._slope = _conversion_arrays(self.configs)
+        self._enabled_idx = np.flatnonzero(self._enabled_mask)
+        self._n_enabled = int(self._enabled_idx.size)
+        # A clean sample set is [timestamp, enabled sensors in index order];
+        # one mask-and-compare against these templates proves a whole
+        # buffer well-formed (see _decode_template).  Sensor 0's marker bit
+        # is left free; every other data packet must have it clear (set
+        # would decode differently: timestamp for sensor 7, cleared-marker
+        # data for 1..6 — both handled by the generic path).
+        n_fields = 1 + self._n_enabled
+        self._tmpl_and = np.full(n_fields, 0xF8, dtype=np.uint8)
+        self._tmpl_val = np.empty(n_fields, dtype=np.uint8)
+        self._tmpl_val[0] = 0x80 | (TIMESTAMP_SENSOR << 4) | 0x08
+        for field, sensor in enumerate(self._enabled_idx, start=1):
+            self._tmpl_val[field] = 0x80 | (int(sensor) << 4)
+            if sensor == 0:
+                self._tmpl_and[field] = 0xF0  # marker bit free on sensor 0
+        self._bytes_per_sample = 2 * n_fields
+        self._sensor0_enabled = bool(self._n_enabled and self._enabled_idx[0] == 0)
 
     def start(self) -> None:
         self.link.write(Command.START_STREAMING.value)
@@ -153,7 +221,244 @@ class ProtocolSampleSource:
         data = self.link.pump_samples(n_samples)
         return self._decode(data, n_samples)
 
+    # ------------------------------------------------------------------ #
+    # Decoding                                                           #
+    # ------------------------------------------------------------------ #
+
     def _decode(self, data: bytes, n_expected: int) -> SampleBlock:
+        if not self._vectorized:
+            return self._decode_scalar(data, n_expected)
+        self.health.bytes_read += len(data)
+        block = self._decode_template(data)
+        if block is None:
+            block = self._decode_generic(data)
+        return block
+
+    def _empty_block(self) -> SampleBlock:
+        return SampleBlock(
+            times=np.zeros(0),
+            values=np.zeros((0, SENSORS)),
+            markers=np.zeros(0, dtype=bool),
+            enabled=self._enabled_mask.copy(),
+        )
+
+    def _convert(self, codes: np.ndarray) -> np.ndarray:
+        """Codes (n, 8) to physical units with the cached per-sensor arrays."""
+        adc_volts = (codes.astype(float) + 0.5) * ADC_LSB
+        values = (adc_volts - self._vref) / self._slope
+        values[:, ~self._enabled_mask] = 0.0
+        return values
+
+    def _decode_template(self, data: bytes) -> SampleBlock | None:
+        """Fast path: decode a buffer that is a clean run of sample sets.
+
+        Returns ``None`` (falling back to the generic path) unless the
+        buffer is byte-for-byte a whole number of well-formed sample sets
+        and no partial-sample state is carried in — which one vectorised
+        template comparison verifies.
+        """
+        if (
+            self._decoder._pending_first is not None
+            or self._pending_sample
+            or self._pending_marker
+            or self._n_enabled == 0
+        ):
+            return None
+        size = len(data)
+        if size == 0 or size % self._bytes_per_sample:
+            return None
+        arr = np.frombuffer(data, dtype=np.uint8)
+        mat = arr.reshape(-1, 1 + self._n_enabled, 2)
+        firsts = mat[:, :, 0]
+        seconds = mat[:, :, 1]
+        if ((firsts & self._tmpl_and) != self._tmpl_val).any() or (seconds & 0x80).any():
+            return None
+
+        n_samples = mat.shape[0]
+        micros = ((firsts[:, 0] & 0x07).astype(np.int64) << 7) | seconds[:, 0]
+        times = self._unwrapper.update_block(micros)
+        codes = np.zeros((n_samples, SENSORS), dtype=np.int64)
+        codes[:, self._enabled_idx] = ((firsts[:, 1:] & 0x07).astype(np.int64) << 7) | seconds[
+            :, 1:
+        ]
+        if self._sensor0_enabled:
+            markers = (firsts[:, 1] & 0x08) != 0
+        else:
+            markers = np.zeros(n_samples, dtype=bool)
+
+        packets = n_samples * (1 + self._n_enabled)
+        self._decoder.packet_count += packets
+        self.health.packets_decoded += packets
+        self.health.samples_decoded += n_samples
+        self._have_timestamp = True
+        self._current_time = float(times[-1])
+        return SampleBlock(
+            times=times,
+            values=self._convert(codes),
+            markers=markers,
+            enabled=self._enabled_mask.copy(),
+        )
+
+    def _decode_generic(self, data: bytes) -> SampleBlock:
+        """Vectorised decode of an arbitrary (possibly corrupted) buffer."""
+        resyncs_before = self._decoder.resync_count
+        block = self._decoder.decode(data)
+        self.health.packets_decoded += len(block)
+        self.health.packets_dropped += self._decoder.resync_count - resyncs_before
+        times, codes, markers = self._group_samples(block)
+        self.health.samples_decoded += times.size
+        if not times.size:
+            return self._empty_block()
+        return SampleBlock(
+            times=times,
+            values=self._convert(codes),
+            markers=markers,
+            enabled=self._enabled_mask.copy(),
+        )
+
+    def _group_samples(
+        self, block
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Group decoded packets into complete sample sets.
+
+        Mirrors the scalar event loop exactly: a sample set is closed at
+        each timestamp packet (and at end of buffer) once every enabled
+        sensor has reported since the previous close; incomplete sets are
+        carried across calls.  Boundaries between complete sets are
+        resolved vectorised; only boundaries involved in carried state
+        (rare — corruption or chunk splits) take a dict-based slow path.
+        """
+        is_ts = block.is_timestamp
+        idx_ts = np.flatnonzero(is_ts)
+        m = int(idx_ts.size)
+        if m:
+            ts_times = self._unwrapper.update_block(block.values[idx_ts])
+        else:
+            ts_times = np.zeros(0)
+
+        r_idx = np.flatnonzero(~is_ts)
+        r_sensor = block.sensors[r_idx].astype(np.int64)
+        r_value = block.values[r_idx]
+        r_marker = block.markers[r_idx]
+        # Segment s holds the readings between timestamp s-1 and timestamp
+        # s; segment 0 is pre-first-timestamp, segment m the tail.
+        seg = np.searchsorted(idx_ts, r_idx)
+        if not self._have_timestamp:
+            # Readings before the first-ever timestamp have no time anchor
+            # and are discarded (scalar behaviour).
+            keep = seg >= 1
+            if not keep.all():
+                r_sensor, r_value, r_marker, seg = (
+                    r_sensor[keep],
+                    r_value[keep],
+                    r_marker[keep],
+                    seg[keep],
+                )
+
+        n_enabled = self._n_enabled
+        # seg is non-decreasing (stream order), so slice bounds come from
+        # one searchsorted; boundary j closes segment j.
+        seg_starts = np.searchsorted(seg, np.arange(m + 2))
+        if r_sensor.size:
+            uniq = np.unique(seg * SENSORS + r_sensor)
+            seg_distinct = np.bincount(uniq // SENSORS, minlength=m + 1)
+        else:
+            seg_distinct = np.zeros(m + 1, dtype=np.int64)
+
+        # Boundary j (at timestamp j; boundary m is end-of-buffer) surely
+        # succeeds if its own segment alone covers every enabled sensor —
+        # accumulated carry can only add sensors.  Everything else is
+        # resolved in the sequential walk below.
+        have_ts0 = self._have_timestamp
+        opt = seg_distinct >= n_enabled
+        opt[0] &= have_ts0
+        boundary_time = np.empty(m + 1)
+        boundary_time[0] = self._current_time
+        if m:
+            boundary_time[1:] = ts_times
+
+        success = opt.copy()
+        simple = np.ones(m + 1, dtype=bool)
+        merged_rows: list[tuple[int, dict[int, int], bool]] = []
+        pending = dict(self._pending_sample)
+        pending_marker = self._pending_marker
+
+        need = np.flatnonzero(~opt).tolist()
+        ptr = 0
+        if pending or pending_marker:
+            cur = 0
+        elif need:
+            cur, ptr = need[0], 1
+        else:
+            cur = -1
+        while 0 <= cur <= m:
+            simple[cur] = False
+            lo, hi = int(seg_starts[cur]), int(seg_starts[cur + 1])
+            for i in range(lo, hi):
+                pending[int(r_sensor[i])] = int(r_value[i])
+            if hi > lo and r_marker[lo:hi].any():
+                pending_marker = True
+            ok = (have_ts0 or cur >= 1) and len(pending) >= n_enabled
+            success[cur] = ok
+            if ok:
+                merged_rows.append((cur, pending, pending_marker))
+                pending = {}
+                pending_marker = False
+            elif pending or pending_marker:
+                cur += 1  # the carry flows into the next boundary
+                continue
+            # Jump to the next boundary whose outcome is still unknown.
+            nxt = -1
+            while ptr < len(need):
+                cand = need[ptr]
+                ptr += 1
+                if cand > cur:
+                    nxt = cand
+                    break
+            cur = nxt
+
+        self._pending_sample = pending
+        self._pending_marker = pending_marker
+        if m:
+            self._current_time = float(ts_times[-1])
+            self._have_timestamp = True
+
+        succ_idx = np.flatnonzero(success)
+        n_out = int(succ_idx.size)
+        times = boundary_time[succ_idx]
+        codes = np.zeros((n_out, SENSORS), dtype=np.int64)
+        markers = np.zeros(n_out, dtype=bool)
+        if n_out:
+            out_row = np.full(m + 1, -1, dtype=np.int64)
+            out_row[succ_idx] = np.arange(n_out)
+            take = simple[seg] & success[seg]
+            if take.any():
+                rows = out_row[seg[take]]
+                # Fancy assignment keeps the last write per (row, sensor),
+                # matching the dict's duplicate-overwrite semantics.
+                codes[rows, r_sensor[take]] = r_value[take]
+                marked = r_marker[take]
+                if marked.any():
+                    markers[rows[marked]] = True
+            for j, row_dict, marker_flag in merged_rows:
+                if not success[j]:
+                    continue
+                row = out_row[j]
+                for sensor, value in row_dict.items():
+                    codes[row, sensor] = value
+                markers[row] = marker_flag
+        return times, codes, markers
+
+    # ------------------------------------------------------------------ #
+    # Scalar reference path                                              #
+    # ------------------------------------------------------------------ #
+
+    def _decode_scalar(self, data: bytes, n_expected: int) -> SampleBlock:
+        """Per-event reference decoder (``vectorized=False``).
+
+        This is the original implementation, kept as the behavioural
+        reference the vectorised paths are pinned against.
+        """
         times: list[float] = []
         rows: list[np.ndarray] = []
         markers: list[bool] = []
@@ -178,21 +483,15 @@ class ProtocolSampleSource:
         self.health.samples_decoded += len(times)
 
         if not times:
-            return SampleBlock(
-                times=np.zeros(0),
-                values=np.zeros((0, SENSORS)),
-                markers=np.zeros(0, dtype=bool),
-                enabled=np.array([c.enabled for c in self.configs]),
-            )
+            return self._empty_block()
         codes = np.zeros((len(rows), SENSORS), dtype=np.int64)
         for i, row in enumerate(rows):
             codes[i] = row
-        values, enabled = convert_codes(codes, self.configs)
         return SampleBlock(
             times=np.asarray(times),
-            values=values,
+            values=self._convert(codes),
             markers=np.asarray(markers, dtype=bool),
-            enabled=enabled,
+            enabled=self._enabled_mask.copy(),
         )
 
     def _flush_sample(self, times, rows, markers, n_enabled: int) -> None:

@@ -73,9 +73,19 @@ class Firmware:
         self.dfu_mode = False
         self.boot_count = 0
         self.samples_produced = 0
+        self.markers_dropped = 0
         self._markers_pending = 0
         self._rx = bytearray()  # partially received command payloads
         self._tx = bytearray()  # response bytes awaiting the transport
+
+    @property
+    def eeprom(self) -> VirtualEeprom:
+        return self._eeprom
+
+    @eeprom.setter
+    def eeprom(self, value: VirtualEeprom) -> None:
+        self._eeprom = value
+        self._sensor_cache: tuple[int, list[int]] | None = None
 
     # ------------------------------------------------------------------ #
     # Host -> device                                                     #
@@ -131,7 +141,9 @@ class Firmware:
         self.streaming = False
         self.dfu_mode = dfu
         self.boot_count += 1
+        self.markers_dropped = 0
         self._markers_pending = 0
+        self._sensor_cache = None
         self._rx.clear()
         self._tx.clear()
 
@@ -140,7 +152,17 @@ class Firmware:
     # ------------------------------------------------------------------ #
 
     def enabled_sensors(self) -> list[int]:
-        return [i for i in range(SENSORS) if self.eeprom.get(i).enabled]
+        # Cached: recomputing from the EEPROM on every produce() call costs
+        # more than producing a small sample batch.  The cache is keyed on
+        # the EEPROM write generation and dropped whenever the EEPROM
+        # object itself is replaced (WRITE_CONFIG) or the device reboots.
+        # The returned list is shared — treat it as read-only.
+        eeprom = self._eeprom
+        cache = self._sensor_cache
+        if cache is None or cache[0] != eeprom.generation:
+            sensors = [i for i in range(SENSORS) if eeprom.configs[i].enabled]
+            self._sensor_cache = cache = (eeprom.generation, sensors)
+        return cache[1]
 
     def bytes_per_sample(self) -> int:
         return 2 + 2 * len(self.enabled_sensors())  # timestamp + sensor packets
@@ -187,8 +209,15 @@ class Firmware:
 
         marker_flags = np.zeros(n_samples, dtype=np.uint8)
         n_mark = min(self._markers_pending, n_samples)
-        if n_mark and 0 in sensors:
-            marker_flags[:n_mark] = 1
+        if n_mark:
+            if 0 in sensors:
+                marker_flags[:n_mark] = 1
+            else:
+                # The marker bit only exists in sensor 0's packets; with
+                # sensor 0 disabled the marker cannot be attached to the
+                # stream.  Drop it (and count the drop) instead of letting
+                # it linger and fire spuriously after a later re-enable.
+                self.markers_dropped += n_mark
             self._markers_pending -= n_mark
 
         for field, sensor in enumerate(sensors, start=1):

@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
+import numpy as np
+
 from repro.common.errors import ProtocolError
 
 VALUE_BITS = 10
@@ -112,6 +114,131 @@ class StreamDecoder:
         self.packet_count = 0
 
 
+@dataclass(frozen=True)
+class DecodedBlock:
+    """Vectorised decode result: parallel arrays, one entry per packet.
+
+    The arrays are in stream order.  ``is_timestamp`` marks timestamp
+    packets (``sensors`` is :data:`TIMESTAMP_SENSOR` there and ``values``
+    the raw 10-bit microsecond counter); for data packets ``markers`` is
+    the sensor-0 marker bit (always ``False`` for other sensors, whose
+    marker bit is repurposed — see :class:`StreamDecoder`).
+    """
+
+    sensors: np.ndarray  # (p,) uint8, 3-bit sensor index
+    values: np.ndarray  # (p,) int64, 10-bit value
+    markers: np.ndarray  # (p,) bool
+    is_timestamp: np.ndarray  # (p,) bool
+
+    def __len__(self) -> int:
+        return int(self.sensors.size)
+
+    def events(self) -> list[SensorReading | Timestamp]:
+        """Materialise the block as scalar decoder events (for tests)."""
+        out: list[SensorReading | Timestamp] = []
+        for sensor, value, marker, is_ts in zip(
+            self.sensors, self.values, self.markers, self.is_timestamp
+        ):
+            if is_ts:
+                out.append(Timestamp(micros=int(value)))
+            else:
+                out.append(
+                    SensorReading(sensor=int(sensor), value=int(value), marker=bool(marker))
+                )
+        return out
+
+
+_EMPTY_BLOCK = DecodedBlock(
+    sensors=np.zeros(0, dtype=np.uint8),
+    values=np.zeros(0, dtype=np.int64),
+    markers=np.zeros(0, dtype=bool),
+    is_timestamp=np.zeros(0, dtype=bool),
+)
+
+
+def decode_block(
+    data: bytes | np.ndarray, pending_first: int | None = None
+) -> tuple[DecodedBlock, int | None, int]:
+    """Decode a byte buffer into packet arrays in one vectorised pass.
+
+    Stateless core of :class:`BlockDecoder`: ``pending_first`` is the
+    dangling first byte carried in from the previous chunk (or ``None``).
+    Returns ``(block, new_pending_first, resyncs)`` where ``resyncs``
+    counts exactly the packets the scalar :class:`StreamDecoder` would
+    have dropped while resynchronising on the same bytes.
+
+    Pairing is done by flag-bit masking: a packet ends at every second
+    byte (bit 7 clear) directly preceded by a first byte (bit 7 set); a
+    first byte followed by another first byte was a dangling first, a
+    second byte not preceded by a first byte a dangling second.
+    """
+    buf = np.frombuffer(bytes(data) if not isinstance(data, np.ndarray) else data, np.uint8)
+    if pending_first is not None:
+        buf = np.concatenate([np.array([pending_first], dtype=np.uint8), buf])
+    n = buf.size
+    if n == 0:
+        return _EMPTY_BLOCK, pending_first, 0
+
+    first_flag = (buf & 0x80) != 0
+    prev_flag = np.empty(n, dtype=bool)
+    prev_flag[0] = False  # the first byte of the buffer has no predecessor
+    prev_flag[1:] = first_flag[:-1]
+
+    second_idx = np.flatnonzero(~first_flag & prev_flag)
+    resyncs = int(np.count_nonzero(first_flag & prev_flag))  # dangling firsts
+    resyncs += int(np.count_nonzero(~first_flag & ~prev_flag))  # dangling seconds
+    new_pending = int(buf[-1]) if first_flag[-1] else None
+
+    if second_idx.size == 0:
+        return _EMPTY_BLOCK, new_pending, resyncs
+    firsts = buf[second_idx - 1]
+    seconds = buf[second_idx]
+    sensors = (firsts >> 4) & 0x07
+    marker_bits = (firsts & 0x08) != 0
+    values = ((firsts & 0x07).astype(np.int64) << 7) | (seconds & 0x7F)
+    is_timestamp = (sensors == TIMESTAMP_SENSOR) & marker_bits
+    markers = marker_bits & (sensors == 0)
+    return (
+        DecodedBlock(
+            sensors=sensors, values=values, markers=markers, is_timestamp=is_timestamp
+        ),
+        new_pending,
+        resyncs,
+    )
+
+
+class BlockDecoder:
+    """Stateful vectorised counterpart of :class:`StreamDecoder`.
+
+    Same incremental contract (arbitrary chunking, resync on framing
+    errors, ``resync_count``/``packet_count`` accounting) but decoding a
+    whole buffer per call into :class:`DecodedBlock` arrays instead of
+    yielding per-packet events.  ``tests/test_block_decoder.py`` pins it
+    byte-for-byte to the scalar decoder, which remains the reference
+    implementation.
+    """
+
+    def __init__(self) -> None:
+        self._pending_first: int | None = None
+        self.resync_count = 0
+        self.packet_count = 0
+
+    def decode(self, data: bytes) -> DecodedBlock:
+        block, self._pending_first, resyncs = decode_block(data, self._pending_first)
+        self.resync_count += resyncs
+        self.packet_count += len(block)
+        return block
+
+    def feed(self, data: bytes) -> Iterator[SensorReading | Timestamp]:
+        """Event-oriented shim with :class:`StreamDecoder` semantics."""
+        yield from self.decode(data).events()
+
+    def reset(self) -> None:
+        self._pending_first = None
+        self.resync_count = 0
+        self.packet_count = 0
+
+
 class TimestampUnwrapper:
     """Reconstruct continuous device time from the wrapping 10-bit counter.
 
@@ -135,6 +262,28 @@ class TimestampUnwrapper:
             self._accumulated_us += delta
         self._last_raw = raw_micros
         return self._accumulated_us * 1e-6
+
+    def update_block(self, raw_micros: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`update` over a batch of raw timestamps.
+
+        Returns the continuous seconds per timestamp; the unwrapper state
+        afterwards is identical to feeding the batch through
+        :meth:`update` one value at a time.
+        """
+        raw = np.asarray(raw_micros, dtype=np.int64)
+        if raw.size == 0:
+            return np.zeros(0)
+        if raw.min() < 0 or raw.max() >= TIMESTAMP_WRAP_US:
+            raise ProtocolError("raw timestamp out of 10-bit range")
+        if self._last_raw is None:
+            deltas = np.diff(raw) % TIMESTAMP_WRAP_US
+            accumulated = raw[0] + np.concatenate(([0], np.cumsum(deltas)))
+        else:
+            deltas = np.diff(np.concatenate(([self._last_raw], raw))) % TIMESTAMP_WRAP_US
+            accumulated = self._accumulated_us + np.cumsum(deltas)
+        self._last_raw = int(raw[-1])
+        self._accumulated_us = int(accumulated[-1])
+        return accumulated * 1e-6
 
     @property
     def seconds(self) -> float:

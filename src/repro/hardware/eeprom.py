@@ -90,11 +90,17 @@ RECORD_SIZE = _STRUCT.size
 
 @dataclass
 class VirtualEeprom:
-    """Eight sensor-config records with byte (de)serialisation."""
+    """Eight sensor-config records with byte (de)serialisation.
+
+    ``generation`` counts record writes so consumers that cache derived
+    values (e.g. the firmware's enabled-sensor list) can detect in-place
+    reconfiguration cheaply.
+    """
 
     configs: list[SensorConfig] = field(
         default_factory=lambda: [SensorConfig() for _ in range(SENSORS)]
     )
+    generation: int = field(default=0, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if len(self.configs) != SENSORS:
@@ -107,6 +113,7 @@ class VirtualEeprom:
     def set(self, sensor: int, config: SensorConfig) -> None:
         self._check_index(sensor)
         self.configs[sensor] = config
+        self.generation += 1
 
     def update(self, sensor: int, **changes) -> SensorConfig:
         """Replace selected fields of one record; returns the new record."""

@@ -69,10 +69,13 @@ class VirtualSerialLink:
     def read(self, n: int | None = None) -> bytes:
         """Drain up to ``n`` buffered bytes (all, if ``n`` is None)."""
         self._check_open()
-        if n is None:
-            n = len(self._rx)
-        out = bytes(self._rx[:n])
-        del self._rx[: len(out)]
+        rx = self._rx
+        if n is None or n >= len(rx):
+            out = bytes(rx)  # single copy: drain the whole buffer
+            rx.clear()
+            return out
+        out = bytes(rx[:n])
+        del rx[:n]
         return out
 
     def pump_samples(self, n_samples: int) -> bytes:
@@ -83,7 +86,17 @@ class VirtualSerialLink:
         returned (after passing through the buffer accounting).
         """
         self._check_open()
-        self._buffer(self.firmware.produce(n_samples))
+        data = self.firmware.produce(n_samples)
+        if not self._rx:
+            # Nothing buffered: hand the produced bytes straight to the
+            # host (no extend + re-slice copies), with the same overflow
+            # and traffic accounting as the buffered path.
+            if len(data) > self.buffer_limit:
+                raise TransportError(f"device buffer overflow ({len(data)} bytes)")
+            self.bytes_to_host += len(data)
+            self.busy_seconds += len(data) * 8 / self.bandwidth_bps
+            return data
+        self._buffer(data)
         return self.read()
 
     def pump_seconds(self, seconds: float) -> bytes:

@@ -108,3 +108,134 @@ def test_dumpdata_dataclass_direct():
         amps=np.array([[2.0], [2.0]]),
     )
     assert data.energy() == pytest.approx(2.0)
+
+
+# --------------------------------------------------------------------- #
+# Fast renderer / fast parser vs the general paths                      #
+# --------------------------------------------------------------------- #
+
+
+def _random_dump(seed, n=400, pairs=2, negatives=True):
+    rng = np.random.default_rng(seed)
+    times = np.cumsum(rng.uniform(1e-5, 1e-4, size=n))
+    volts = rng.uniform(0.0, 48.0, size=(n, pairs))
+    amps = rng.uniform(-5.0 if negatives else 0.0, 20.0, size=(n, pairs))
+    return times, volts, amps
+
+
+def _write(times, volts, amps, markers=(), writer_patch=None):
+    buffer = io.StringIO()
+    writer = DumpWriter(buffer, [f"p{i}" for i in range(volts.shape[1])], 20_000.0)
+    if writer_patch:
+        writer_patch(writer)
+    for t, char in markers:
+        writer.write_marker(t, char)
+    writer.write_samples(times, volts, amps)
+    return buffer.getvalue()
+
+
+def test_fast_and_slow_renderers_parse_identically(monkeypatch):
+    """Byte layouts differ (the fast path pads columns) but every parsed
+    value must be bit-identical between the two renderers."""
+    times, volts, amps = _random_dump(0)
+    fast = _write(times, volts, amps)
+    monkeypatch.setattr(DumpWriter, "_render_block", staticmethod(lambda *a: None))
+    slow = _write(times, volts, amps)
+    assert fast != slow
+    a = DumpReader.read(io.StringIO(fast))
+    b = DumpReader.read(io.StringIO(slow))
+    assert np.array_equal(a.times, b.times)
+    assert np.array_equal(a.volts, b.volts)
+    assert np.array_equal(a.amps, b.amps)
+
+
+def test_parsed_values_equal_float_of_token():
+    """The fixed-width parser must agree with ``float()`` on every token."""
+    times, volts, amps = _random_dump(1, n=300)
+    text = _write(times, volts, amps)
+    data = DumpReader.read(io.StringIO(text))
+    rows = [ln for ln in text.splitlines() if ln and ln[0] not in "#M"]
+    for i, line in enumerate(rows):
+        fields = line.split()
+        assert data.times[i] == float(fields[0])
+        for p in range(volts.shape[1]):
+            assert data.volts[i, p] == float(fields[1 + 2 * p])
+            assert data.amps[i, p] == float(fields[2 + 2 * p])
+
+
+def test_negative_values_roundtrip_exactly():
+    times = np.array([0.0, 5e-5, 1e-4, 1.5e-4])
+    volts = np.array([[-12.0], [12.0], [-0.00001], [0.0]])
+    amps = np.array([[-3.5], [3.5], [-120.25], [0.0]])
+    data = DumpReader.read(io.StringIO(_write(times, volts, amps)))
+    assert np.array_equal(data.volts, volts)
+    assert np.array_equal(data.amps, amps)
+
+
+def test_grid_and_general_parse_paths_agree():
+    """A marker interleaved mid-data forces the general (line-scan) parse
+    path; its samples must match the regular-grid fast path exactly."""
+    times, volts, amps = _random_dump(2, n=200)
+    plain = _write(times, volts, amps)
+    buffer = io.StringIO()
+    writer = DumpWriter(buffer, ["p0", "p1"], 20_000.0)
+    writer.write_samples(times[:100], volts[:100], amps[:100])
+    writer.write_marker(float(times[100]), "A")
+    writer.write_samples(times[100:], volts[100:], amps[100:])
+    mixed = buffer.getvalue()
+    grid = DumpReader.read(io.StringIO(plain))
+    general = DumpReader.read(io.StringIO(mixed))
+    assert general.markers == [(float(f"{float(times[100]):.7f}"), "A")]
+    assert np.array_equal(grid.times, general.times)
+    assert np.array_equal(grid.volts, general.volts)
+    assert np.array_equal(grid.amps, general.amps)
+
+
+def test_nonfinite_values_use_slow_renderer_and_loadtxt():
+    """inf/nan rows bypass both fast paths and still round-trip."""
+    times = np.array([0.0, 5e-5, 1e-4])
+    volts = np.array([[12.0], [np.inf], [12.0]])
+    amps = np.array([[2.0], [2.0], [np.nan]])
+    data = DumpReader.read(io.StringIO(_write(times, volts, amps)))
+    assert data.volts[1, 0] == np.inf
+    assert np.isnan(data.amps[2, 0])
+    assert np.allclose(data.times, times)
+
+
+def test_wide_fields_fall_back_to_loadtxt():
+    """Times past the fixed parser's 18-digit budget still parse."""
+    times = 1e12 + np.array([0.0, 1.0, 2.0])
+    volts = np.full((3, 1), 1.5)
+    amps = np.full((3, 1), 2.0)
+    data = DumpReader.read(io.StringIO(_write(times, volts, amps)))
+    assert np.array_equal(data.times, times)
+    assert np.array_equal(data.volts, volts)
+
+
+def test_aligned_exponent_notation_parses_via_fallback():
+    """Hand-written dumps with exponent tokens defeat the fixed-width
+    parser's layout check and land in the loadtxt fallback."""
+    text = (
+        "# PowerSensor3 dump\n"
+        "# sample_rate_hz: 20000.0\n"
+        "# pairs: p0\n"
+        "# columns: time_s V I total_W\n"
+        "0.0e0000 1.0e0000 2.0e0000 2.0e0000\n"
+        "5.0e-005 3.0e0000 2.0e0000 6.0e0000\n"
+    )
+    data = DumpReader.read(io.StringIO(text))
+    assert np.array_equal(data.times, [0.0, 5e-5])
+    assert np.array_equal(data.volts[:, 0], [1.0, 3.0])
+
+
+def test_malformed_tokens_raise():
+    header = (
+        "# PowerSensor3 dump\n# sample_rate_hz: 20000.0\n"
+        "# pairs: p0\n# columns: time_s V I total_W\n"
+    )
+    for bad in (
+        "0.000000 1-1.000 2.00000 2.00000\n",  # internal minus
+        "0.000000 1 1.000 2.00000 2.00000\n",  # splits into too many tokens
+    ):
+        with pytest.raises(ValueError):
+            DumpReader.read(io.StringIO(header + bad))

@@ -171,3 +171,55 @@ def test_timestamps_wrap_consistently():
     raw = [e.micros for e in events if isinstance(e, Timestamp)]
     deltas = [(b - a) % 1024 for a, b in zip(raw, raw[1:])]
     assert all(d == 50 for d in deltas)
+
+
+def _marked(events):
+    return [e for e in events if isinstance(e, SensorReading) and e.marker]
+
+
+def test_marker_dropped_when_sensor0_disabled():
+    firmware = make_firmware()
+    firmware.eeprom.update(0, enabled=False)
+    firmware.handle_input(b"SM")
+    events = list(StreamDecoder().feed(firmware.produce(4)))
+    assert not _marked(events)
+    assert firmware.markers_dropped == 1
+
+
+def test_no_spurious_marker_after_sensor0_reenable():
+    """A marker that could not be attached must not fire later."""
+    firmware = make_firmware()
+    firmware.eeprom.update(0, enabled=False)
+    firmware.handle_input(b"SMM")
+    firmware.produce(5)
+    assert firmware.markers_dropped == 2
+    firmware.eeprom.update(0, enabled=True)
+    events = list(StreamDecoder().feed(firmware.produce(5)))
+    assert not _marked(events)  # the dropped markers stay dropped
+    firmware.handle_input(b"M")  # a fresh marker still works
+    events = list(StreamDecoder().feed(firmware.produce(3)))
+    assert len(_marked(events)) == 1
+    assert firmware.markers_dropped == 2
+
+
+def test_enabled_sensors_cache_tracks_eeprom_changes():
+    firmware = make_firmware()
+    first = firmware.enabled_sensors()
+    assert firmware.enabled_sensors() is first  # cached between writes
+    firmware.eeprom.update(0, enabled=False)
+    assert firmware.enabled_sensors() == [1]  # in-place write invalidates
+    image = firmware.eeprom.pack()
+    firmware.handle_input(b"W" + image)  # replacing the EEPROM invalidates
+    assert firmware.enabled_sensors() == [1]
+    firmware.eeprom.update(0, enabled=True)
+    assert firmware.enabled_sensors() == [0, 1]
+
+
+def test_reboot_resets_marker_accounting():
+    firmware = make_firmware()
+    firmware.eeprom.update(0, enabled=False)
+    firmware.handle_input(b"SM")
+    firmware.produce(2)
+    assert firmware.markers_dropped == 1
+    firmware.handle_input(b"B")
+    assert firmware.markers_dropped == 0
