@@ -23,16 +23,22 @@ import pytest
 from repro.core.dump import DumpReader, DumpWriter
 from repro.core.setup import SimulatedSetup
 from repro.firmware.protocol import BlockDecoder
+from repro.observability import MetricsRegistry
 
 _MODULES = ["pcie_slot_12v", "pcie8pin", "pcie_slot_3v3", "usbc"]
 
 
-def _bench_setup(n_pairs: int, vectorized: bool = True) -> SimulatedSetup:
+def _bench_setup(
+    n_pairs: int,
+    vectorized: bool = True,
+    registry: MetricsRegistry | None = None,
+) -> SimulatedSetup:
     setup = SimulatedSetup(
         _MODULES[:n_pairs],
         seed=0,
         calibration_samples=1024,
         vectorized=vectorized,
+        registry=registry,
     )
     setup.source.start()
     return setup
@@ -84,6 +90,25 @@ def test_bench_read_block_decode(benchmark, request, stream_fixture, n_pairs):
         100_000 / benchmark.stats["mean"]
     )
     benchmark.extra_info["n_pairs"] = n_pairs
+
+
+def test_bench_decode_metrics_disabled(benchmark, four_pair_stream):
+    """Same decode workload with the metrics layer muted.
+
+    Compare ``samples_per_s`` against the 4-pair case of
+    ``test_bench_read_block_decode`` (which runs with the default
+    enabled registry) to see the observability overhead; the standalone
+    report pins the delta at <= 5% in ``BENCH_streaming.json``.
+    """
+    _, data = four_pair_stream
+    setup = _bench_setup(4, registry=MetricsRegistry(enabled=False))
+    source = setup.source
+    block = benchmark(source._decode, data, 100_000)
+    assert len(block) == 100_000
+    benchmark.extra_info["samples_per_s"] = round(
+        100_000 / benchmark.stats["mean"]
+    )
+    setup.close()
 
 
 @pytest.fixture(scope="module")

@@ -16,6 +16,11 @@ The report compares three stages of the receive/persist pipeline:
   row-loop writer and the pure ``np.loadtxt`` reader no longer exist in
   the tree, so their throughput is carried as recorded baselines
   (measured on this repo at the commit before the vectorisation).
+* **observability** — the same decode workload with the metrics layer
+  enabled (spans, gauges, health counters) and disabled
+  (``MetricsRegistry(enabled=False)``): the ``overhead_pct`` delta is
+  the cost of instrumenting the hot path, and the registry snapshot of
+  the enabled run rides along in the report.
 
 Timings are best-of-``--repeat`` wall-clock; the JSON lands at the repo
 root so the numbers ride along with the code that produced them.
@@ -36,6 +41,7 @@ import numpy as np
 
 from repro.core.dump import DumpReader, DumpWriter
 from repro.core.setup import SimulatedSetup
+from repro.observability import MetricsRegistry
 
 _MODULES = ["pcie_slot_12v", "pcie8pin", "pcie_slot_3v3", "usbc"]
 
@@ -87,6 +93,43 @@ def bench_decode(n_samples: int, repeat: int) -> dict:
         "decode_speedup": round(vec_rate / scalar_rate, 1),
         "read_block_samples_per_s": round(50_000 / read_t),
         "read_block_includes_device_simulation": True,
+    }
+
+
+def bench_observability(n_samples: int, repeat: int) -> dict:
+    """Decode overhead of the metrics layer: enabled vs disabled registry."""
+    enabled = SimulatedSetup(
+        _MODULES, seed=0, calibration_samples=1024, registry=MetricsRegistry()
+    )
+    disabled = SimulatedSetup(
+        _MODULES,
+        seed=0,
+        calibration_samples=1024,
+        registry=MetricsRegistry(enabled=False),
+    )
+    enabled.source.start()
+    disabled.source.start()
+    data = enabled.link.firmware.produce(n_samples)
+
+    # Interleave the two variants inside the repeat loop so thermal /
+    # frequency drift hits both equally instead of biasing whichever
+    # variant runs second.
+    t_on = float("inf")
+    t_off = float("inf")
+    for _ in range(repeat):
+        t_on = min(t_on, best_of(lambda: enabled.source._decode(data, n_samples), 1))
+        t_off = min(t_off, best_of(lambda: disabled.source._decode(data, n_samples), 1))
+    snapshot = enabled.registry.snapshot()
+    enabled.close()
+    disabled.close()
+
+    return {
+        "n_samples": n_samples,
+        "n_pairs": 4,
+        "enabled_samples_per_s": round(n_samples / t_on),
+        "disabled_samples_per_s": round(n_samples / t_off),
+        "overhead_pct": round((t_on - t_off) / t_off * 100.0, 2),
+        "registry_snapshot": snapshot,
     }
 
 
@@ -157,6 +200,7 @@ def main() -> None:
         "recorded_baselines": RECORDED_BASELINES,
         "decode": bench_decode(args.samples, args.repeat),
         "dump": bench_dump(args.samples, args.repeat),
+        "observability": bench_observability(args.samples, args.repeat),
     }
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))

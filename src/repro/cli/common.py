@@ -25,6 +25,7 @@ from repro.core.setup import SimulatedSetup
 from repro.dut.base import ConstantRail
 from repro.dut.gpu import Gpu, KernelLaunch
 from repro.dut.instruments import ElectronicLoad, LabSupply, LoadedSupplyRail
+from repro.observability import MetricsRegistry, Tracer, write_metrics
 from repro.transport.faults import FAULT_SPEC_HELP
 
 #: Distinct exit statuses per failure domain, above the range commands and
@@ -52,20 +53,47 @@ def exit_status(error: ReproError) -> int:
     return EXIT_REPRO_ERROR
 
 
-def run_with_diagnostics(prog: str, body: Callable[[], int]) -> int:
+def run_with_diagnostics(
+    prog: str,
+    body: Callable[[], int],
+    *,
+    metrics_path: str | None = None,
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+) -> int:
     """Run a CLI body, degrading library errors to one-line diagnostics.
 
     Any :class:`ReproError` escaping ``body`` becomes a single stderr line
     and the matching nonzero exit status — never a traceback.
+
+    When ``metrics_path`` and ``registry`` are given, a metrics file is
+    written unconditionally on the way out — a degraded run (nonzero exit
+    status) still leaves its counters behind for post-mortem analysis.
     """
+    status = 0
     try:
-        return body()
+        status = body()
+        return status
     except ReproError as error:
         print(f"{prog}: {type(error).__name__}: {error}", file=sys.stderr)
-        return exit_status(error)
+        status = exit_status(error)
+        return status
+    finally:
+        if metrics_path and registry is not None:
+            try:
+                write_metrics(
+                    metrics_path,
+                    registry,
+                    tracer=tracer,
+                    meta={"tool": prog, "exit_status": status},
+                )
+            except OSError as error:
+                print(f"{prog}: cannot write metrics: {error}", file=sys.stderr)
 
 
-def add_device_arguments(parser: argparse.ArgumentParser) -> None:
+def add_device_arguments(
+    parser: argparse.ArgumentParser, metrics: bool = True
+) -> None:
     parser.add_argument(
         "--modules",
         default="pcie_slot_12v",
@@ -96,9 +124,21 @@ def add_device_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="seed for the fault generator (defaults to --seed)",
     )
+    if metrics:
+        parser.add_argument(
+            "--metrics",
+            metavar="PATH",
+            default=None,
+            help="write a metrics file on exit (.prom: Prometheus text, "
+            "otherwise one JSON snapshot line is appended)",
+        )
 
 
-def build_setup(args: argparse.Namespace) -> SimulatedSetup:
+def build_setup(
+    args: argparse.Namespace,
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+) -> SimulatedSetup:
     keys = [
         None if key.strip().lower() in ("none", "") else key.strip()
         for key in args.modules.split(",")
@@ -109,6 +149,8 @@ def build_setup(args: argparse.Namespace) -> SimulatedSetup:
         direct=args.direct,
         faults=getattr(args, "faults", None),
         fault_seed=getattr(args, "fault_seed", None),
+        registry=registry,
+        tracer=tracer,
     )
     rail = _build_rail(args.dut, args.seed)
     if rail is not None:

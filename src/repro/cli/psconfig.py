@@ -13,6 +13,7 @@ import argparse
 from repro.calibration.procedure import calibrate_all
 from repro.cli.common import add_device_arguments, build_setup, run_with_diagnostics
 from repro.firmware.commands import Command
+from repro.observability import MetricsRegistry, Tracer
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -49,11 +50,21 @@ def main(argv: list[str] | None = None) -> int:
         "--dfu", action="store_true", help="reboot into DFU mode (firmware upload)"
     )
     args = parser.parse_args(argv)
-    return run_with_diagnostics("psconfig", lambda: _configure(args))
+    registry = MetricsRegistry()
+    tracer = Tracer(registry)
+    return run_with_diagnostics(
+        "psconfig",
+        lambda: _configure(args, registry, tracer),
+        metrics_path=args.metrics,
+        registry=registry,
+        tracer=tracer,
+    )
 
 
-def _configure(args: argparse.Namespace) -> int:
-    setup = build_setup(args)
+def _configure(
+    args: argparse.Namespace, registry: MetricsRegistry, tracer: Tracer
+) -> int:
+    setup = build_setup(args, registry, tracer)
     try:
         return _apply(args, setup)
     finally:

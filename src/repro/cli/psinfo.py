@@ -8,21 +8,44 @@ from __future__ import annotations
 import argparse
 
 from repro.cli.common import add_device_arguments, build_setup, run_with_diagnostics
+from repro.observability import MetricsRegistry, Tracer, summarize_registry
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="psinfo", description="Show PowerSensor3 configuration and readings."
     )
-    add_device_arguments(parser)
+    add_device_arguments(parser, metrics=False)
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        nargs="?",
+        const="-",
+        default=None,
+        help="print a metrics summary after the report; with a PATH, also "
+        "write the metrics file (.prom: Prometheus text, else JSON lines)",
+    )
     args = parser.parse_args(argv)
-    return run_with_diagnostics("psinfo", lambda: _show(args))
+    registry = MetricsRegistry()
+    tracer = Tracer(registry)
+    metrics_path = args.metrics if args.metrics not in (None, "-") else None
+    return run_with_diagnostics(
+        "psinfo",
+        lambda: _show(args, registry, tracer),
+        metrics_path=metrics_path,
+        registry=registry,
+        tracer=tracer,
+    )
 
 
-def _show(args: argparse.Namespace) -> int:
-    setup = build_setup(args)
+def _show(args: argparse.Namespace, registry: MetricsRegistry, tracer: Tracer) -> int:
+    setup = build_setup(args, registry, tracer)
     try:
-        return _report(setup)
+        status = _report(setup)
+        if args.metrics is not None:
+            print()
+            print(summarize_registry(registry))
+        return status
     finally:
         setup.close()
 

@@ -13,6 +13,25 @@ import sys
 
 from repro.analysis.streaming import StreamingPowerMonitor, StreamingStats
 from repro.cli.common import add_device_arguments, build_setup, run_with_diagnostics
+from repro.core.health import StreamHealth
+from repro.observability import MetricsRegistry, Tracer
+
+
+def format_stats_line(health: StreamHealth, registry: MetricsRegistry) -> str:
+    """The live stats line: stream health plus decode throughput.
+
+    One fixed-format stderr line per reporting interval, e.g.::
+
+        stats: samples=19999 dropped=0 retries=0 gaps=0 sps=3.1e+06
+    """
+    sps = registry.value("decode_samples_per_second", default=0.0)
+    return (
+        f"stats: samples={health.samples_decoded} "
+        f"dropped={health.packets_dropped} "
+        f"retries={health.retries} "
+        f"gaps={health.gaps_bridged} "
+        f"sps={sps:.2g}"
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -34,11 +53,21 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.interval <= 0 or args.duration <= 0:
         parser.error("duration and interval must be positive")
-    return run_with_diagnostics("psmonitor", lambda: _monitor(args))
+    registry = MetricsRegistry()
+    tracer = Tracer(registry)
+    return run_with_diagnostics(
+        "psmonitor",
+        lambda: _monitor(args, registry, tracer),
+        metrics_path=args.metrics,
+        registry=registry,
+        tracer=tracer,
+    )
 
 
-def _monitor(args: argparse.Namespace) -> int:
-    setup = build_setup(args)
+def _monitor(
+    args: argparse.Namespace, registry: MetricsRegistry, tracer: Tracer
+) -> int:
+    setup = build_setup(args, registry, tracer)
     try:
         monitor = StreamingPowerMonitor()
         print(
@@ -58,6 +87,7 @@ def _monitor(args: argparse.Namespace) -> int:
                     f"{window.maximum:9.3f} {window.std:8.3f} "
                     f"{monitor.energy_joules:10.3f}"
                 )
+            print(format_stats_line(setup.ps.health, registry), file=sys.stderr)
             elapsed += span
             if not args.fast:
                 import time

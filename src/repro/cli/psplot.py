@@ -11,7 +11,9 @@ import argparse
 
 import numpy as np
 
+from repro.cli.common import run_with_diagnostics
 from repro.core.dump import DumpReader
+from repro.observability import MetricsRegistry, Tracer
 
 
 def render_chart(
@@ -82,9 +84,36 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--pair", type=int, default=-1, help="pair index to plot (-1 = total)"
     )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write a metrics file on exit (.prom: Prometheus text, "
+        "otherwise one JSON snapshot line is appended)",
+    )
     args = parser.parse_args(argv)
+    registry = MetricsRegistry()
+    tracer = Tracer(registry)
+    return run_with_diagnostics(
+        "psplot",
+        lambda: _plot(args, parser, registry, tracer),
+        metrics_path=args.metrics,
+        registry=registry,
+        tracer=tracer,
+    )
 
-    data = DumpReader.read(args.dump)
+
+def _plot(
+    args: argparse.Namespace,
+    parser: argparse.ArgumentParser,
+    registry: MetricsRegistry,
+    tracer: Tracer,
+) -> int:
+    with tracer.span("read_dump"):
+        data = DumpReader.read(args.dump)
+    registry.gauge(
+        "plot_samples", help="samples loaded from the dump file"
+    ).set(data.times.size)
     if args.pair == -1:
         watts = data.total_power
         label = "total"
@@ -97,7 +126,9 @@ def main(argv: list[str] | None = None) -> int:
         f"{label}: {data.times.size} samples at {data.sample_rate_hz:.0f} Hz, "
         f"mean {watts.mean():.2f} W"
     )
-    print(render_chart(data.times, watts, args.width, args.height, data.markers))
+    with tracer.span("render"):
+        chart = render_chart(data.times, watts, args.width, args.height, data.markers)
+    print(chart)
     return 0
 
 

@@ -19,6 +19,7 @@ import sys
 from repro.cli.common import add_device_arguments, build_setup, run_with_diagnostics
 from repro.core.realtime import RealtimeDriver
 from repro.core.state import State, joules, seconds, watts
+from repro.observability import MetricsRegistry, Tracer
 
 #: Exit status when the wrapped command itself cannot be launched.
 EXIT_COMMAND_NOT_RUN = 127
@@ -59,11 +60,24 @@ def main(argv: list[str] | None = None) -> int:
     if not args.command:
         parser.error("no command given")
     command = args.command[1:] if args.command[0] == "--" else args.command
-    return run_with_diagnostics("psrun", lambda: _measure(args, command))
+    registry = MetricsRegistry()
+    tracer = Tracer(registry)
+    return run_with_diagnostics(
+        "psrun",
+        lambda: _measure(args, command, registry, tracer),
+        metrics_path=args.metrics,
+        registry=registry,
+        tracer=tracer,
+    )
 
 
-def _measure(args: argparse.Namespace, command: list[str]) -> int:
-    setup = build_setup(args)
+def _measure(
+    args: argparse.Namespace,
+    command: list[str],
+    registry: MetricsRegistry,
+    tracer: Tracer,
+) -> int:
+    setup = build_setup(args, registry, tracer)
     try:
         ps = setup.ps
         if args.dump:
@@ -71,7 +85,8 @@ def _measure(args: argparse.Namespace, command: list[str]) -> int:
         with RealtimeDriver(ps, time_scale=args.time_scale) as driver:
             before = driver.read()
             try:
-                completed = subprocess.run(command)
+                with tracer.span("command"):
+                    completed = subprocess.run(command)
             except OSError as error:
                 print(f"psrun: cannot run {command[0]!r}: {error}", file=sys.stderr)
                 return EXIT_COMMAND_NOT_RUN

@@ -14,6 +14,7 @@ import argparse
 from repro.cli.common import add_device_arguments, build_setup, run_with_diagnostics
 from repro.common.stats import summarize
 from repro.core.state import joules, seconds, watts
+from repro.observability import MetricsRegistry, Tracer
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -35,11 +36,21 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--dump", metavar="FILE", help="write samples to a dump file")
     args = parser.parse_args(argv)
-    return run_with_diagnostics("pstest", lambda: _selftest(args))
+    registry = MetricsRegistry()
+    tracer = Tracer(registry)
+    return run_with_diagnostics(
+        "pstest",
+        lambda: _selftest(args, registry, tracer),
+        metrics_path=args.metrics,
+        registry=registry,
+        tracer=tracer,
+    )
 
 
-def _selftest(args: argparse.Namespace) -> int:
-    setup = build_setup(args)
+def _selftest(
+    args: argparse.Namespace, registry: MetricsRegistry, tracer: Tracer
+) -> int:
+    setup = build_setup(args, registry, tracer)
     try:
         ps = setup.ps
         if args.dump:

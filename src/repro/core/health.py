@@ -13,19 +13,68 @@ counter block every layer of the receive path writes into:
 * :class:`~repro.core.powersensor.PowerSensor` counts empty reads, retry
   attempts, bridged inter-sample gaps and declared stalls.
 
+Since the observability layer landed, :class:`StreamHealth` is a *view*
+over :class:`~repro.observability.MetricsRegistry` counters rather than
+a private struct: ``health.bytes_read += n`` increments the registry
+counter ``stream_bytes_read_total``, and anything reading the registry
+(exporters, ``--metrics`` files, the psmonitor stats line) sees exactly
+the numbers the health block reports.  The equivalence tests pin the
+two byte-for-byte across the fault-injection fuzz scenarios.
+
 The CLI tools surface these counters when a run degraded, and the
-robustness tests assert that every injected fault lands in exactly one of
-them.
+robustness tests assert that every injected fault lands in exactly one
+of them.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from repro.observability.registry import MetricsRegistry
+
+#: StreamHealth field -> (registry counter name, help text).
+HEALTH_COUNTERS: dict[str, tuple[str, str]] = {
+    "bytes_read": (
+        "stream_bytes_read_total",
+        "raw device->host bytes handed to the decoder",
+    ),
+    "packets_decoded": (
+        "stream_packets_decoded_total",
+        "2-byte packets successfully parsed",
+    ),
+    "packets_dropped": (
+        "stream_packets_dropped_total",
+        "packets lost to resynchronisation",
+    ),
+    "samples_decoded": (
+        "stream_samples_decoded_total",
+        "complete sample sets folded into the measurement",
+    ),
+    "empty_reads": (
+        "stream_empty_reads_total",
+        "reads that yielded no samples while streaming",
+    ),
+    "retries": (
+        "stream_retries_total",
+        "recovery-policy retry reads issued after an empty read",
+    ),
+    "gaps_bridged": (
+        "stream_gaps_bridged_total",
+        "oversized inter-sample gaps bridged by energy integration",
+    ),
+    "stalls": (
+        "stream_stalls_total",
+        "times the stream was declared stalled",
+    ),
+}
+
+_FIELDS = tuple(HEALTH_COUNTERS)
 
 
-@dataclass
 class StreamHealth:
     """Counters describing how cleanly the sample stream is arriving.
+
+    A view over registry counters: each attribute reads the counter's
+    current value, and ``health.field += n`` advances it (counters are
+    monotonic — attempting to lower one raises ``ValueError``).
 
     Attributes:
         bytes_read: raw device->host bytes handed to the decoder.
@@ -41,14 +90,33 @@ class StreamHealth:
             or the realtime watchdog tripped).
     """
 
-    bytes_read: int = 0
-    packets_decoded: int = 0
-    packets_dropped: int = 0
-    samples_decoded: int = 0
-    empty_reads: int = 0
-    retries: int = 0
-    gaps_bridged: int = 0
-    stalls: int = 0
+    __slots__ = ("registry", "_counters")
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        object.__setattr__(
+            self, "registry", registry if registry is not None else MetricsRegistry()
+        )
+        object.__setattr__(
+            self,
+            "_counters",
+            {
+                field: self.registry.counter(name, help=help_text)
+                for field, (name, help_text) in HEALTH_COUNTERS.items()
+            },
+        )
+
+    def __getattr__(self, name: str) -> int:
+        counters = object.__getattribute__(self, "_counters")
+        if name in counters:
+            return counters[name].value
+        raise AttributeError(name)
+
+    def __setattr__(self, name: str, value) -> None:
+        counters = object.__getattribute__(self, "_counters")
+        counter = counters.get(name)
+        if counter is None:
+            raise AttributeError(f"StreamHealth has no counter {name!r}")
+        counter.inc(value - counter.value)  # raises if the counter would drop
 
     @property
     def degraded(self) -> bool:
@@ -62,7 +130,28 @@ class StreamHealth:
         )
 
     def as_dict(self) -> dict[str, int]:
-        return asdict(self)
+        return {field: counter.value for field, counter in self._counters.items()}
+
+    @staticmethod
+    def counters_in(registry: MetricsRegistry) -> dict[str, int]:
+        """The health counters as recorded in a registry (0 if absent).
+
+        The equivalence tests compare this against :meth:`as_dict` to
+        prove the view and the registry never diverge.
+        """
+        return {
+            field: registry.value(name)
+            for field, (name, _) in HEALTH_COUNTERS.items()
+        }
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, StreamHealth):
+            return self.as_dict() == other.as_dict()
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"StreamHealth({inner})"
 
     def summary(self) -> str:
         """One-line counter summary for diagnostics and CLI output."""

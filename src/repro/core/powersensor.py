@@ -30,8 +30,13 @@ from repro.core.health import StreamHealth
 from repro.core.sources import DirectSampleSource, ProtocolSampleSource, SampleBlock
 from repro.core.state import PAIRS, State
 from repro.hardware.eeprom import SENSORS, SensorConfig
+from repro.observability import MetricsRegistry, Tracer
 from repro.transport.faults import FaultySerialLink
 from repro.transport.link import VirtualSerialLink
+
+#: Buckets for the per-recovery retry-count histogram (retries are small
+#: integers, so unit-width bounds keep the quantiles exact).
+RETRY_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0)
 
 
 @dataclass(frozen=True)
@@ -75,6 +80,22 @@ class PowerSensor:
             self.source = device
         self.recovery = recovery
         self.health: StreamHealth = getattr(self.source, "health", None) or StreamHealth()
+        self.registry: MetricsRegistry = (
+            getattr(self.source, "registry", None) or self.health.registry
+        )
+        self.tracer: Tracer = getattr(self.source, "tracer", None) or Tracer(
+            self.registry
+        )
+        self._retry_histogram = self.registry.histogram(
+            "recovery_retries_per_event",
+            buckets=RETRY_BUCKETS,
+            help="retry reads issued per empty-read recovery event",
+        )
+        self._backoff_histogram = self.registry.histogram(
+            "recovery_backoff_span_seconds",
+            buckets=(1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 0.05, 0.1, 0.5),
+            help="stream-time span of the final (widest) retry read",
+        )
         self._pump_residual = 0.0  # fractional samples carried across pump_seconds
         self._energy = np.zeros(PAIRS)
         self._last_current = np.zeros(PAIRS)
@@ -123,17 +144,23 @@ class PowerSensor:
         policy = self.recovery
         cap = max(int(policy.max_retry_seconds * self.sample_rate), 1)
         span = n_samples
-        for _ in range(policy.max_retries):
-            span = min(max(int(span * policy.backoff_factor), 1), cap)
-            self.health.retries += 1
-            block = self.source.read_block(span)
-            if len(block):
-                return block
-        self.health.stalls += 1
-        raise StreamStalledError(
-            f"stream produced no samples after {policy.max_retries} retries "
-            f"(device stalled or all data lost)"
-        )
+        attempts = 0
+        try:
+            for _ in range(policy.max_retries):
+                span = min(max(int(span * policy.backoff_factor), 1), cap)
+                attempts += 1
+                self.health.retries += 1
+                block = self.source.read_block(span)
+                if len(block):
+                    return block
+            self.health.stalls += 1
+            raise StreamStalledError(
+                f"stream produced no samples after {policy.max_retries} retries "
+                f"(device stalled or all data lost)"
+            )
+        finally:
+            self._retry_histogram.observe(attempts)
+            self._backoff_histogram.observe(span / self.sample_rate)
 
     def pump_seconds(self, seconds: float) -> SampleBlock:
         """Advance the stream by a duration of simulated time.

@@ -21,6 +21,10 @@ import time
 
 from repro.common.errors import StreamStalledError
 from repro.core.powersensor import PowerSensor
+from repro.observability import MetricsRegistry
+
+#: Pump-iteration latency buckets: 10 us to 1 s (nominal chunk is 20 ms).
+PUMP_BUCKETS = (1e-5, 1e-4, 1e-3, 5e-3, 1e-2, 2e-2, 5e-2, 0.1, 0.5, 1.0)
 
 
 class RealtimeDriver:
@@ -41,6 +45,22 @@ class RealtimeDriver:
         self.time_scale = time_scale
         self.chunk_seconds = chunk_seconds
         self.watchdog_seconds = watchdog_seconds
+        self.registry: MetricsRegistry = getattr(
+            ps, "registry", None
+        ) or MetricsRegistry()
+        self._pump_histogram = self.registry.histogram(
+            "pump_loop_seconds",
+            buckets=PUMP_BUCKETS,
+            help="wall-clock latency of one realtime pump iteration",
+        )
+        self._behind_counter = self.registry.counter(
+            "pump_loop_behind_total",
+            help="pump iterations that missed their wall-clock deadline",
+        )
+        self._watchdog_counter = self.registry.counter(
+            "watchdog_trips_total",
+            help="times the realtime watchdog declared the stream stalled",
+        )
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
         self._lock = threading.Lock()
@@ -58,6 +78,7 @@ class RealtimeDriver:
     def _run(self) -> None:
         next_deadline = time.monotonic()
         while not self._stop.is_set():
+            iter_start = time.monotonic()
             try:
                 with self._lock:
                     self.ps.pump_seconds(self.chunk_seconds * self.time_scale)
@@ -65,11 +86,13 @@ class RealtimeDriver:
                 self._error = error
                 return
             self._last_progress = time.monotonic()
+            self._pump_histogram.observe(self._last_progress - iter_start)
             next_deadline += self.chunk_seconds
             delay = next_deadline - time.monotonic()
             if delay > 0:
                 self._stop.wait(delay)
             else:
+                self._behind_counter.inc()
                 next_deadline = time.monotonic()  # fell behind; resync
 
     @property
@@ -86,6 +109,7 @@ class RealtimeDriver:
             and time.monotonic() - self._last_progress > self.watchdog_seconds
         ):
             self.ps.health.stalls += 1
+            self._watchdog_counter.inc()
             raise StreamStalledError(
                 f"pump thread made no progress for {self.watchdog_seconds:.1f} s "
                 f"(stalled device or blocked read)"
@@ -95,6 +119,7 @@ class RealtimeDriver:
         timeout = -1 if self.watchdog_seconds is None else self.watchdog_seconds
         if not self._lock.acquire(timeout=timeout):
             self.ps.health.stalls += 1
+            self._watchdog_counter.inc()
             raise StreamStalledError(
                 f"pump thread held the stream lock for more than "
                 f"{self.watchdog_seconds:.1f} s"

@@ -16,6 +16,7 @@ from repro.core.sources import DirectSampleSource, ProtocolSampleSource
 from repro.firmware.device import Firmware, default_eeprom
 from repro.hardware.baseboard import Baseboard, PowerRail
 from repro.hardware.modules import SensorModule
+from repro.observability import MetricsRegistry, Tracer
 from repro.transport.faults import FaultModel, FaultySerialLink, parse_fault_spec
 from repro.transport.link import VirtualSerialLink
 
@@ -42,10 +43,14 @@ class SimulatedSetup:
             path only.
         fault_seed: seed for the fault generator (defaults to ``seed``).
         recovery: retry policy for the PowerSensor (None disables).
+        registry: metrics registry shared by every layer of the bench
+            (fault layer, sample source, PowerSensor); a fresh one is
+            created if not given.
 
     Attributes:
         baseboard, eeprom, firmware (None on the direct path), link (None
-        on the direct path), source, ps (the connected PowerSensor), and
+        on the direct path), source, ps (the connected PowerSensor),
+        registry/tracer (the bench-wide observability handles), and
         calibration (list of per-slot results, empty if not calibrated).
     """
 
@@ -62,9 +67,13 @@ class SimulatedSetup:
         fault_seed: int | None = None,
         recovery: RecoveryPolicy | None = DEFAULT_RECOVERY,
         vectorized: bool = True,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if len(module_keys) > 4:
             raise ValueError("a baseboard has at most four slots")
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(self.registry)
         self.rng = RngStream(seed, "setup")
         self.baseboard = Baseboard()
         for slot, key in enumerate(module_keys):
@@ -95,7 +104,12 @@ class SimulatedSetup:
             self.firmware = None
             self.link = None
             self.source: DirectSampleSource | ProtocolSampleSource = (
-                DirectSampleSource(self.baseboard, self.eeprom)
+                DirectSampleSource(
+                    self.baseboard,
+                    self.eeprom,
+                    registry=self.registry,
+                    tracer=self.tracer,
+                )
             )
         else:
             self.firmware = Firmware(self.baseboard, eeprom=self.eeprom)
@@ -105,8 +119,14 @@ class SimulatedSetup:
                     self.link,
                     fault_models,
                     seed=seed if fault_seed is None else fault_seed,
+                    registry=self.registry,
                 )
-            self.source = ProtocolSampleSource(self.link, vectorized=vectorized)
+            self.source = ProtocolSampleSource(
+                self.link,
+                vectorized=vectorized,
+                registry=self.registry,
+                tracer=self.tracer,
+            )
         self.ps = PowerSensor(self.source, recovery=recovery)
 
     def connect(self, slot: int, rail: PowerRail) -> None:

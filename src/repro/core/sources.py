@@ -48,6 +48,7 @@ from repro.firmware.protocol import (
 )
 from repro.firmware.version import FIRMWARE_VERSION
 from repro.core.health import StreamHealth
+from repro.observability import MetricsRegistry, Tracer
 from repro.hardware.baseboard import Baseboard
 from repro.hardware.eeprom import RECORD_SIZE, SENSORS, SensorConfig, VirtualEeprom
 from repro.transport.link import VirtualSerialLink
@@ -138,12 +139,30 @@ class ProtocolSampleSource:
     :class:`SampleBlock` streams and :class:`StreamHealth` counters.
     """
 
-    def __init__(self, link: VirtualSerialLink, vectorized: bool = True) -> None:
+    def __init__(
+        self,
+        link: VirtualSerialLink,
+        vectorized: bool = True,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
         self.link = link
         self._vectorized = bool(vectorized)
         self._decoder = BlockDecoder() if self._vectorized else StreamDecoder()
         self._unwrapper = TimestampUnwrapper()
-        self.health = StreamHealth()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(self.registry)
+        self.health = StreamHealth(self.registry)
+        self._bytes_gauge = self.registry.gauge(
+            "decode_last_block_bytes", help="wire bytes in the last decoded block"
+        )
+        self._samples_gauge = self.registry.gauge(
+            "decode_last_block_samples", help="samples in the last decoded block"
+        )
+        self._throughput_gauge = self.registry.gauge(
+            "decode_samples_per_second",
+            help="decode throughput of the last non-trivial block",
+        )
         self.streaming = False
         self.configs: list[SensorConfig] = []
         self.version = self._read_version()
@@ -227,12 +246,27 @@ class ProtocolSampleSource:
 
     def _decode(self, data: bytes, n_expected: int) -> SampleBlock:
         if not self._vectorized:
-            return self._decode_scalar(data, n_expected)
+            with self.tracer.span("decode", tier="scalar") as span:
+                block = self._decode_scalar(data, n_expected)
+            self._observe_decode(len(data), len(block), span.duration)
+            return block
         self.health.bytes_read += len(data)
-        block = self._decode_template(data)
-        if block is None:
-            block = self._decode_generic(data)
+        with self.tracer.span("decode", tier="template") as span:
+            block = self._decode_template(data)
+            if block is None:
+                span.relabel(tier="block")
+                block = self._decode_generic(data)
+        self._observe_decode(len(data), len(block), span.duration)
         return block
+
+    def _observe_decode(
+        self, n_bytes: int, n_samples: int, duration: float | None
+    ) -> None:
+        """Update the throughput gauges after one decode call."""
+        self._bytes_gauge.set(n_bytes)
+        self._samples_gauge.set(n_samples)
+        if duration and n_samples:
+            self._throughput_gauge.set(n_samples / duration)
 
     def _empty_block(self) -> SampleBlock:
         return SampleBlock(
@@ -467,8 +501,11 @@ class ProtocolSampleSource:
         self.health.bytes_read += len(data)
         resyncs_before = self._decoder.resync_count
 
+        # Accumulate the per-packet count locally; one counter update per
+        # call keeps the scalar reference path's cost unchanged.
+        packets_decoded = 0
         for event in self._decoder.feed(data):
-            self.health.packets_decoded += 1
+            packets_decoded += 1
             if isinstance(event, Timestamp):
                 self._flush_sample(times, rows, markers, n_enabled)
                 self._current_time = self._unwrapper.update(event.micros)
@@ -479,6 +516,7 @@ class ProtocolSampleSource:
                 self._pending_sample[event.sensor] = event.value
                 self._pending_marker = self._pending_marker or event.marker
         self._flush_sample(times, rows, markers, n_enabled)
+        self.health.packets_decoded += packets_decoded
         self.health.packets_dropped += self._decoder.resync_count - resyncs_before
         self.health.samples_decoded += len(times)
 
@@ -516,13 +554,24 @@ class DirectSampleSource:
         baseboard: Baseboard,
         eeprom: VirtualEeprom,
         clock: VirtualClock | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.baseboard = baseboard
         self.eeprom = eeprom
         self.clock = clock or VirtualClock()
         self.clock.configure_ticks(baseboard.timing.output_interval_s)
         self.version = FIRMWARE_VERSION
-        self.health = StreamHealth()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(self.registry)
+        self.health = StreamHealth(self.registry)
+        self._samples_gauge = self.registry.gauge(
+            "decode_last_block_samples", help="samples in the last decoded block"
+        )
+        self._throughput_gauge = self.registry.gauge(
+            "decode_samples_per_second",
+            help="decode throughput of the last non-trivial block",
+        )
         self._marker_pending = 0
         self.streaming = False
 

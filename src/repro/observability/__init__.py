@@ -1,0 +1,63 @@
+"""Observability for the streaming stack: metrics, spans, exporters.
+
+The paper's evaluation is credible because the instrument reports on
+itself — sampling rate, losses, latency.  This package gives the host
+stack the same property: a lightweight :class:`MetricsRegistry`
+(counters, gauges, fixed-bucket histograms), monotonic-clock trace
+spans with parent/child nesting (:class:`Tracer`), and exporters
+(JSON-lines snapshots, Prometheus text format).
+
+Every layer of the receive path writes into one registry per bench:
+:class:`~repro.core.health.StreamHealth` is a view over registry
+counters, the sample sources time their decode tiers, the realtime
+driver times its pump loop, the recovery policy histograms its
+retries, and the fault injector mirrors its corruption counts — so a
+test can assert *injected equals observed*.  See
+``docs/observability.md``.
+"""
+
+from repro.observability.registry import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricsRegistry,
+    SNAPSHOT_SCHEMA,
+)
+from repro.observability.spans import (
+    NULL_SPAN,
+    SPAN_BUCKETS,
+    Span,
+    SpanRecord,
+    Tracer,
+)
+from repro.observability.export import (
+    parse_prometheus,
+    read_jsonl_snapshots,
+    render_prometheus,
+    summarize_registry,
+    write_jsonl_snapshot,
+    write_metrics,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "SNAPSHOT_SCHEMA",
+    "SPAN_BUCKETS",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "parse_prometheus",
+    "read_jsonl_snapshots",
+    "render_prometheus",
+    "summarize_registry",
+    "write_jsonl_snapshot",
+    "write_metrics",
+]

@@ -1,0 +1,305 @@
+"""Exporters: JSON-lines snapshots and Prometheus text format.
+
+Two serialisations of a :class:`~repro.observability.registry.MetricsRegistry`:
+
+* **JSON lines** — one complete snapshot per line, appended, so a
+  long-running tool leaves a time series of snapshots behind.  Each
+  line is the registry snapshot plus optional recent trace spans.
+* **Prometheus text format** — the ``# HELP`` / ``# TYPE`` exposition
+  format, renderable from any snapshot and re-parseable
+  (:func:`parse_prometheus`), which the property tests use to prove the
+  rendering lossless.
+
+:func:`write_metrics` is the CLI entry point: a ``.prom`` suffix
+selects Prometheus text (overwritten in place, as a scrape target
+would be), anything else appends JSON lines.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import IO
+
+from repro.observability.registry import (
+    MetricsRegistry,
+    SNAPSHOT_SCHEMA,
+    _label_key,
+)
+from repro.observability.spans import Tracer
+
+# --------------------------------------------------------------------- #
+# JSON lines                                                            #
+# --------------------------------------------------------------------- #
+
+
+def write_jsonl_snapshot(
+    target: str | Path | IO[str],
+    registry: MetricsRegistry,
+    tracer: Tracer | None = None,
+    meta: dict | None = None,
+) -> None:
+    """Append one snapshot line to ``target`` (path or text stream)."""
+    record = dict(registry.snapshot())
+    record["unix_time"] = time.time()
+    if meta:
+        record["meta"] = dict(meta)
+    if tracer is not None and tracer.records():
+        record["spans"] = [r.to_dict() for r in tracer.records()]
+    line = json.dumps(record, sort_keys=True) + "\n"
+    if hasattr(target, "write"):
+        target.write(line)
+    else:
+        with open(target, "a", encoding="ascii") as stream:
+            stream.write(line)
+
+
+def read_jsonl_snapshots(path: str | Path) -> list[dict]:
+    """All snapshot records in a JSON-lines metrics file, oldest first."""
+    records = []
+    with open(path, "r", encoding="ascii") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+# --------------------------------------------------------------------- #
+# Prometheus text format                                                #
+# --------------------------------------------------------------------- #
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _unescape(value: str) -> str:
+    out, i = [], 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, "\\" + nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape(str(v))}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):  # guard: bools are ints in Python
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prometheus(source: MetricsRegistry | dict) -> str:
+    """Render a registry (or snapshot) in Prometheus text format."""
+    snapshot = source.snapshot() if isinstance(source, MetricsRegistry) else source
+    lines: list[str] = []
+    announced: set[str] = set()
+    for entry in snapshot.get("metrics", []):
+        name = entry["name"]
+        labels = entry.get("labels", {})
+        if name not in announced:
+            announced.add(name)
+            if entry.get("help"):
+                lines.append(f"# HELP {name} {_escape(entry['help'])}")
+            lines.append(f"# TYPE {name} {entry['type']}")
+        if entry["type"] in ("counter", "gauge"):
+            lines.append(
+                f"{name}{_format_labels(labels)} {_format_value(entry['value'])}"
+            )
+        else:  # histogram
+            cumulative = 0
+            for bound, count in zip(entry["buckets"], entry["counts"]):
+                cumulative += count
+                bucket_labels = {**labels, "le": _format_value(float(bound))}
+                lines.append(
+                    f"{name}_bucket{_format_labels(bucket_labels)} {cumulative}"
+                )
+            cumulative += entry["counts"][len(entry["buckets"])]
+            lines.append(
+                f"{name}_bucket{_format_labels({**labels, 'le': '+Inf'})} "
+                f"{cumulative}"
+            )
+            lines.append(
+                f"{name}_sum{_format_labels(labels)} {_format_value(entry['sum'])}"
+            )
+            lines.append(
+                f"{name}_count{_format_labels(labels)} {entry['count']}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def _parse_labels(text: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(text):
+        eq = text.index("=", i)
+        key = text[i:eq].strip().lstrip(",").strip()
+        assert text[eq + 1] == '"', f"malformed label in {text!r}"
+        j = eq + 2
+        raw = []
+        while text[j] != '"':
+            if text[j] == "\\":
+                raw.append(text[j : j + 2])
+                j += 2
+            else:
+                raw.append(text[j])
+                j += 1
+        labels[key] = _unescape("".join(raw))
+        i = j + 1
+    return labels
+
+
+def _parse_number(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        return float(token)
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse Prometheus text (as rendered above) back into a snapshot.
+
+    The inverse of :func:`render_prometheus` for output it produced —
+    the property tests round-trip through it.  Histogram series
+    (``_bucket``/``_sum``/``_count``) are folded back into one entry.
+    """
+    types: dict[str, str] = {}
+    helps: dict[str, str] = {}
+    metrics: dict[tuple, dict] = {}
+
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            helps[name] = _unescape(help_text)
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+
+        if "{" in line:
+            series = line[: line.index("{")]
+            rest = line[line.index("{") + 1 :]
+            label_text, _, value_text = rest.rpartition("} ")
+            labels = _parse_labels(label_text)
+        else:
+            series, _, value_text = line.partition(" ")
+            labels = {}
+        value = _parse_number(value_text.strip())
+
+        # Resolve the base metric this series belongs to.
+        base, field = series, "value"
+        for suffix in ("_bucket", "_sum", "_count"):
+            candidate = series[: -len(suffix)] if series.endswith(suffix) else None
+            if candidate and types.get(candidate) == "histogram":
+                base, field = candidate, suffix[1:]
+                break
+        kind = types.get(base, "gauge")
+        le = labels.pop("le", None)
+        key = (base, _label_key(labels))
+        entry = metrics.get(key)
+        if entry is None:
+            entry = {"name": base, "type": kind}
+            if helps.get(base):
+                entry["help"] = helps[base]
+            if labels:
+                entry["labels"] = dict(sorted(labels.items()))
+            if kind == "histogram":
+                entry.update({"buckets": [], "counts": [], "sum": 0.0, "count": 0})
+                entry["_cumulative"] = []
+            metrics[key] = entry
+
+        if kind != "histogram":
+            entry["value"] = value
+        elif field == "bucket":
+            if le == "+Inf":
+                entry["_inf"] = value
+            else:
+                entry["buckets"].append(float(le))
+                entry["_cumulative"].append(value)
+        elif field == "sum":
+            entry["sum"] = value if isinstance(value, float) else float(value)
+        elif field == "count":
+            entry["count"] = value
+
+    # De-cumulate histogram buckets.
+    for entry in metrics.values():
+        if entry["type"] != "histogram":
+            continue
+        cumulative = entry.pop("_cumulative")
+        counts, previous = [], 0
+        for c in cumulative:
+            counts.append(c - previous)
+            previous = c
+        counts.append(entry.pop("_inf", entry["count"]) - previous)
+        entry["counts"] = counts
+
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "metrics": [metrics[k] for k in sorted(metrics)],
+    }
+
+
+# --------------------------------------------------------------------- #
+# Human-readable summary + CLI entry point                              #
+# --------------------------------------------------------------------- #
+
+
+def summarize_registry(registry: MetricsRegistry, indent: str = "  ") -> str:
+    """A compact human-readable rendering for ``psinfo --metrics``."""
+    lines = ["metrics summary:"]
+    for metric in registry.metrics():
+        labels = ",".join(
+            f"{k}={v}" for k, v in sorted(metric.labels.items())
+        )
+        name = f"{metric.name}{{{labels}}}" if labels else metric.name
+        if metric.kind == "histogram":
+            lines.append(
+                f"{indent}{name} count={metric.count} mean={metric.mean:.3g} "
+                f"p50={metric.quantile(0.5):.3g} p99={metric.quantile(0.99):.3g}"
+            )
+        else:
+            value = metric.value
+            shown = f"{value:.6g}" if isinstance(value, float) else str(value)
+            lines.append(f"{indent}{name} {shown}")
+    if len(lines) == 1:
+        lines.append(f"{indent}(no metrics recorded)")
+    return "\n".join(lines)
+
+
+def write_metrics(
+    path: str | Path,
+    registry: MetricsRegistry,
+    tracer: Tracer | None = None,
+    meta: dict | None = None,
+) -> None:
+    """Write a metrics file: ``.prom`` => Prometheus text, else JSON lines."""
+    path = Path(path)
+    if path.suffix == ".prom":
+        path.write_text(render_prometheus(registry), encoding="ascii")
+    else:
+        write_jsonl_snapshot(path, registry, tracer=tracer, meta=meta)

@@ -1,0 +1,313 @@
+"""A lightweight, zero-dependency metrics registry.
+
+The streaming stack measures power; this module makes the stack
+*measurable about itself*.  Three metric kinds cover everything the
+receive path needs to report:
+
+* :class:`Counter` — a monotonically non-decreasing count (bytes read,
+  packets dropped, faults injected).  Decrementing is an error: a
+  counter that can go down is a gauge wearing the wrong name.
+* :class:`Gauge` — a point-in-time value that moves freely (last block
+  size, decode throughput).
+* :class:`Histogram` — fixed-bucket distribution of observations
+  (decode latency, retry spans).  Buckets are cumulative-friendly upper
+  bounds in the Prometheus ``le`` convention, plus an implicit ``+Inf``
+  overflow bucket, so quantiles can be estimated without retaining
+  samples.
+
+:class:`MetricsRegistry` owns the metrics: get-or-create by
+``(name, labels)``, snapshot to a pure-JSON dict, and merge snapshots
+from independent registries (counters and histograms add; gauges are
+right-biased).  Everything is plain Python on the GIL — increments are
+a handful of attribute operations, cheap enough for the hot path.
+
+A registry constructed with ``enabled=False`` keeps its counters live
+(they carry :class:`~repro.core.health.StreamHealth` semantics the
+library depends on) but turns gauges, histogram observations and trace
+spans into no-ops; ``benchmarks/streaming_report.py`` uses this to
+measure the instrumentation overhead.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from bisect import bisect_left
+
+SNAPSHOT_SCHEMA = "repro.observability/v1"
+
+#: Default histogram buckets: latencies from 1 µs to 10 s (seconds).
+DEFAULT_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 10.0,
+)
+
+
+def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Common surface of every metric: identity, help text, snapshotting."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, help: str = "", labels: dict[str, str] | None = None):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+
+    @property
+    def key(self) -> tuple:
+        return (self.name, _label_key(self.labels))
+
+    def to_dict(self) -> dict:
+        raise NotImplementedError
+
+    def _identity(self) -> dict:
+        out: dict = {"name": self.name, "type": self.kind}
+        if self.help:
+            out["help"] = self.help
+        if self.labels:
+            out["labels"] = {k: str(v) for k, v in sorted(self.labels.items())}
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        labels = ",".join(f"{k}={v}" for k, v in sorted(self.labels.items()))
+        return f"<{self.kind} {self.name}{{{labels}}}>"
+
+
+class Counter(Metric):
+    """A monotonically non-decreasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: dict | None = None):
+        super().__init__(name, help, labels)
+        self._value = 0
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        self._value += amount
+
+    def to_dict(self) -> dict:
+        return {**self._identity(), "value": self._value}
+
+
+class Gauge(Metric):
+    """A point-in-time value that can move in either direction."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labels: dict | None = None,
+                 enabled: bool = True):
+        super().__init__(name, help, labels)
+        self._value = 0.0
+        self._enabled = enabled
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        if self._enabled:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if self._enabled:
+            self._value += amount
+
+    def to_dict(self) -> dict:
+        return {**self._identity(), "value": self._value}
+
+
+class Histogram(Metric):
+    """Fixed-bucket histogram with quantile estimates.
+
+    ``bounds`` are strictly increasing finite upper bounds; an implicit
+    ``+Inf`` bucket catches the overflow.  An observation ``v`` lands in
+    the first bucket whose bound satisfies ``v <= bound`` (Prometheus
+    ``le`` semantics).  The invariants the property tests pin:
+    ``sum(bucket_counts) == count`` and every quantile estimate lies
+    within the bounds of the bucket holding that rank.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, buckets=DEFAULT_BUCKETS, help: str = "",
+                 labels: dict | None = None, enabled: bool = True):
+        super().__init__(name, help, labels)
+        bounds = [float(b) for b in buckets]
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket")
+        if any(not math.isfinite(b) for b in bounds):
+            raise ValueError(f"histogram {name!r} buckets must be finite")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram {name!r} buckets must strictly increase")
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # last = +Inf
+        self.sum = 0.0
+        self.count = 0
+        self._enabled = enabled
+
+    def observe(self, value: float) -> None:
+        if not self._enabled:
+            return
+        value = float(value)
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile from the bucket counts.
+
+        Linear interpolation inside the bucket that holds the target
+        rank; observations past the last finite bound clamp to it (the
+        histogram retains no maxima).  Returns 0.0 when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.bucket_counts):
+            if n == 0:
+                continue
+            if cumulative + n >= rank:
+                upper = self.bounds[i] if i < len(self.bounds) else self.bounds[-1]
+                if i >= len(self.bounds):
+                    return upper  # overflow bucket: clamp to the last bound
+                lower = self.bounds[i - 1] if i > 0 else 0.0
+                lower = min(lower, upper)
+                fraction = (rank - cumulative) / n
+                return lower + (upper - lower) * max(0.0, min(1.0, fraction))
+            cumulative += n
+        return self.bounds[-1]
+
+    def to_dict(self) -> dict:
+        return {
+            **self._identity(),
+            "buckets": list(self.bounds),
+            "counts": list(self.bucket_counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create metric store with snapshot and merge.
+
+    One registry spans one bench: the setup, link, sources, PowerSensor
+    and realtime driver all write into the same instance, so a single
+    snapshot describes the whole measurement.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self._metrics: dict[tuple, Metric] = {}
+
+    # -- get-or-create -------------------------------------------------- #
+
+    def _get(self, cls, name: str, help: str, labels: dict, **kwargs) -> Metric:
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, help=help, labels=labels, **kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"not {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._get(Gauge, name, help, labels, enabled=self.enabled)
+
+    def histogram(self, name: str, buckets=DEFAULT_BUCKETS, help: str = "",
+                  **labels) -> Histogram:
+        return self._get(
+            Histogram, name, help, labels, buckets=buckets, enabled=self.enabled
+        )
+
+    # -- introspection -------------------------------------------------- #
+
+    def metrics(self) -> list[Metric]:
+        """All metrics, deterministically ordered by (name, labels)."""
+        return [self._metrics[key] for key in sorted(self._metrics)]
+
+    def find(self, name: str, **labels) -> Metric | None:
+        """The metric registered under exactly (name, labels), if any."""
+        return self._metrics.get((name, _label_key(labels)))
+
+    def value(self, name: str, default: float = 0, **labels) -> int | float:
+        """Convenience: a counter/gauge value, or ``default`` if absent."""
+        metric = self.find(name, **labels)
+        return default if metric is None else metric.value
+
+    # -- snapshot / merge ----------------------------------------------- #
+
+    def snapshot(self) -> dict:
+        """A pure-JSON description of every metric (sorted, reproducible)."""
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "metrics": [m.to_dict() for m in self.metrics()],
+        }
+
+    @staticmethod
+    def merge_snapshots(first: dict, second: dict) -> dict:
+        """Merge two snapshots as if one registry had seen both workloads.
+
+        Counters and histograms add (histograms must share bucket
+        bounds); gauges are right-biased (``second`` wins where both
+        report).  Metrics present on one side only pass through.
+        """
+        def key(entry: dict) -> tuple:
+            return (entry["name"], _label_key(entry.get("labels", {})))
+
+        merged: dict[tuple, dict] = {key(e): json.loads(json.dumps(e))
+                                     for e in first.get("metrics", [])}
+        for entry in second.get("metrics", []):
+            k = key(entry)
+            entry = json.loads(json.dumps(entry))  # deep copy, keep it JSON
+            base = merged.get(k)
+            if base is None:
+                merged[k] = entry
+                continue
+            if base["type"] != entry["type"]:
+                raise ValueError(
+                    f"cannot merge {entry['name']!r}: "
+                    f"{base['type']} vs {entry['type']}"
+                )
+            if entry["type"] == "counter":
+                base["value"] += entry["value"]
+            elif entry["type"] == "gauge":
+                base["value"] = entry["value"]
+            else:  # histogram
+                if base["buckets"] != entry["buckets"]:
+                    raise ValueError(
+                        f"cannot merge histogram {entry['name']!r}: "
+                        f"bucket bounds differ"
+                    )
+                base["counts"] = [a + b for a, b in
+                                  zip(base["counts"], entry["counts"])]
+                base["sum"] += entry["sum"]
+                base["count"] += entry["count"]
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "metrics": [merged[k] for k in sorted(merged)],
+        }

@@ -28,8 +28,9 @@ class PowerSensorBackend(PmtBackend):
 
     def __init__(self, ps: PowerSensor) -> None:
         self.ps = ps
+        self.observe(ps.registry, getattr(ps, "tracer", None))
 
-    def read(self, at_time: float) -> PmtState:
+    def _read(self, at_time: float) -> PmtState:
         state = self.ps.read()
         if at_time < state.time:
             raise MeasurementError(
@@ -58,7 +59,7 @@ class _PolledApiBackend(PmtBackend):
     def _energy_between(self, start: float, stop: float) -> float:
         raise NotImplementedError
 
-    def read(self, at_time: float) -> PmtState:
+    def _read(self, at_time: float) -> PmtState:
         if self._t0 is None:
             self._t0 = at_time
         joules = 0.0
@@ -144,7 +145,7 @@ class RaplBackend(PmtBackend):
         self._accumulated = 0.0
         self._last_uj = 0
 
-    def read(self, at_time: float) -> PmtState:
+    def _read(self, at_time: float) -> PmtState:
         import numpy as np
 
         uj = int(self.domain.energy_uj(np.array([at_time]))[0])
@@ -165,7 +166,7 @@ class DummyBackend(PmtBackend):
 
     name = "dummy"
 
-    def read(self, at_time: float) -> PmtState:
+    def _read(self, at_time: float) -> PmtState:
         return PmtState(timestamp=at_time, joules=0.0, watts=0.0)
 
 

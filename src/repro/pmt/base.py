@@ -16,6 +16,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
 from repro.common.errors import MeasurementError
+from repro.observability import MetricsRegistry, Tracer
 
 
 @dataclass(frozen=True)
@@ -28,13 +29,48 @@ class PmtState:
 
 
 class PmtBackend(ABC):
-    """One sensor behind the PMT interface."""
+    """One sensor behind the PMT interface.
+
+    Subclasses implement :meth:`_read`; the public :meth:`read` wraps it
+    with optional observability — when a registry is bound (see
+    :meth:`observe`), every snapshot is timed as a ``pmt_read`` span and
+    counted in ``pmt_reads_total{backend=<name>}``.
+    """
 
     name: str = "abstract"
 
+    #: Observability handles; ``None`` until bound with :meth:`observe`
+    #: (``PowerSensorBackend`` adopts its PowerSensor's automatically).
+    registry: MetricsRegistry | None = None
+    tracer: Tracer | None = None
+
+    def observe(
+        self, registry: MetricsRegistry, tracer: Tracer | None = None
+    ) -> "PmtBackend":
+        """Bind this backend to a metrics registry; returns self."""
+        self.registry = registry
+        self.tracer = tracer if tracer is not None else Tracer(registry)
+        return self
+
     @abstractmethod
-    def read(self, at_time: float) -> PmtState:
+    def _read(self, at_time: float) -> PmtState:
         """Snapshot the sensor at a simulated time."""
+
+    def read(self, at_time: float) -> PmtState:
+        """Snapshot the sensor, recording the read if observability is bound."""
+        if self.registry is None:
+            return self._read(at_time)
+        with self.tracer.span("pmt_read", backend=self.name):
+            state = self._read(at_time)
+        self.registry.counter(
+            "pmt_reads_total", help="PMT snapshots served", backend=self.name
+        ).inc()
+        self.registry.gauge(
+            "pmt_last_watts",
+            help="instantaneous power at the last PMT read",
+            backend=self.name,
+        ).set(state.watts)
+        return state
 
     def dump(self, times) -> list[PmtState]:
         """Convenience: snapshot at each time in an iterable."""

@@ -30,6 +30,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.common.errors import ConfigurationError, TransportError
+from repro.observability import MetricsRegistry
 from repro.transport.link import VirtualSerialLink
 
 
@@ -248,11 +249,22 @@ class FaultySerialLink:
         models: list[FaultModel] | None = None,
         seed: int = 0,
         spare_control_plane: bool = True,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.link = link
         self.models = list(models or [])
         self.rng = np.random.default_rng(seed)
         self.spare_control_plane = spare_control_plane
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._mirrored = [0] * len(self.models)
+        self._fault_counters = [
+            self.registry.counter(
+                "faults_injected_total",
+                help="corruptions injected by the fault layer, per model",
+                model=model.name,
+            )
+            for model in self.models
+        ]
 
     # -- pass-through surface ------------------------------------------ #
 
@@ -282,9 +294,21 @@ class FaultySerialLink:
     def _apply(self, data: bytes) -> bytes:
         if self.spare_control_plane and not self.link.firmware.streaming:
             return data
-        for model in self.models:
-            data = model.transform(data, self.rng)
+        try:
+            for model in self.models:
+                data = model.transform(data, self.rng)
+        finally:
+            # Mirror injected counts into the registry even when a model
+            # raises (PartialReads overflow), so injected == observed holds.
+            self._mirror_injected()
         return data
+
+    def _mirror_injected(self) -> None:
+        for i, model in enumerate(self.models):
+            delta = model.injected - self._mirrored[i]
+            if delta:
+                self._fault_counters[i].inc(delta)
+                self._mirrored[i] = model.injected
 
     def read(self, n: int | None = None) -> bytes:
         return self._apply(self.link.read(n))

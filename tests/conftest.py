@@ -21,15 +21,31 @@ def make_loaded_setup(
     direct: bool = True,
     seed: int = 0,
     calibration_samples: int = 8192,
+    **setup_kwargs,
 ) -> SimulatedSetup:
-    """A one-module bench driving a constant load (shared helper)."""
+    """A one-module bench driving a constant load (shared helper).
+
+    Extra keyword arguments (``faults``, ``recovery``, ``vectorized``,
+    ``registry``, ...) pass straight through to :class:`SimulatedSetup`.
+    """
     setup = SimulatedSetup(
-        [module], seed=seed, direct=direct, calibration_samples=calibration_samples
+        [module],
+        seed=seed,
+        direct=direct,
+        calibration_samples=calibration_samples,
+        **setup_kwargs,
     )
     load = ElectronicLoad()
     load.set_current(amps)
     setup.connect(0, LoadedSupplyRail(LabSupply(volts), load))
     return setup
+
+
+def make_faulty_setup(faults, seed: int = 0, amps: float = 4.0, **kwargs) -> SimulatedSetup:
+    """A protocol-path bench with fault injection on the serial link."""
+    return make_loaded_setup(
+        amps=amps, direct=False, seed=seed, faults=faults, **kwargs
+    )
 
 
 @pytest.fixture

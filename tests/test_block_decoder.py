@@ -9,11 +9,10 @@ on byte-identical wire streams, clean and fault-injected.
 
 from __future__ import annotations
 
-import dataclasses
-
 import numpy as np
 import pytest
 
+from repro.core.health import StreamHealth
 from repro.core.setup import SimulatedSetup
 from repro.dut.instruments import ElectronicLoad, LabSupply, LoadedSupplyRail
 from repro.firmware.protocol import (
@@ -205,7 +204,10 @@ def _collect(n_pairs: int, faults: str | None, seed: int, vectorized: bool):
     times = np.concatenate([b.times for b in blocks])
     values = np.concatenate([b.values for b in blocks])
     markers = np.concatenate([b.markers for b in blocks])
-    health = dataclasses.asdict(source.health)
+    health = source.health.as_dict()
+    # StreamHealth is a view over registry counters: both sides of the
+    # view must agree byte-for-byte in every fuzzed fault scenario.
+    assert health == StreamHealth.counters_in(setup.registry)
     enabled = blocks[0].enabled
     setup.close()
     return times, values, markers, health, enabled

@@ -205,6 +205,172 @@ def test_psinfo_survives_lossy_stream(capsys):
     assert "total power" in capsys.readouterr().out
 
 
+# --------------------------------------------------------------------- #
+# Observability surface: --metrics, stats lines, metric summaries       #
+# --------------------------------------------------------------------- #
+
+import re
+
+from repro.cli.common import run_with_diagnostics
+from repro.common.errors import (
+    CalibrationError,
+    ConfigurationError,
+    DeviceError,
+    MeasurementError,
+    ProtocolError,
+    ReproError,
+    StreamStalledError,
+    TransportError,
+)
+from repro.observability import (
+    MetricsRegistry,
+    parse_prometheus,
+    read_jsonl_snapshots,
+)
+
+
+@pytest.mark.parametrize(
+    "error_cls,expected",
+    [
+        (ReproError, 68),
+        (StreamStalledError, 69),
+        (MeasurementError, 70),
+        (TransportError, 71),
+        (ProtocolError, 72),
+        (DeviceError, 73),
+        (ConfigurationError, 74),
+        (CalibrationError, 75),
+    ],
+)
+def test_metrics_written_on_every_degraded_exit_status(
+    tmp_path, capsys, error_cls, expected
+):
+    """A degraded run must still leave its metrics file behind."""
+    registry = MetricsRegistry()
+    registry.counter("work_total").inc(5)
+    path = tmp_path / "metrics.jsonl"
+
+    def body() -> int:
+        raise error_cls("injected for the exit-status test")
+
+    code = run_with_diagnostics(
+        "tool", body, metrics_path=str(path), registry=registry
+    )
+    assert code == expected
+    assert error_cls.__name__ in capsys.readouterr().err
+    (record,) = read_jsonl_snapshots(path)
+    assert record["meta"] == {"tool": "tool", "exit_status": expected}
+    assert record["metrics"][0]["value"] == 5
+
+
+def test_psrun_dead_stream_still_writes_metrics(tmp_path, capsys):
+    path = tmp_path / "metrics.jsonl"
+    code = psrun.main(
+        PROTO
+        + ["--faults", "dead", "--metrics", str(path), "--", sys.executable, "-c", "pass"]
+    )
+    assert code == 69
+    (record,) = read_jsonl_snapshots(path)
+    assert record["meta"]["exit_status"] == 69
+    by_name = {m["name"]: m for m in record["metrics"]}
+    assert by_name["stream_stalls_total"]["value"] >= 1
+    assert by_name["stream_retries_total"]["value"] >= 1
+    assert by_name["faults_injected_total"]["value"] >= 1
+
+
+def test_psinfo_bad_config_still_writes_metrics(tmp_path, capsys):
+    path = tmp_path / "metrics.jsonl"
+    code = psinfo.main(FAST + ["--faults", "drop:0.1", "--metrics", str(path)])
+    assert code == 74  # ConfigurationError before the bench even exists
+    (record,) = read_jsonl_snapshots(path)
+    assert record["meta"] == {"tool": "psinfo", "exit_status": 74}
+
+
+def test_pstest_metrics_prometheus_format(tmp_path, capsys):
+    path = tmp_path / "metrics.prom"
+    assert pstest.main(FAST + ["--intervals", "1", "--metrics", str(path)]) == 0
+    snapshot = parse_prometheus(path.read_text())
+    by_name = {m["name"]: m for m in snapshot["metrics"]}
+    assert by_name["stream_samples_decoded_total"]["value"] > 0
+    assert by_name["decode_last_block_samples"]["type"] == "gauge"
+
+
+def test_psrun_metrics_jsonl_records_spans(tmp_path, capsys):
+    path = tmp_path / "metrics.jsonl"
+    code = psrun.main(
+        FAST
+        + ["--time-scale", "5", "--metrics", str(path), "--", sys.executable, "-c", "pass"]
+    )
+    assert code == 0
+    (record,) = read_jsonl_snapshots(path)
+    assert record["meta"] == {"tool": "psrun", "exit_status": 0}
+    assert any(s["name"] == "command" for s in record.get("spans", []))
+
+
+def test_psmonitor_emits_stats_lines(capsys):
+    from repro.cli import psmonitor
+
+    args = FAST + ["--duration", "1", "--interval", "0.5", "--fast"]
+    assert psmonitor.main(args) == 0
+    err = capsys.readouterr().err
+    stats = [line for line in err.splitlines() if line.startswith("stats:")]
+    assert len(stats) == 2  # one per reporting interval
+    pattern = (
+        r"stats: samples=\d+ dropped=\d+ retries=\d+ gaps=\d+ sps=[\d.e+-]+"
+    )
+    assert all(re.fullmatch(pattern, line) for line in stats)
+    # samples counts are cumulative across intervals
+    counts = [int(re.search(r"samples=(\d+)", line).group(1)) for line in stats]
+    assert counts[0] > 0 and counts[1] >= counts[0]
+
+
+def test_psmonitor_writes_metrics_file(tmp_path, capsys):
+    from repro.cli import psmonitor
+
+    path = tmp_path / "metrics.jsonl"
+    args = FAST + ["--duration", "0.2", "--interval", "0.1", "--fast",
+                   "--metrics", str(path)]
+    assert psmonitor.main(args) == 0
+    (record,) = read_jsonl_snapshots(path)
+    by_name = {m["name"]: m for m in record["metrics"]}
+    assert by_name["stream_samples_decoded_total"]["value"] > 0
+
+
+def test_psinfo_metrics_summary_flag(capsys):
+    assert psinfo.main(FAST + ["--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "metrics summary:" in out
+    assert "stream_samples_decoded_total" in out
+
+
+def test_psinfo_metrics_summary_with_path(tmp_path, capsys):
+    path = tmp_path / "metrics.jsonl"
+    assert psinfo.main(FAST + ["--metrics", str(path)]) == 0
+    assert "metrics summary:" in capsys.readouterr().out
+    (record,) = read_jsonl_snapshots(path)
+    assert record["meta"] == {"tool": "psinfo", "exit_status": 0}
+
+
+def test_psplot_metrics_records_spans(tmp_path, capsys):
+    from repro.cli import psplot
+
+    dump = tmp_path / "plot.dump"
+    assert pstest.main(FAST + ["--intervals", "1", "--dump", str(dump)]) == 0
+    path = tmp_path / "metrics.jsonl"
+    assert psplot.main([str(dump), "--metrics", str(path)]) == 0
+    (record,) = read_jsonl_snapshots(path)
+    names = {s["name"] for s in record["spans"]}
+    assert {"read_dump", "render"} <= names
+    by_name = {m["name"]: m for m in record["metrics"]}
+    assert by_name["plot_samples"]["value"] > 0
+
+
+def test_psconfig_writes_metrics_file(tmp_path, capsys):
+    path = tmp_path / "metrics.prom"
+    assert psconfig.main(FAST + ["--sensor", "0", "--metrics", str(path)]) == 0
+    assert "# TYPE" in path.read_text()
+
+
 def test_exit_status_mapping_is_distinct():
     from repro.cli.common import exit_status
     from repro.common.errors import (

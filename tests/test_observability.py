@@ -1,0 +1,367 @@
+"""Property tests for the observability layer.
+
+Hypothesis drives the registry through random op sequences and checks
+the structural invariants the rest of the stack relies on: counters
+never decrease, histogram bucket counts always sum to the observation
+count, snapshots survive JSON and Prometheus round trips losslessly,
+and merging two snapshots equals one registry having seen both
+workloads.  Deterministic unit tests cover the span tracer and the
+StreamHealth view.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.health import HEALTH_COUNTERS, StreamHealth
+from repro.observability import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    NULL_SPAN,
+    Tracer,
+    parse_prometheus,
+    read_jsonl_snapshots,
+    render_prometheus,
+    summarize_registry,
+    write_jsonl_snapshot,
+    write_metrics,
+)
+
+# --------------------------------------------------------------------- #
+# Strategies                                                            #
+# --------------------------------------------------------------------- #
+
+#: Label values exercise the Prometheus escaping: quotes, backslashes,
+#: newlines, braces, separators.
+_LABEL_VALUES = st.text(alphabet='ab"\\\n}= ,', max_size=6)
+
+#: Fixed bounds so same-name histograms always merge.
+_BUCKETS = (1.0, 2.0, 5.0, 10.0, 50.0)
+
+#: Integer-valued amounts keep float addition associative, so merged
+#: snapshots compare exactly against sequential application.
+_counter_ops = st.tuples(
+    st.just("counter"),
+    st.sampled_from(["c_reads", "c_writes"]),
+    _LABEL_VALUES,
+    st.integers(0, 1000),
+)
+_gauge_ops = st.tuples(
+    st.just("gauge"),
+    st.sampled_from(["g_depth", "g_rate"]),
+    _LABEL_VALUES,
+    st.integers(-1000, 1000),
+)
+_hist_ops = st.tuples(
+    st.just("hist"),
+    st.sampled_from(["h_latency", "h_size"]),
+    _LABEL_VALUES,
+    st.integers(-100, 100),
+)
+_OPS = st.lists(st.one_of(_counter_ops, _gauge_ops, _hist_ops), max_size=30)
+
+
+def _apply(registry: MetricsRegistry, ops) -> None:
+    for kind, name, label, value in ops:
+        if kind == "counter":
+            registry.counter(name, help="a counter", tag=label).inc(value)
+        elif kind == "gauge":
+            registry.gauge(name, help="a gauge", tag=label).set(float(value))
+        else:
+            registry.histogram(
+                name, buckets=_BUCKETS, help="a histogram", tag=label
+            ).observe(float(value))
+
+
+# --------------------------------------------------------------------- #
+# Counter monotonicity                                                  #
+# --------------------------------------------------------------------- #
+
+
+@given(st.lists(st.integers(0, 10**6), max_size=20), st.integers(1, 10**6))
+def test_counter_is_sum_of_increments_and_rejects_decrease(amounts, negative):
+    counter = Counter("c")
+    for amount in amounts:
+        counter.inc(amount)
+    assert counter.value == sum(amounts)
+    with pytest.raises(ValueError):
+        counter.inc(-negative)
+    assert counter.value == sum(amounts)  # failed dec leaves value intact
+
+
+def test_registry_rejects_kind_mismatch():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(ValueError, match="registered as counter"):
+        registry.gauge("x")
+
+
+# --------------------------------------------------------------------- #
+# Histogram invariants                                                  #
+# --------------------------------------------------------------------- #
+
+
+@given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), max_size=50))
+@settings(deadline=None)
+def test_histogram_bucket_counts_sum_to_count(values):
+    hist = Histogram("h", buckets=_BUCKETS)
+    for v in values:
+        hist.observe(v)
+    assert sum(hist.bucket_counts) == hist.count == len(values)
+    assert hist.sum == pytest.approx(sum(values))
+    # Every observation lands in the first bucket with v <= bound.
+    expected = [0] * (len(_BUCKETS) + 1)
+    for v in values:
+        idx = next(
+            (i for i, bound in enumerate(_BUCKETS) if v <= bound), len(_BUCKETS)
+        )
+        expected[idx] += 1
+    assert hist.bucket_counts == expected
+
+
+@given(st.lists(st.floats(-100, 1000, allow_nan=False), min_size=1, max_size=50))
+@settings(deadline=None)
+def test_histogram_quantiles_bounded_and_monotone(values):
+    hist = Histogram("h", buckets=_BUCKETS)
+    for v in values:
+        hist.observe(v)
+    qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+    estimates = [hist.quantile(q) for q in qs]
+    for estimate in estimates:
+        assert 0.0 <= estimate <= _BUCKETS[-1]
+    assert all(a <= b for a, b in zip(estimates, estimates[1:]))
+
+
+def test_histogram_rejects_bad_buckets():
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=())
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=(1.0, 1.0))
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=(1.0, float("inf")))
+
+
+# --------------------------------------------------------------------- #
+# Snapshot round trips and merge                                        #
+# --------------------------------------------------------------------- #
+
+
+@given(_OPS)
+@settings(deadline=None)
+def test_snapshot_survives_json_round_trip(ops):
+    registry = MetricsRegistry()
+    _apply(registry, ops)
+    snapshot = registry.snapshot()
+    assert json.loads(json.dumps(snapshot)) == snapshot
+
+
+@given(_OPS, _OPS)
+@settings(deadline=None)
+def test_merge_equals_sequential_application(ops1, ops2):
+    """merge(snap(A), snap(B)) == snap(registry that saw A then B)."""
+    first, second, combined = (MetricsRegistry() for _ in range(3))
+    _apply(first, ops1)
+    _apply(second, ops2)
+    _apply(combined, ops1)
+    _apply(combined, ops2)
+    merged = MetricsRegistry.merge_snapshots(first.snapshot(), second.snapshot())
+    assert merged == combined.snapshot()
+
+
+def test_merge_rejects_mismatched_shapes():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("x").inc()
+    b.gauge("x").set(1.0)
+    with pytest.raises(ValueError, match="cannot merge"):
+        MetricsRegistry.merge_snapshots(a.snapshot(), b.snapshot())
+    a2, b2 = MetricsRegistry(), MetricsRegistry()
+    a2.histogram("h", buckets=(1.0, 2.0)).observe(1.0)
+    b2.histogram("h", buckets=(1.0, 3.0)).observe(1.0)
+    with pytest.raises(ValueError, match="bucket bounds differ"):
+        MetricsRegistry.merge_snapshots(a2.snapshot(), b2.snapshot())
+
+
+@given(_OPS)
+@settings(deadline=None)
+def test_prometheus_rendering_reparses_to_same_snapshot(ops):
+    """The text exposition format is lossless for what we render."""
+    registry = MetricsRegistry()
+    _apply(registry, ops)
+    assert parse_prometheus(render_prometheus(registry)) == registry.snapshot()
+
+
+# --------------------------------------------------------------------- #
+# StreamHealth as a registry view                                       #
+# --------------------------------------------------------------------- #
+
+_HEALTH_OPS = st.lists(
+    st.tuples(st.sampled_from(sorted(HEALTH_COUNTERS)), st.integers(0, 1000)),
+    max_size=30,
+)
+
+
+@given(_HEALTH_OPS)
+@settings(deadline=None)
+def test_stream_health_view_equals_registry_counters(ops):
+    registry = MetricsRegistry()
+    health = StreamHealth(registry)
+    totals = dict.fromkeys(HEALTH_COUNTERS, 0)
+    for field, amount in ops:
+        setattr(health, field, getattr(health, field) + amount)
+        totals[field] += amount
+    assert health.as_dict() == totals
+    assert health.as_dict() == StreamHealth.counters_in(registry)
+
+
+def test_stream_health_rejects_decrease_and_unknown_fields():
+    health = StreamHealth()
+    health.bytes_read += 10
+    with pytest.raises(ValueError):
+        health.bytes_read = 5
+    with pytest.raises(AttributeError):
+        health.not_a_counter = 1
+    with pytest.raises(AttributeError):
+        _ = health.not_a_counter
+
+
+def test_stream_health_equality_and_degraded():
+    a, b = StreamHealth(), StreamHealth()
+    assert a == b and not a.degraded
+    a.retries += 1
+    assert a != b and a.degraded
+    assert StreamHealth.counters_in(MetricsRegistry()) == b.as_dict()
+
+
+# --------------------------------------------------------------------- #
+# Spans                                                                 #
+# --------------------------------------------------------------------- #
+
+
+def test_spans_nest_record_and_relabel():
+    registry = MetricsRegistry()
+    tracer = Tracer(registry)
+    with tracer.span("outer"):
+        with tracer.span("inner", tier="template") as span:
+            span.relabel(tier="block")
+    records = tracer.records()
+    assert [r.name for r in records] == ["inner", "outer"]
+    assert records[0].parent == "outer"
+    assert records[1].parent is None
+    assert records[0].labels == {"tier": "block"}
+    assert all(r.duration >= 0.0 for r in records)
+    hist = registry.find("span_seconds", span="inner", tier="block")
+    assert hist is not None and hist.count == 1
+    assert registry.value("spans_total", span="outer") == 1
+
+
+def test_disabled_registry_spans_are_noops():
+    tracer = Tracer(MetricsRegistry(enabled=False))
+    span = tracer.span("decode", tier="template")
+    assert span is NULL_SPAN
+    with span:
+        span.relabel(tier="block")
+    assert tracer.records() == []
+
+
+def test_disabled_registry_keeps_counters_but_mutes_the_rest():
+    registry = MetricsRegistry(enabled=False)
+    registry.counter("c").inc(3)
+    registry.gauge("g").set(5.0)
+    registry.histogram("h").observe(1.0)
+    assert registry.value("c") == 3  # counters carry health semantics
+    assert registry.value("g") == 0.0
+    assert registry.find("h").count == 0
+
+
+def test_span_stacks_are_per_thread():
+    tracer = Tracer(MetricsRegistry())
+    parents = []
+
+    def worker():
+        with tracer.span("child") as span:
+            pass
+        parents.append(span.parent)
+
+    with tracer.span("outer"):
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+    assert parents == [None]  # the other thread's stack was empty
+
+
+def test_tracer_record_buffer_is_bounded():
+    tracer = Tracer(MetricsRegistry(), max_records=4)
+    for i in range(10):
+        with tracer.span(f"s{i}"):
+            pass
+    records = tracer.records()
+    assert len(records) == 4
+    assert [r.name for r in records] == ["s6", "s7", "s8", "s9"]
+
+
+# --------------------------------------------------------------------- #
+# Exporters                                                             #
+# --------------------------------------------------------------------- #
+
+
+def test_jsonl_snapshots_append_and_read_back(tmp_path):
+    path = tmp_path / "metrics.jsonl"
+    registry = MetricsRegistry()
+    registry.counter("c").inc(2)
+    write_jsonl_snapshot(path, registry, meta={"tool": "test"})
+    registry.counter("c").inc(3)
+    write_jsonl_snapshot(path, registry)
+    records = read_jsonl_snapshots(path)
+    assert len(records) == 2
+    assert records[0]["meta"] == {"tool": "test"}
+    assert records[0]["metrics"][0]["value"] == 2
+    assert records[1]["metrics"][0]["value"] == 5
+    assert all("unix_time" in r for r in records)
+
+
+def test_write_metrics_selects_format_by_suffix(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("requests_total", help="served").inc(7)
+    prom = tmp_path / "metrics.prom"
+    write_metrics(prom, registry)
+    write_metrics(prom, registry)  # .prom overwrites, as a scrape target
+    text = prom.read_text()
+    assert "# TYPE requests_total counter" in text
+    assert parse_prometheus(text) == registry.snapshot()
+    jsonl = tmp_path / "metrics.jsonl"
+    write_metrics(jsonl, registry)
+    write_metrics(jsonl, registry)  # JSON lines append
+    assert len(read_jsonl_snapshots(jsonl)) == 2
+
+
+def test_jsonl_snapshot_includes_spans(tmp_path):
+    registry = MetricsRegistry()
+    tracer = Tracer(registry)
+    with tracer.span("work", phase="test"):
+        pass
+    path = tmp_path / "metrics.jsonl"
+    write_jsonl_snapshot(path, registry, tracer=tracer)
+    (record,) = read_jsonl_snapshots(path)
+    (span,) = record["spans"]
+    assert span["name"] == "work"
+    assert span["labels"] == {"phase": "test"}
+
+
+def test_summarize_registry_renders_all_kinds():
+    registry = MetricsRegistry()
+    assert "(no metrics recorded)" in summarize_registry(registry)
+    registry.counter("c_total", help="count").inc(4)
+    registry.gauge("g", help="gauge").set(2.5)
+    hist = registry.histogram("h", buckets=_BUCKETS, help="hist")
+    for v in (1.0, 2.0, 3.0):
+        hist.observe(v)
+    text = summarize_registry(registry)
+    assert text.startswith("metrics summary:")
+    assert "c_total 4" in text
+    assert "g 2.5" in text
+    assert "h count=3" in text and "p50=" in text and "p99=" in text

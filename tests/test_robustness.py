@@ -11,7 +11,7 @@ import pytest
 from repro.core.sources import ProtocolSampleSource
 from repro.core.setup import SimulatedSetup
 from repro.dut.instruments import ElectronicLoad, LabSupply, LoadedSupplyRail
-from tests.conftest import make_loaded_setup
+from tests.conftest import make_faulty_setup, make_loaded_setup
 
 
 def corrupting_setup(seed=0):
@@ -135,12 +135,7 @@ def test_zero_current_setpoint_and_negative_loads():
     assert block.pair_current(0).mean() == pytest.approx(0.0, abs=0.05)
     setup.close()
 
-    negative = SimulatedSetup(
-        ["pcie_slot_12v"], seed=5, direct=True, calibration_samples=8192
-    )
-    load = ElectronicLoad()
-    load.set_current(-5.0)
-    negative.connect(0, LoadedSupplyRail(LabSupply(12.0), load))
+    negative = make_loaded_setup(amps=-5.0, seed=5)
     negative.ps.pump_seconds(0.01)
     block = negative.ps.pump(2000)
     assert block.pair_current(0).mean() == pytest.approx(-5.0, abs=0.1)
@@ -150,12 +145,7 @@ def test_zero_current_setpoint_and_negative_loads():
 
 def test_current_beyond_range_clips_visibly():
     """Overdriving a module saturates the reading instead of wrapping."""
-    setup = SimulatedSetup(
-        ["pcie_slot_12v"], seed=6, direct=True, calibration_samples=8192
-    )
-    load = ElectronicLoad()
-    load.set_current(25.0)  # 2.5x the module's range
-    setup.connect(0, LoadedSupplyRail(LabSupply(12.0), load))
+    setup = make_loaded_setup(amps=25.0, seed=6)  # 2.5x the module's range
     setup.ps.pump_seconds(0.01)
     block = setup.ps.pump(1000)
     reading = block.pair_current(0).mean()
@@ -258,15 +248,7 @@ def test_no_fault_wrapper_is_byte_identical():
 
 
 def test_faulty_setup_decodes_most_samples_and_accounts_drops():
-    setup = _Setup(
-        ["pcie_slot_12v"],
-        seed=12,
-        calibration_samples=8192,
-        faults="drop:0.002",
-    )
-    load = ElectronicLoad()
-    load.set_current(4.0)
-    setup.connect(0, LoadedSupplyRail(LabSupply(12.0), load))
+    setup = make_faulty_setup("drop:0.002", seed=12)
     block = setup.ps.pump(5000)
     health = setup.ps.health
     assert 4500 <= len(block) <= 5000
@@ -292,15 +274,7 @@ def test_stream_health_accounts_every_packet_on_single_drop():
 
 
 def test_burst_faults_resync_and_bridge_gaps():
-    setup = _Setup(
-        ["pcie_slot_12v"],
-        seed=14,
-        calibration_samples=8192,
-        faults="burst:0.2@64",
-    )
-    load = ElectronicLoad()
-    load.set_current(4.0)
-    setup.connect(0, LoadedSupplyRail(LabSupply(12.0), load))
+    setup = make_faulty_setup("burst:0.2@64", seed=14)
     for _ in range(20):
         setup.ps.pump(100)
     health = setup.ps.health
@@ -327,15 +301,7 @@ class _TransientBlackout(FaultModel):
 
 
 def test_recovery_policy_retries_through_transient_blackout():
-    setup = _Setup(
-        ["pcie_slot_12v"],
-        seed=15,
-        calibration_samples=8192,
-        faults=[_TransientBlackout(2)],
-    )
-    load = ElectronicLoad()
-    load.set_current(4.0)
-    setup.connect(0, LoadedSupplyRail(LabSupply(12.0), load))
+    setup = make_faulty_setup([_TransientBlackout(2)], seed=15)
     block = setup.ps.pump(50)
     health = setup.ps.health
     assert len(block) > 0  # recovered within the retry budget
@@ -346,12 +312,7 @@ def test_recovery_policy_retries_through_transient_blackout():
 
 
 def test_retry_exhaustion_raises_stream_stalled():
-    setup = _Setup(
-        ["pcie_slot_12v"],
-        seed=16,
-        calibration_samples=8192,
-        faults="dead",
-    )
+    setup = make_faulty_setup("dead", seed=16)
     with pytest.raises(StreamStalledError):
         setup.ps.pump(100)
     assert setup.ps.health.stalls == 1
@@ -360,13 +321,7 @@ def test_retry_exhaustion_raises_stream_stalled():
 
 
 def test_recovery_disabled_returns_empty_block():
-    setup = _Setup(
-        ["pcie_slot_12v"],
-        seed=17,
-        calibration_samples=8192,
-        faults="dead",
-        recovery=None,
-    )
+    setup = make_faulty_setup("dead", seed=17, recovery=None)
     block = setup.ps.pump(100)
     assert len(block) == 0
     assert setup.ps.health.empty_reads == 1
@@ -376,6 +331,67 @@ def test_recovery_disabled_returns_empty_block():
 def test_direct_path_rejects_fault_injection():
     with pytest.raises(_ConfigurationError):
         _Setup(["pcie_slot_12v"], direct=True, faults="drop:0.1")
+
+
+# --------------------------------------------------------------------- #
+# Observability: injected faults == registry-observed faults            #
+# --------------------------------------------------------------------- #
+
+from repro.core.health import StreamHealth  # noqa: E402
+from repro.observability import MetricsRegistry  # noqa: E402
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "drop:0.01",
+        "flip:0.005",
+        "partial:0.3",
+        "stall:0.3@3",
+        "burst:0.2@64",
+        "drop:0.01, flip:0.005, burst:0.1@32",
+        "dead",
+    ],
+)
+def test_injected_fault_counts_match_registry(spec):
+    """Every corruption a fault model injects lands in the registry.
+
+    The fault layer mirrors each model's ``injected`` count into
+    ``faults_injected_total{model=...}``; after any amount of streaming
+    (including a stalled stream) the two books must balance exactly, and
+    the StreamHealth view must equal its registry counters.
+    """
+    setup = make_faulty_setup(spec, seed=21)
+    try:
+        for _ in range(10):
+            try:
+                setup.ps.pump(200)
+            except StreamStalledError:
+                break
+        injected = setup.link.injected()
+        observed = {
+            model: setup.registry.value("faults_injected_total", model=model)
+            for model in injected
+        }
+        assert observed == injected
+        assert sum(injected.values()) > 0
+        assert setup.ps.health.as_dict() == StreamHealth.counters_in(setup.registry)
+    finally:
+        setup.close()
+
+
+def test_fault_mirror_survives_partial_overflow_raise():
+    """The registry mirror stays in sync even when a model raises."""
+    setup = make_loaded_setup(direct=False, seed=22)
+    registry = MetricsRegistry()
+    model = PartialReads(probability=1.0, max_fraction=0.0, max_backlog=100)
+    faulty = FaultySerialLink(setup.link, [model], seed=0, registry=registry)
+    with pytest.raises(TransportError, match="overflow"):
+        for _ in range(50):
+            faulty.pump_samples(10)
+    assert model.injected > 0
+    assert registry.value("faults_injected_total", model="partial") == model.injected
+    setup.close()
 
 
 # --------------------------------------------------------------------- #

@@ -5,18 +5,12 @@ import pytest
 
 from repro.core.sources import SampleBlock, convert_codes
 from repro.core.setup import SimulatedSetup
-from repro.dut.instruments import ElectronicLoad, LabSupply, LoadedSupplyRail
 from repro.hardware.eeprom import SensorConfig
+from tests.conftest import make_loaded_setup
 
 
 def loaded(direct: bool, seed: int = 0) -> SimulatedSetup:
-    setup = SimulatedSetup(
-        ["pcie_slot_12v"], seed=seed, direct=direct, calibration_samples=8192
-    )
-    load = ElectronicLoad()
-    load.set_current(8.0)
-    setup.connect(0, LoadedSupplyRail(LabSupply(12.0), load))
-    return setup
+    return make_loaded_setup(direct=direct, seed=seed)
 
 
 def test_convert_codes_disabled_sensors_zero():
