@@ -1,0 +1,158 @@
+"""End-to-end smoke test of the psserve daemon (the CI server job).
+
+Launches the real ``psserve`` CLI as a subprocess on a Unix socket, holds
+the pump until 8 subscribers are streaming, serves 2 simulated seconds
+under the ``block`` policy, and checks the invariants the serving layer
+promises:
+
+* every client receives exactly ``duration * 20 kHz`` samples,
+* zero frames are dropped (``block`` + TCP flow control is lossless),
+* no client is evicted and the daemon exits 0.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/server_smoke.py [--clients N] [--duration S]
+
+Exits non-zero (with a diagnostic) on any violated invariant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+
+def wait_for_socket(path: str, process: subprocess.Popen, timeout: float) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if os.path.exists(path):
+            return
+        if process.poll() is not None:
+            raise RuntimeError(
+                f"psserve exited early with status {process.returncode}:\n"
+                f"{process.stderr.read()}"
+            )
+        time.sleep(0.05)
+    raise RuntimeError(f"psserve did not bind {path} within {timeout}s")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--duration", type=float, default=2.0)
+    parser.add_argument("--timeout", type=float, default=120.0)
+    args = parser.parse_args()
+
+    from repro.server.client import RemoteSampleSource
+
+    tmpdir = tempfile.mkdtemp(prefix="psserve-smoke-")
+    sock = os.path.join(tmpdir, "smoke.sock")
+    spec = f"unix:{sock}"
+    server = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli.psserve",
+            "--listen",
+            spec,
+            "--policy",
+            "block",
+            "--duration",
+            str(args.duration),
+            "--wait-clients",
+            str(args.clients),
+            "--fast",
+            "--seed",
+            "0",
+        ],
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    failures: list[str] = []
+    try:
+        wait_for_socket(sock, server, timeout=30.0)
+
+        expected = int(round(args.duration * 20_000))
+        received = [0] * args.clients
+        stats: list[dict | None] = [None] * args.clients
+        errors: list[str] = []
+        lock = threading.Lock()
+
+        def subscriber(i: int) -> None:
+            try:
+                src = RemoteSampleSource(spec)
+                src.start()
+                while True:
+                    block = src.read_block(4000)
+                    received[i] += len(block)
+                    if len(block) < 4000:  # short read == end of stream
+                        break
+                stats[i] = src.eos_stats
+                src.close()
+            except Exception as error:  # noqa: BLE001 - smoke harness
+                with lock:
+                    errors.append(f"client {i}: {error!r}")
+
+        threads = [
+            threading.Thread(target=subscriber, args=(i,), daemon=True)
+            for i in range(args.clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=args.timeout)
+            if t.is_alive():
+                failures.append("a subscriber thread did not finish in time")
+
+        failures.extend(errors)
+        for i in range(args.clients):
+            if received[i] != expected:
+                failures.append(
+                    f"client {i}: received {received[i]} samples, expected {expected}"
+                )
+            eos = stats[i]
+            if eos is None:
+                failures.append(f"client {i}: no EOS stats (stream cut short?)")
+            elif eos.get("frames_dropped", 0) != 0:
+                failures.append(
+                    f"client {i}: {eos['frames_dropped']} frames dropped under block"
+                )
+
+        try:
+            status = server.wait(timeout=30.0)
+        except subprocess.TimeoutExpired:
+            failures.append("psserve did not exit after EOS")
+            server.kill()
+            status = server.wait()
+        if status != 0:
+            failures.append(f"psserve exited with status {status}")
+        stderr = server.stderr.read() if server.stderr else ""
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait()
+        try:
+            os.unlink(sock)
+        except OSError:
+            pass
+        os.rmdir(tmpdir)
+
+    print(stderr.strip())
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        f"OK: {args.clients} clients x {expected} samples, "
+        "0 dropped, 0 evicted, clean exit"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,13 @@ The report compares three stages of the receive/persist pipeline:
   (``MetricsRegistry(enabled=False)``): the ``overhead_pct`` delta is
   the cost of instrumenting the hot path, and the registry snapshot of
   the enabled run rides along in the report.
+* **server** — the psserve fan-out layer: 64 ``RemoteSampleSource``
+  subscribers on a Unix socket under the ``drop-oldest`` policy (each
+  must sustain the device's full 20 kHz with zero dropped frames), and
+  the single-client remote read path against a local
+  ``ProtocolSampleSource`` pulling the same samples (the remote decode
+  overhead must stay within 2x local).  These are wall-clock runs of a
+  threaded daemon, so they report single measurements, not best-of.
 
 Timings are best-of-``--repeat`` wall-clock; the JSON lands at the repo
 root so the numbers ride along with the code that produced them.
@@ -170,6 +177,152 @@ def bench_dump(n_rows: int, repeat: int) -> dict:
     }
 
 
+def _run_fanout(n_clients: int, duration: float, chunk: int, policy: str) -> dict:
+    """Serve ``duration`` simulated seconds to ``n_clients`` subscribers."""
+    import shutil
+    import threading
+
+    from repro.server import PowerSensorServer
+    from repro.server.client import RemoteSampleSource
+
+    setup = SimulatedSetup(_MODULES, seed=0, calibration_samples=1024)
+    setup.source.start()
+    rate = setup.source.sample_rate
+    expected = int(round(duration * rate))
+    tmpdir = tempfile.mkdtemp(prefix="psserve-bench-")
+    server = PowerSensorServer(
+        setup.source,
+        f"unix:{os.path.join(tmpdir, 'bench.sock')}",
+        policy=policy,
+        chunk=chunk,
+        wait_clients=n_clients,
+        max_clients=n_clients,
+        time_scale=0.0,
+    )
+    received = [0] * n_clients
+    dropped = [0] * n_clients
+
+    def subscriber(i: int) -> None:
+        src = RemoteSampleSource(server.address)
+        src.start()
+        while True:
+            block = src.read_block(4000)
+            received[i] += len(block)
+            if len(block) < 4000:  # a short read means end of stream
+                break
+        dropped[i] = (src.eos_stats or {}).get("frames_dropped", 0)
+        src.close()
+
+    try:
+        server.start()
+        threads = [
+            threading.Thread(target=subscriber, args=(i,), daemon=True)
+            for i in range(n_clients)
+        ]
+        for t in threads:
+            t.start()
+        t0 = time.perf_counter()
+        stats = server.serve(duration)
+        for t in threads:
+            t.join(timeout=60)
+        wall = time.perf_counter() - t0
+    finally:
+        server.close()
+        setup.close()
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+    per_client_rate = expected / wall
+    return {
+        "n_clients": n_clients,
+        "policy": policy,
+        "chunk": chunk,
+        "simulated_seconds": duration,
+        "wall_seconds": round(wall, 3),
+        "samples_per_client": expected,
+        "per_client_samples_per_s": round(per_client_rate),
+        "sustains_20khz": per_client_rate >= rate,
+        "lossless": all(r == expected for r in received),
+        "frames_dropped": sum(dropped),
+        "clients_evicted": stats["clients_evicted"],
+    }
+
+
+def _run_remote_read(n_samples: int, chunk: int) -> dict:
+    """Single-client remote read path vs a local source on the same pull."""
+    import shutil
+    import threading
+
+    from repro.server import PowerSensorServer
+    from repro.server.client import RemoteSampleSource
+
+    setup = SimulatedSetup(_MODULES, seed=0, calibration_samples=1024)
+    setup.source.start()
+    t0 = time.perf_counter()
+    setup.source.read_block(n_samples)
+    local_t = time.perf_counter() - t0
+    setup.close()
+
+    setup = SimulatedSetup(_MODULES, seed=0, calibration_samples=1024)
+    setup.source.start()
+    rate = setup.source.sample_rate
+    tmpdir = tempfile.mkdtemp(prefix="psserve-bench-")
+    server = PowerSensorServer(
+        setup.source,
+        f"unix:{os.path.join(tmpdir, 'bench.sock')}",
+        policy="block",
+        chunk=chunk,
+        wait_clients=1,
+        time_scale=0.0,
+    )
+    try:
+        server.start()
+        pump = threading.Thread(
+            target=lambda: server.serve(n_samples / rate), daemon=True
+        )
+        pump.start()
+        src = RemoteSampleSource(server.address)
+        src.start()
+        t0 = time.perf_counter()
+        total = 0
+        while total < n_samples:
+            block = src.read_block(min(4000, n_samples - total))
+            if not len(block):
+                break
+            total += len(block)
+        remote_t = time.perf_counter() - t0
+        src.close()
+        pump.join(timeout=60)
+    finally:
+        server.close()
+        setup.close()
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+    overhead = (remote_t / total) / (local_t / n_samples)
+    return {
+        "n_samples": n_samples,
+        "chunk": chunk,
+        "local_samples_per_s": round(n_samples / local_t),
+        "remote_samples_per_s": round(total / remote_t),
+        "overhead_ratio": round(overhead, 2),
+        "within_2x_local": overhead <= 2.0,
+        "samples_received": total,
+    }
+
+
+def bench_server(repeat: int) -> dict:
+    """Fan-out capacity and remote read overhead of the serving layer.
+
+    ``repeat`` is ignored: these runs involve a live threaded daemon and
+    simulated seconds of stream, so each configuration is run once.
+    """
+    return {
+        "fanout": [
+            _run_fanout(64, 2.0, chunk, "drop-oldest") for chunk in (400, 2000)
+        ],
+        "remote_read": _run_remote_read(200_000, 2000),
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument("--samples", type=int, default=1_000_000)
@@ -201,6 +354,7 @@ def main() -> None:
         "decode": bench_decode(args.samples, args.repeat),
         "dump": bench_dump(args.samples, args.repeat),
         "observability": bench_observability(args.samples, args.repeat),
+        "server": bench_server(args.repeat),
     }
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))

@@ -18,6 +18,7 @@ from repro.common.errors import (
     MeasurementError,
     ProtocolError,
     ReproError,
+    ServerError,
     StreamStalledError,
     TransportError,
 )
@@ -39,6 +40,7 @@ EXIT_STATUSES: list[tuple[type[ReproError], int]] = [
     (DeviceError, 73),
     (ConfigurationError, 74),
     (CalibrationError, 75),
+    (ServerError, 76),
 ]
 
 #: Fallback for a bare :class:`ReproError`.
@@ -92,7 +94,7 @@ def run_with_diagnostics(
 
 
 def add_device_arguments(
-    parser: argparse.ArgumentParser, metrics: bool = True
+    parser: argparse.ArgumentParser, metrics: bool = True, remote: bool = True
 ) -> None:
     parser.add_argument(
         "--modules",
@@ -124,6 +126,24 @@ def add_device_arguments(
         default=None,
         help="seed for the fault generator (defaults to --seed)",
     )
+    if remote:
+        parser.add_argument(
+            "--remote",
+            metavar="HOST:PORT|unix:PATH",
+            default=None,
+            help="read the shared stream from a running psserve daemon "
+            "instead of simulating a device locally (--modules/--dut/"
+            "--seed then apply on the serving side; --faults injects on "
+            "the client's receive path)",
+        )
+        parser.add_argument(
+            "--remote-window",
+            type=int,
+            metavar="N",
+            default=0,
+            help="with --remote: subscribe to server-side averaged windows "
+            "of N samples instead of the raw 20 kHz stream",
+        )
     if metrics:
         parser.add_argument(
             "--metrics",
@@ -138,7 +158,24 @@ def build_setup(
     args: argparse.Namespace,
     registry: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
-) -> SimulatedSetup:
+):
+    if getattr(args, "remote", None):
+        from repro.server.client import RemoteSetup
+
+        if args.direct:
+            raise ConfigurationError(
+                "--remote streams device bytes; it cannot combine with --direct"
+            )
+        window = getattr(args, "remote_window", 0) or 0
+        return RemoteSetup(
+            args.remote,
+            mode="window" if window > 1 else "raw",
+            window=max(window, 1),
+            faults=getattr(args, "faults", None),
+            fault_seed=getattr(args, "fault_seed", None) or 0,
+            registry=registry,
+            tracer=tracer,
+        )
     keys = [
         None if key.strip().lower() in ("none", "") else key.strip()
         for key in args.modules.split(",")

@@ -10,9 +10,11 @@ from repro.common.errors import (
     DeviceError,
     ProtocolError,
     ReproError,
+    ServerError,
     TransportError,
 )
 from repro.common.noise import OrnsteinUhlenbeckNoise, WhiteNoise
+from repro.common.retry import DEFAULT_RECOVERY, RecoveryPolicy
 from repro.common.rng import RngStream
 from repro.common.stats import SampleSummary, block_average, summarize
 from repro.common.units import (
@@ -34,6 +36,9 @@ __all__ = [
     "ProtocolError",
     "TransportError",
     "CalibrationError",
+    "ServerError",
+    "RecoveryPolicy",
+    "DEFAULT_RECOVERY",
     "OrnsteinUhlenbeckNoise",
     "WhiteNoise",
     "RngStream",

@@ -34,6 +34,16 @@ class MeasurementError(ReproError):
     """A measurement could not be completed (no samples, bad interval...)."""
 
 
+class ServerError(ReproError):
+    """A psserve daemon or remote-client operation failed.
+
+    Covers handshake rejections, unsupported operations on a shared
+    device (e.g. writing configuration through a remote source), and a
+    connection that could not be (re-)established within the retry
+    budget.
+    """
+
+
 class StreamStalledError(MeasurementError):
     """The sample stream stopped producing data.
 

@@ -1,0 +1,44 @@
+"""Bounded retry-with-backoff policies shared across layers.
+
+:class:`RecoveryPolicy` started life inside :mod:`repro.core.powersensor`
+as the empty-read recovery knob; the server and transport layers reuse the
+same shape for connection retries, so it lives here where neither has to
+import ``core``.  The old location re-exports it for compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Bounded retry-with-backoff for a failing operation.
+
+    For stream reads: when a read that should have produced samples comes
+    back empty (a stalled or lossy device), the caller re-reads up to
+    ``max_retries`` times, widening the requested span by
+    ``backoff_factor`` each attempt (capped at ``max_retry_seconds`` of
+    stream time) before declaring the stream stalled.
+
+    For connections: ``backoff_delays(initial)`` yields the sleep before
+    each of the ``max_retries`` reattempts, growing by ``backoff_factor``
+    and capped at ``max_retry_seconds``.
+    """
+
+    max_retries: int = 4
+    backoff_factor: float = 2.0
+    max_retry_seconds: float = 0.1
+
+    def backoff_delays(self, initial: float) -> list[float]:
+        """The capped geometric backoff schedule, one delay per retry."""
+        delays = []
+        delay = float(initial)
+        for _ in range(self.max_retries):
+            delays.append(min(delay, self.max_retry_seconds))
+            delay *= self.backoff_factor
+        return delays
+
+
+#: Default policy: tolerate brief dropouts, fail within ~0.1 s of stream time.
+DEFAULT_RECOVERY = RecoveryPolicy()

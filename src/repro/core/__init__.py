@@ -20,10 +20,13 @@ from repro.core.health import StreamHealth
 from repro.core.powersensor import DEFAULT_RECOVERY, PowerSensor, RecoveryPolicy
 from repro.core.setup import SimulatedSetup
 from repro.core.sources import (
+    SAMPLE_SOURCES,
     DirectSampleSource,
     ProtocolSampleSource,
     SampleBlock,
     convert_codes,
+    create_source,
+    register_source,
 )
 from repro.core.state import State, joules, seconds, watts
 
@@ -40,6 +43,9 @@ __all__ = [
     "SampleBlock",
     "ProtocolSampleSource",
     "DirectSampleSource",
+    "SAMPLE_SOURCES",
+    "create_source",
+    "register_source",
     "convert_codes",
     "DumpReader",
     "DumpWriter",

@@ -15,7 +15,6 @@ threaded behaviour for the interactive CLI tools.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
@@ -25,6 +24,7 @@ from repro.common.errors import (
     MeasurementError,
     StreamStalledError,
 )
+from repro.common.retry import DEFAULT_RECOVERY, RecoveryPolicy
 from repro.core.dump import DumpWriter
 from repro.core.health import StreamHealth
 from repro.core.sources import DirectSampleSource, ProtocolSampleSource, SampleBlock
@@ -39,24 +39,9 @@ from repro.transport.link import VirtualSerialLink
 RETRY_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0)
 
 
-@dataclass(frozen=True)
-class RecoveryPolicy:
-    """Bounded retry-with-backoff for empty reads on a live stream.
-
-    When a read that should have produced samples comes back empty (a
-    stalled or lossy device), the PowerSensor re-reads up to
-    ``max_retries`` times, widening the requested span by
-    ``backoff_factor`` each attempt (capped at ``max_retry_seconds`` of
-    stream time) before declaring the stream stalled.
-    """
-
-    max_retries: int = 4
-    backoff_factor: float = 2.0
-    max_retry_seconds: float = 0.1
-
-
-#: Default policy: tolerate brief dropouts, fail within ~0.1 s of stream time.
-DEFAULT_RECOVERY = RecoveryPolicy()
+# Re-exported for compatibility: RecoveryPolicy now lives in
+# repro.common.retry so transport/ and server/ can use it without core.
+__all__ = ["DEFAULT_RECOVERY", "PowerSensor", "RecoveryPolicy", "RETRY_BUCKETS"]
 
 
 class PowerSensor:

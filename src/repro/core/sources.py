@@ -32,6 +32,7 @@ The protocol source decodes in three tiers, fastest applicable first:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -239,6 +240,17 @@ class ProtocolSampleSource:
         """Pull and decode ``n_samples`` output samples."""
         data = self.link.pump_samples(n_samples)
         return self._decode(data, n_samples)
+
+    def read_block_raw(self, n_samples: int) -> tuple[SampleBlock, bytes]:
+        """Pull ``n_samples``, returning the decoded block *and* the wire bytes.
+
+        The serving layer relays the raw bytes to subscribers verbatim
+        (so remote decode is byte-for-byte the local decode) while using
+        the decoded block for server-side windowing — one pump, no
+        double decode.
+        """
+        data = self.link.pump_samples(n_samples)
+        return self._decode(data, n_samples), data
 
     # ------------------------------------------------------------------ #
     # Decoding                                                           #
@@ -625,3 +637,38 @@ class DirectSampleSource:
             markers[:n_mark] = True
             self._marker_pending -= n_mark
         return SampleBlock(times=times, values=values, markers=markers, enabled=enabled)
+
+
+# --------------------------------------------------------------------- #
+# Source registry                                                       #
+# --------------------------------------------------------------------- #
+
+#: Named sample-source factories.  ``protocol`` and ``direct`` register
+#: here; :mod:`repro.server.client` adds ``remote`` on import (and
+#: :func:`create_source` imports it lazily, so ``create_source("remote",
+#: "host:port")`` works without the caller touching the server package).
+SAMPLE_SOURCES: dict[str, Callable[..., object]] = {}
+
+
+def register_source(name: str, factory: Callable[..., object]) -> None:
+    """Register a named sample-source factory (idempotent per factory)."""
+    existing = SAMPLE_SOURCES.get(name)
+    if existing is not None and existing is not factory:
+        raise ValueError(f"sample source {name!r} is already registered")
+    SAMPLE_SOURCES[name] = factory
+
+
+def create_source(name: str, *args, **kwargs):
+    """Instantiate a registered sample source by name."""
+    if name not in SAMPLE_SOURCES and name == "remote":
+        import repro.server.client  # noqa: F401  — registers "remote"
+    try:
+        factory = SAMPLE_SOURCES[name]
+    except KeyError:
+        known = ", ".join(sorted(SAMPLE_SOURCES)) or "(none)"
+        raise ValueError(f"unknown sample source {name!r}; known: {known}") from None
+    return factory(*args, **kwargs)
+
+
+register_source("protocol", ProtocolSampleSource)
+register_source("direct", DirectSampleSource)

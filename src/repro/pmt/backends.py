@@ -45,6 +45,26 @@ class PowerSensorBackend(PmtBackend):
         )
 
 
+class RemotePowerSensorBackend(PowerSensorBackend):
+    """PMT over a shared PowerSensor3 served by a psserve daemon.
+
+    Accepts a connect spec (``host:port`` / ``unix:PATH``) or an already
+    constructed :class:`~repro.server.RemoteSampleSource`, so several PMT
+    consumers (and other tools) can meter the same device concurrently.
+    """
+
+    name = "powersensor3-remote"
+
+    def __init__(self, remote, **source_kwargs) -> None:
+        from repro.server.client import RemoteSampleSource
+
+        if isinstance(remote, RemoteSampleSource):
+            source = remote
+        else:
+            source = RemoteSampleSource(remote, **source_kwargs)
+        super().__init__(PowerSensor(source))
+
+
 class _PolledApiBackend(PmtBackend):
     """Shared shape for backends over a polled vendor API."""
 
@@ -172,6 +192,7 @@ class DummyBackend(PmtBackend):
 
 _FACTORIES = {
     "powersensor3": PowerSensorBackend,
+    "powersensor3-remote": RemotePowerSensorBackend,
     "nvml": NvmlBackend,
     "rocm": RocmBackend,
     "amdsmi": AmdSmiBackend,

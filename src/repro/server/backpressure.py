@@ -1,0 +1,146 @@
+"""Per-client send buffers with selectable backpressure policy.
+
+A slow subscriber must not stall the shared 20 kHz pump, so every client
+gets a bounded frame queue between the pump and its sender thread.  What
+happens when the queue fills is the policy:
+
+* ``block`` — the pump waits (bounded by a timeout) for the sender to
+  drain; a client that stays full past the timeout is evicted.  Lossless
+  while connected; the right choice for recording consumers.
+* ``drop-oldest`` — the oldest droppable frame is discarded to make
+  room.  The client keeps up with *now* at the cost of history; the right
+  choice for live dashboards.
+* ``downsample`` — under pressure, every second incoming droppable frame
+  is discarded, halving the data rate until the queue drains.  Graceful
+  degradation for consumers that prefer uniform thinning over a gap.
+
+Control frames (``EOS``, ``CONFIG``, ...) are enqueued as non-droppable:
+they may overfill the queue momentarily but are never discarded, so a
+client always learns *why* its stream ended.  Every discarded frame is
+counted in :attr:`SendBuffer.dropped`; the daemon mirrors the count into
+``server_frames_dropped_total{client=,policy=}``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.common.errors import ConfigurationError
+
+POLICIES = ("block", "drop-oldest", "downsample")
+
+
+class BufferTimeout(Exception):
+    """A ``block``-policy put timed out; the caller should evict the client."""
+
+
+class SendBuffer:
+    """Bounded, thread-safe frame queue between the pump and one sender."""
+
+    def __init__(
+        self,
+        policy: str = "block",
+        max_frames: int = 256,
+        block_timeout: float = 5.0,
+    ) -> None:
+        if policy not in POLICIES:
+            raise ConfigurationError(
+                f"unknown backpressure policy {policy!r} (choose from {POLICIES})"
+            )
+        if max_frames < 1:
+            raise ConfigurationError(f"max_frames must be >= 1, got {max_frames}")
+        self.policy = policy
+        self.max_frames = int(max_frames)
+        self.block_timeout = float(block_timeout)
+        self.dropped = 0  # frames discarded by the policy
+        self._queue: deque[tuple[bytes, bool]] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+        self._downsample_skip = False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def put(self, frame: bytes, droppable: bool = True) -> bool:
+        """Enqueue one encoded frame; returns False if the policy dropped it.
+
+        Non-droppable frames always enter the queue (briefly exceeding
+        ``max_frames`` if needed).  Raises :class:`BufferTimeout` when the
+        ``block`` policy cannot make room within ``block_timeout``.
+        """
+        with self._lock:
+            if self._closed:
+                return False
+            if not droppable or len(self._queue) < self.max_frames:
+                self._append(frame, droppable)
+                return True
+            if self.policy == "block":
+                deadline_ok = self._not_full.wait_for(
+                    lambda: self._closed or len(self._queue) < self.max_frames,
+                    timeout=self.block_timeout,
+                )
+                if self._closed:
+                    return False
+                if not deadline_ok:
+                    raise BufferTimeout(
+                        f"send buffer full for {self.block_timeout:.1f}s"
+                    )
+                self._append(frame, droppable)
+                return True
+            if self.policy == "drop-oldest":
+                if self._drop_oldest():
+                    self._append(frame, droppable)
+                    return True
+                # Queue full of non-droppable frames: drop the newcomer.
+                self.dropped += 1
+                return False
+            # downsample: under pressure, discard every second arrival.
+            self._downsample_skip = not self._downsample_skip
+            if self._downsample_skip:
+                self.dropped += 1
+                return False
+            if not self._drop_oldest():
+                self.dropped += 1
+                return False
+            self._append(frame, droppable)
+            return True
+
+    def _append(self, frame: bytes, droppable: bool) -> None:
+        self._queue.append((frame, droppable))
+        self._not_empty.notify()
+
+    def _drop_oldest(self) -> bool:
+        """Discard the oldest droppable frame; False if none exists."""
+        for i, (_, droppable) in enumerate(self._queue):
+            if droppable:
+                del self._queue[i]
+                self.dropped += 1
+                return True
+        return False
+
+    def get(self, timeout: float | None = None) -> bytes | None:
+        """Dequeue one frame; ``None`` on timeout or when closed and empty."""
+        with self._lock:
+            ok = self._not_empty.wait_for(
+                lambda: self._queue or self._closed, timeout=timeout
+            )
+            if not ok or not self._queue:
+                return None
+            frame, _ = self._queue.popleft()
+            self._not_full.notify()
+            return frame
+
+    def close(self) -> None:
+        """Unblock all waiters; subsequent puts are no-ops."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()

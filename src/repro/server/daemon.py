@@ -1,0 +1,526 @@
+"""The psserve daemon: one device, many subscribers.
+
+:class:`PowerSensorServer` owns one :class:`ProtocolSampleSource` and
+fans its stream out over TCP or Unix sockets.  The pump thread reads the
+device once per chunk via :meth:`read_block_raw`, encodes a single
+``DATA`` frame carrying the raw wire bytes, and hands that *same encoded
+frame* to every raw subscriber's send buffer — fan-out cost is one
+encode plus N queue appends, independent of subscriber count.  Window
+subscribers get server-side averaged rows instead (one ``WINDOW`` frame
+per chunk with whatever windows completed).
+
+Each client runs two daemon threads: a reader (handshake, then control
+frames — START/STOP/MARK/CONFIG_REQ/BYE) and a sender draining the
+client's :class:`SendBuffer`.  A client whose ``block``-policy buffer
+stays full past the timeout is evicted; the others never stall the pump.
+
+Everything observable is counted: ``server_clients_connected`` (gauge),
+``server_clients_total`` / ``server_clients_evicted_total``,
+``server_samples_produced_total``, ``server_frames_sent_total``,
+``server_bytes_sent_total``, per-client
+``server_frames_dropped_total{client=,policy=}``, and ``server_accept``
+/ ``server_pump`` / ``server_send`` trace spans.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError, ServerError, TransportError
+from repro.core.sources import ProtocolSampleSource, SampleBlock
+from repro.hardware.eeprom import VirtualEeprom
+from repro.observability import MetricsRegistry, Tracer
+from repro.server.backpressure import POLICIES, BufferTimeout, SendBuffer
+from repro.server.wire import (
+    Frame,
+    FrameDecoder,
+    FrameType,
+    encode_control,
+    encode_frame,
+    pack_window,
+    parse_endpoint,
+)
+from repro.transport.bytestream import ByteStream, SocketByteStream
+
+#: Default pump chunk: 400 samples = 20 ms of stream at 20 kHz.
+DEFAULT_CHUNK = 400
+
+
+class _Client:
+    """Server-side state for one subscriber."""
+
+    def __init__(self, cid: int, stream: ByteStream, buffer: SendBuffer) -> None:
+        self.id = cid
+        self.stream = stream
+        self.buffer = buffer
+        self.decoder = FrameDecoder()
+        self.mode = "raw"
+        self.window = 1
+        self.started = threading.Event()
+        self.samples_sent = 0
+        self.frames_sent = 0
+        self.seq = 0  # per-client sequence for WINDOW/control frames
+        self.evicted = False
+        self.sender: threading.Thread | None = None
+        # Window-mode accumulator (touched only by the pump thread).
+        self.acc: list[SampleBlock] = []
+        self.acc_count = 0
+
+    def next_seq(self) -> int:
+        self.seq += 1
+        return self.seq
+
+
+class PowerSensorServer:
+    """Serve one simulated PowerSensor stream to N subscribers."""
+
+    def __init__(
+        self,
+        source: ProtocolSampleSource,
+        listen: str,
+        *,
+        policy: str = "block",
+        buffer_frames: int = 256,
+        chunk: int = DEFAULT_CHUNK,
+        client_timeout: float = 5.0,
+        max_clients: int = 64,
+        time_scale: float = 0.0,
+        wait_clients: int = 0,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        if policy not in POLICIES:
+            raise ConfigurationError(
+                f"unknown backpressure policy {policy!r} (choose from {POLICIES})"
+            )
+        if chunk < 1:
+            raise ConfigurationError(f"chunk must be >= 1, got {chunk}")
+        self.source = source
+        self.endpoint = parse_endpoint(listen)
+        self.policy = policy
+        self.buffer_frames = int(buffer_frames)
+        self.chunk = int(chunk)
+        self.client_timeout = float(client_timeout)
+        self.max_clients = int(max_clients)
+        self.time_scale = float(time_scale)
+        self.wait_clients = int(wait_clients)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(self.registry)
+        self._config_image = VirtualEeprom(configs=list(source.configs)).pack()
+
+        self._clients: dict[int, _Client] = {}
+        self._clients_lock = threading.Lock()
+        self._started_cond = threading.Condition(self._clients_lock)
+        self._next_cid = 0
+        self._stop = threading.Event()
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._seq = 0  # global DATA sequence
+        self.samples_produced = 0
+
+        self._connected_gauge = self.registry.gauge(
+            "server_clients_connected", help="subscribers currently connected"
+        )
+        self._clients_counter = self.registry.counter(
+            "server_clients_total", help="subscribers accepted since start"
+        )
+        self._evicted_counter = self.registry.counter(
+            "server_clients_evicted_total",
+            help="subscribers force-disconnected (backpressure or send failure)",
+        )
+        self._samples_counter = self.registry.counter(
+            "server_samples_produced_total", help="samples pumped from the device"
+        )
+        self._frames_counter = self.registry.counter(
+            "server_frames_sent_total", help="frames enqueued to subscribers"
+        )
+        self._bytes_counter = self.registry.counter(
+            "server_bytes_sent_total", help="frame bytes written to sockets"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle                                                          #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def address(self) -> str:
+        """The bound address, as a connect spec (useful with port 0)."""
+        kind, target = self.endpoint
+        if kind == "unix":
+            return f"unix:{target}"
+        host, port = target
+        if self._listener is not None:
+            host, port = self._listener.getsockname()[:2]
+        return f"{host}:{port}"
+
+    def start(self) -> None:
+        """Bind the listener and start accepting subscribers."""
+        kind, target = self.endpoint
+        if kind == "unix":
+            if os.path.exists(target):
+                os.unlink(target)  # stale socket from a previous run
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.bind(target)
+        else:
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind(target)
+        sock.listen(self.max_clients)
+        self._listener = sock
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="psserve-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    def close(self) -> None:
+        """Stop accepting, end the stream, disconnect everyone."""
+        self._stop.set()
+        with self._started_cond:
+            self._started_cond.notify_all()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+            self._accept_thread = None
+        with self._clients_lock:
+            clients = list(self._clients.values())
+        for client in clients:
+            self._finish_client(client, reason="server closed")
+        kind, target = self.endpoint
+        if kind == "unix" and os.path.exists(target):
+            try:
+                os.unlink(target)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "PowerSensorServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Accepting and per-client threads                                   #
+    # ------------------------------------------------------------------ #
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            threading.Thread(
+                target=self._client_main,
+                args=(conn,),
+                name="psserve-client",
+                daemon=True,
+            ).start()
+
+    def _client_main(self, conn: socket.socket) -> None:
+        conn.settimeout(self.client_timeout)
+        stream = SocketByteStream(conn)
+        try:
+            with self.tracer.span("server_accept"):
+                client = self._handshake(stream)
+        except (TransportError, ServerError, ConfigurationError):
+            stream.close()
+            return
+        if client is None:
+            stream.close()
+            return
+        conn.settimeout(None)
+        client.sender = threading.Thread(
+            target=self._sender_loop, args=(client,), name="psserve-send", daemon=True
+        )
+        client.sender.start()
+        self._reader_loop(client)
+
+    def _handshake(self, stream: ByteStream) -> _Client | None:
+        """HELLO -> SUBSCRIBE -> SUBACK; returns the registered client."""
+        hello = {
+            "server": "psserve",
+            "version": self.source.version,
+            "sample_rate": self.source.sample_rate,
+            "policy": self.policy,
+            "buffer_frames": self.buffer_frames,
+        }
+        stream.write(encode_control(FrameType.HELLO, 0, hello))
+        sub = self._read_control(stream, FrameType.SUBSCRIBE)
+        if sub is None:
+            return None
+        request = sub.json()
+        mode = request.get("mode", "raw")
+        window = int(request.get("window", 1) or 1)
+        if mode not in ("raw", "window") or window < 1:
+            stream.write(
+                encode_control(
+                    FrameType.ERROR, 0, {"message": f"bad subscription {request!r}"}
+                )
+            )
+            return None
+        with self._clients_lock:
+            if len(self._clients) >= self.max_clients:
+                stream.write(
+                    encode_control(FrameType.ERROR, 0, {"message": "server full"})
+                )
+                return None
+            cid = self._next_cid
+            self._next_cid += 1
+            client = _Client(
+                cid,
+                stream,
+                SendBuffer(
+                    policy=self.policy,
+                    max_frames=self.buffer_frames,
+                    block_timeout=self.client_timeout,
+                ),
+            )
+            client.mode = mode
+            client.window = window
+            self._clients[cid] = client
+            self._connected_gauge.set(len(self._clients))
+        self._clients_counter.inc()
+        # Per-client drop counter, mirrored from the buffer on removal.
+        client.drop_counter = self.registry.counter(
+            "server_frames_dropped_total",
+            help="frames discarded by backpressure, per client",
+            client=str(cid),
+            policy=self.policy,
+        )
+        stream.write(
+            encode_control(
+                FrameType.SUBACK, 0, {"client": cid, "mode": mode, "window": window}
+            )
+        )
+        return client
+
+    def _read_control(self, stream: ByteStream, expected: int) -> Frame | None:
+        """Read frames until one of ``expected`` type arrives (or EOF)."""
+        decoder = FrameDecoder()
+        while True:
+            data = stream.read(65536)
+            if not data:
+                return None
+            for frame in decoder.feed(data):
+                if frame.type == expected:
+                    return frame
+                if frame.type == FrameType.BYE:
+                    return None
+
+    def _reader_loop(self, client: _Client) -> None:
+        """Handle control frames from one subscriber until it goes away."""
+        while not self._stop.is_set():
+            try:
+                data = client.stream.read(65536)
+            except TransportError:
+                break
+            if not data:
+                break
+            goodbye = False
+            for frame in client.decoder.feed(data):
+                if frame.type == FrameType.START:
+                    client.started.set()
+                    with self._started_cond:
+                        self._started_cond.notify_all()
+                elif frame.type == FrameType.STOP:
+                    client.started.clear()
+                elif frame.type == FrameType.MARK:
+                    self.source.mark()  # the marker lands in the shared stream
+                elif frame.type == FrameType.CONFIG_REQ:
+                    client.buffer.put(
+                        encode_frame(
+                            FrameType.CONFIG, client.next_seq(), self._config_image
+                        ),
+                        droppable=False,
+                    )
+                elif frame.type == FrameType.BYE:
+                    goodbye = True
+                    break
+            if goodbye:
+                break
+        self._remove_client(client)
+
+    def _sender_loop(self, client: _Client) -> None:
+        """Drain one subscriber's send buffer onto its socket."""
+        while True:
+            frame = client.buffer.get(timeout=0.25)
+            if frame is None:
+                if client.buffer.closed:
+                    return
+                continue
+            try:
+                with self.tracer.span("server_send"):
+                    client.stream.write(frame)
+                self._bytes_counter.inc(len(frame))
+            except TransportError:
+                self._evict(client, reason="send failed")
+                return
+
+    # ------------------------------------------------------------------ #
+    # The pump                                                           #
+    # ------------------------------------------------------------------ #
+
+    def serve(self, duration: float | None = None) -> dict:
+        """Pump the device and fan out until ``duration`` simulated seconds.
+
+        ``duration=None`` pumps until :meth:`close` (or Ctrl-C in the
+        CLI).  With ``time_scale > 0`` the pump paces itself against the
+        wall clock (1.0 = real time); 0 pumps as fast as possible.
+        Returns a stats dict (also the shape of the EOS payload).
+        """
+        if self.wait_clients:
+            self._await_clients(self.wait_clients)
+        rate = self.source.sample_rate
+        total = None if duration is None else max(int(round(duration * rate)), 0)
+        t0 = time.monotonic()
+        while not self._stop.is_set():
+            if total is not None and self.samples_produced >= total:
+                break
+            n = self.chunk
+            if total is not None:
+                n = min(n, total - self.samples_produced)
+            with self.tracer.span("server_pump"):
+                block, raw = self.source.read_block_raw(n)
+            self.samples_produced += n
+            self._samples_counter.inc(n)
+            self._seq += 1
+            data_frame = encode_frame(FrameType.DATA, self._seq, raw)
+            with self._clients_lock:
+                clients = list(self._clients.values())
+            for client in clients:
+                self._deliver(client, data_frame, block, n)
+            if self.time_scale > 0:
+                target = t0 + (self.samples_produced / rate) * self.time_scale
+                delay = target - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+        return self.finish(reason="duration" if total is not None else "stopped")
+
+    def _await_clients(self, n: int) -> None:
+        """Block until ``n`` subscribers have sent START (or the server stops)."""
+        with self._started_cond:
+            self._started_cond.wait_for(
+                lambda: self._stop.is_set()
+                or sum(c.started.is_set() for c in self._clients.values()) >= n
+            )
+
+    def _deliver(
+        self, client: _Client, data_frame: bytes, block: SampleBlock, n: int
+    ) -> None:
+        if not client.started.is_set():
+            return
+        try:
+            if client.mode == "raw":
+                if client.buffer.put(data_frame):
+                    client.frames_sent += 1
+                    client.samples_sent += n
+                    self._frames_counter.inc()
+            else:
+                frame = self._window_frame(client, block)
+                if frame is not None and client.buffer.put(frame):
+                    client.frames_sent += 1
+                    self._frames_counter.inc()
+        except BufferTimeout:
+            self._evict(client, reason="backpressure timeout")
+
+    def _window_frame(self, client: _Client, block: SampleBlock) -> bytes | None:
+        """Fold a block into the client's window accumulator; emit full windows."""
+        if len(block):
+            client.acc.append(block)
+            client.acc_count += len(block)
+        w = client.window
+        if client.acc_count < w:
+            return None
+        times = np.concatenate([b.times for b in client.acc])
+        values = np.concatenate([b.values for b in client.acc])
+        markers = np.concatenate([b.markers for b in client.acc])
+        k = client.acc_count // w
+        used = k * w
+        avg_times = times[:used].reshape(k, w).mean(axis=1)
+        avg_values = values[:used].reshape(k, w, values.shape[1]).mean(axis=1)
+        any_markers = markers[:used].reshape(k, w).any(axis=1)
+        leftover = SampleBlock(
+            times=times[used:],
+            values=values[used:],
+            markers=markers[used:],
+            enabled=block.enabled,
+        )
+        client.acc = [leftover] if len(leftover) else []
+        client.acc_count -= used
+        client.samples_sent += used
+        return encode_frame(
+            FrameType.WINDOW,
+            client.next_seq(),
+            pack_window(avg_times, avg_values, any_markers, block.enabled),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Teardown                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _client_stats(self, client: _Client) -> dict:
+        return {
+            "client": client.id,
+            "samples_sent": client.samples_sent,
+            "frames_sent": client.frames_sent,
+            "frames_dropped": client.buffer.dropped,
+        }
+
+    def finish(self, reason: str = "end of stream") -> dict:
+        """Send EOS (with per-client stats) to everyone and disconnect them."""
+        with self._clients_lock:
+            clients = list(self._clients.values())
+        for client in clients:
+            self._finish_client(client, reason=reason)
+        return {
+            "reason": reason,
+            "samples_produced": self.samples_produced,
+            "clients_served": int(self._clients_counter.value),
+            "clients_evicted": int(self._evicted_counter.value),
+        }
+
+    def _finish_client(self, client: _Client, reason: str) -> None:
+        stats = self._client_stats(client)
+        stats["reason"] = reason
+        client.buffer.put(
+            encode_control(FrameType.EOS, client.next_seq(), stats), droppable=False
+        )
+        client.buffer.close()
+        if client.sender is not None:
+            client.sender.join(timeout=2.0)
+        self._remove_client(client)
+        client.stream.close()
+
+    def _evict(self, client: _Client, reason: str) -> None:
+        if client.evicted:
+            return
+        client.evicted = True
+        # Only count an eviction if the client was still registered — a
+        # send failing after a clean BYE is a disconnect, not an eviction.
+        if self._remove_client(client):
+            self._evicted_counter.inc()
+        client.buffer.close()
+        client.stream.close()  # unblocks the reader thread too
+
+    def _remove_client(self, client: _Client) -> bool:
+        with self._clients_lock:
+            present = self._clients.pop(client.id, None)
+            self._connected_gauge.set(len(self._clients))
+        if present is not None:
+            drops = client.buffer.dropped
+            counted = getattr(client, "_drops_counted", 0)
+            if drops > counted:
+                client.drop_counter.inc(drops - counted)
+                client._drops_counted = drops
+            client.buffer.close()
+        return present is not None

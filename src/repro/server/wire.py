@@ -1,0 +1,249 @@
+"""The psserve wire protocol: length-prefixed frames over a byte stream.
+
+The device's own 2-byte packet protocol (:mod:`repro.firmware.protocol`)
+is self-synchronising but has no payload integrity — fine on a dedicated
+USB link, not on a shared socket where one corrupted length field could
+desynchronise every subsequent frame.  The serving layer therefore wraps
+everything in CRC-protected frames:
+
+``magic(2) type(1) seq(4) length(4) hcrc(2) | payload | pcrc(4)``
+
+* ``magic`` is ``b"PS"`` — the resynchronisation anchor.
+* ``hcrc`` (CRC-32 of the first 11 header bytes, truncated to 16 bits)
+  proves the *length* field before it is trusted, so a flipped bit cannot
+  make the decoder wait on a 4 GiB phantom payload.
+* ``pcrc`` (CRC-32 of the payload) rejects corrupted frames wholesale;
+  the stream resynchronises on the next magic.
+
+``DATA`` payloads are the device's raw wire bytes, relayed verbatim —
+the server never re-encodes samples, so a remote client decodes with the
+same vectorised machinery (and byte-for-byte the same results) as a local
+one.  Control payloads are JSON; ``WINDOW`` payloads are the packed
+averaged blocks of :func:`pack_window`.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError, ProtocolError
+
+MAGIC = b"PS"
+_HEAD_BODY = struct.Struct(">2sBII")  # magic, type, seq, payload length
+_HCRC = struct.Struct(">H")
+_PCRC = struct.Struct(">I")
+HEADER_SIZE = _HEAD_BODY.size + _HCRC.size  # 13
+#: Upper bound on a frame payload; anything larger is a corrupted length.
+MAX_PAYLOAD = 1 << 22
+
+
+class FrameType(enum.IntEnum):
+    """Frame type tags (the ``type`` header byte)."""
+
+    HELLO = 1  # server -> client: version, sample rate, policy
+    SUBSCRIBE = 2  # client -> server: mode (raw | window), window size
+    SUBACK = 3  # server -> client: accepted, client id
+    DATA = 4  # server -> client: raw device wire bytes
+    WINDOW = 5  # server -> client: packed averaged sample windows
+    MARK = 6  # client -> server: inject a marker into the shared stream
+    START = 7  # client -> server: begin delivering samples
+    STOP = 8  # client -> server: pause delivery
+    CONFIG_REQ = 9  # client -> server: request the EEPROM image
+    CONFIG = 10  # server -> client: the EEPROM image bytes
+    EOS = 11  # server -> client: end of stream + per-client stats
+    ERROR = 12  # server -> client: fatal error message
+    BYE = 13  # client -> server: clean disconnect
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame."""
+
+    type: int
+    seq: int
+    payload: bytes
+
+    def json(self) -> dict:
+        """Decode the payload as a JSON object (control frames)."""
+        try:
+            return json.loads(self.payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ProtocolError(f"bad control payload: {error}") from error
+
+
+def encode_frame(ftype: int, seq: int, payload: bytes = b"") -> bytes:
+    """Encode one frame; ``payload`` may be empty."""
+    if len(payload) > MAX_PAYLOAD:
+        raise ProtocolError(
+            f"payload of {len(payload)} bytes exceeds MAX_PAYLOAD ({MAX_PAYLOAD})"
+        )
+    body = _HEAD_BODY.pack(MAGIC, int(ftype), seq & 0xFFFFFFFF, len(payload))
+    hcrc = zlib.crc32(body) & 0xFFFF
+    return b"".join(
+        (body, _HCRC.pack(hcrc), payload, _PCRC.pack(zlib.crc32(payload) & 0xFFFFFFFF))
+    )
+
+
+def encode_control(ftype: int, seq: int, obj: dict) -> bytes:
+    """Encode a JSON control frame."""
+    return encode_frame(ftype, seq, json.dumps(obj, separators=(",", ":")).encode())
+
+
+@dataclass
+class FrameDecoder:
+    """Stateful, resynchronising frame parser.
+
+    Feed arbitrary chunks; get back every complete valid frame.  A
+    corrupted frame (bad header CRC, implausible length, bad payload CRC)
+    is discarded wholesale and the parser scans forward to the next
+    ``b"PS"`` magic — the same recover-on-anchor strategy the sample-level
+    :class:`~repro.firmware.protocol.StreamDecoder` uses, one layer up.
+    """
+
+    resync_count: int = 0  # times the parser had to skip garbage
+    bytes_discarded: int = 0  # bytes skipped while resynchronising
+    frames_corrupt: int = 0  # frames rejected by a CRC check
+    frames_decoded: int = 0
+    _buf: bytearray = field(default_factory=bytearray, repr=False)
+
+    def feed(self, data: bytes) -> list[Frame]:
+        self._buf += data
+        frames: list[Frame] = []
+        buf = self._buf
+        while True:
+            idx = buf.find(MAGIC)
+            if idx < 0:
+                # Nothing that could start a frame; keep the final byte in
+                # case it is the first half of a split magic.
+                drop = max(len(buf) - 1, 0)
+                if drop:
+                    self.bytes_discarded += drop
+                    self.resync_count += 1
+                    del buf[:drop]
+                break
+            if idx > 0:
+                self.bytes_discarded += idx
+                self.resync_count += 1
+                del buf[:idx]
+            if len(buf) < HEADER_SIZE:
+                break
+            magic, ftype, seq, length = _HEAD_BODY.unpack_from(buf)
+            (hcrc,) = _HCRC.unpack_from(buf, _HEAD_BODY.size)
+            if zlib.crc32(buf[: _HEAD_BODY.size]) & 0xFFFF != hcrc or length > MAX_PAYLOAD:
+                # Corrupt header: the length cannot be trusted.  Skip one
+                # byte past this magic and rescan.
+                self.frames_corrupt += 1
+                self.bytes_discarded += 1
+                self.resync_count += 1
+                del buf[:1]
+                continue
+            total = HEADER_SIZE + length + _PCRC.size
+            if len(buf) < total:
+                break
+            payload = bytes(buf[HEADER_SIZE : HEADER_SIZE + length])
+            (pcrc,) = _PCRC.unpack_from(buf, total - _PCRC.size)
+            if zlib.crc32(payload) & 0xFFFFFFFF != pcrc:
+                # Header was intact, so the length is trustworthy: drop
+                # the corrupted frame wholesale.
+                self.frames_corrupt += 1
+                self.bytes_discarded += total
+                self.resync_count += 1
+                del buf[:total]
+                continue
+            frames.append(Frame(int(ftype), int(seq), payload))
+            self.frames_decoded += 1
+            del buf[:total]
+        return frames
+
+
+# --------------------------------------------------------------------- #
+# WINDOW payloads                                                       #
+# --------------------------------------------------------------------- #
+
+_WINDOW_HEAD = struct.Struct(">IB")  # row count, enabled-sensor bitmask
+
+
+def pack_window(
+    times: np.ndarray, values: np.ndarray, markers: np.ndarray, enabled: np.ndarray
+) -> bytes:
+    """Pack averaged sample rows (server-side windowing) for the wire."""
+    n = int(times.size)
+    mask = 0
+    for i in np.flatnonzero(np.asarray(enabled)):
+        mask |= 1 << int(i)
+    return b"".join(
+        (
+            _WINDOW_HEAD.pack(n, mask),
+            np.ascontiguousarray(times, dtype=">f8").tobytes(),
+            np.ascontiguousarray(values, dtype=">f8").tobytes(),
+            np.packbits(np.asarray(markers, dtype=bool)).tobytes(),
+        )
+    )
+
+
+def unpack_window(
+    payload: bytes,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Inverse of :func:`pack_window`; returns (times, values, markers, enabled)."""
+    from repro.hardware.eeprom import SENSORS
+
+    if len(payload) < _WINDOW_HEAD.size:
+        raise ProtocolError("WINDOW payload too short")
+    n, mask = _WINDOW_HEAD.unpack_from(payload)
+    offset = _WINDOW_HEAD.size
+    t_bytes, v_bytes = 8 * n, 8 * n * SENSORS
+    m_bytes = (n + 7) // 8
+    if len(payload) != offset + t_bytes + v_bytes + m_bytes:
+        raise ProtocolError("WINDOW payload length mismatch")
+    times = np.frombuffer(payload, dtype=">f8", count=n, offset=offset).astype(float)
+    offset += t_bytes
+    values = (
+        np.frombuffer(payload, dtype=">f8", count=n * SENSORS, offset=offset)
+        .astype(float)
+        .reshape(n, SENSORS)
+    )
+    offset += v_bytes
+    markers = np.unpackbits(
+        np.frombuffer(payload, dtype=np.uint8, offset=offset), count=n
+    ).astype(bool)
+    enabled = np.array([(mask >> i) & 1 == 1 for i in range(SENSORS)])
+    return times, values, markers, enabled
+
+
+# --------------------------------------------------------------------- #
+# Endpoints                                                             #
+# --------------------------------------------------------------------- #
+
+
+def parse_endpoint(spec: str) -> tuple[str, object]:
+    """Parse a listen/connect spec into ``("unix", path)`` or ``("tcp", (host, port))``.
+
+    Accepted forms: ``unix:/path/to.sock``, ``host:port``, ``:port``
+    (localhost), ``port``.
+    """
+    spec = spec.strip()
+    if not spec:
+        raise ConfigurationError("empty endpoint spec")
+    if spec.startswith("unix:"):
+        path = spec[len("unix:") :]
+        if not path:
+            raise ConfigurationError("unix endpoint needs a socket path")
+        return ("unix", path)
+    host, sep, port = spec.rpartition(":")
+    if not sep:
+        host, port = "", spec
+    try:
+        port_num = int(port)
+    except ValueError:
+        raise ConfigurationError(
+            f"bad endpoint {spec!r}: expected unix:PATH or HOST:PORT"
+        ) from None
+    if not 0 <= port_num <= 65535:
+        raise ConfigurationError(f"port {port_num} out of range")
+    return ("tcp", (host or "127.0.0.1", port_num))

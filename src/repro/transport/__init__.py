@@ -1,5 +1,10 @@
 """Virtual USB-serial transport between firmware and host library."""
 
+from repro.transport.bytestream import (
+    ByteStream,
+    FaultyByteStream,
+    SocketByteStream,
+)
 from repro.transport.faults import (
     BitFlips,
     DeviceStall,
@@ -22,4 +27,7 @@ __all__ = [
     "DeviceStall",
     "OverflowBurst",
     "parse_fault_spec",
+    "ByteStream",
+    "SocketByteStream",
+    "FaultyByteStream",
 ]

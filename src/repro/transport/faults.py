@@ -50,6 +50,16 @@ class FaultModel:
     def transform(self, data: bytes, rng: np.random.Generator) -> bytes:
         raise NotImplementedError
 
+    def drain(self) -> bytes:
+        """Release bytes the model deferred (nothing, for most models).
+
+        On a blocking transport the wrapper must be able to deliver
+        deferred bytes without waiting for fresh traffic, or a
+        request/response exchange (e.g. a handshake) deadlocks with the
+        response tail stuck in the model.
+        """
+        return b""
+
 
 class DroppedBytes(FaultModel):
     """Drop each stream byte independently with probability ``rate``."""
@@ -138,6 +148,10 @@ class PartialReads(FaultModel):
             self.injected += 1
             data = data[:keep]
         return data
+
+    def drain(self) -> bytes:
+        out, self._backlog = self._backlog, b""
+        return out
 
 
 class DeviceStall(FaultModel):

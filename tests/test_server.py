@@ -1,0 +1,657 @@
+"""The serving layer: wire protocol, backpressure, daemon, remote sources.
+
+The central claim under test: a :class:`RemoteSampleSource` fed by a
+psserve daemon is indistinguishable from a local
+:class:`ProtocolSampleSource` on the same bench — byte-for-byte the same
+samples, markers, and health counters — because the server relays the
+device's raw wire bytes instead of re-encoding them.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+from repro.common.errors import (
+    ConfigurationError,
+    ProtocolError,
+    ServerError,
+    TransportError,
+)
+from repro.common.retry import DEFAULT_RECOVERY, RecoveryPolicy
+from repro.core import create_source
+from repro.server import (
+    BufferTimeout,
+    Frame,
+    FrameDecoder,
+    FrameType,
+    MAX_PAYLOAD,
+    PowerSensorServer,
+    RemoteSampleSource,
+    RemoteSetup,
+    SendBuffer,
+    connect_stream,
+    encode_frame,
+    pack_window,
+    parse_endpoint,
+    unpack_window,
+)
+from repro.transport.faults import parse_fault_spec
+from tests.conftest import make_loaded_setup
+
+
+@contextmanager
+def served(
+    tmp_path,
+    duration=1.0,
+    wait_clients=1,
+    policy="block",
+    chunk=400,
+    seed=0,
+    amps=8.0,
+    max_clients=64,
+    buffer_frames=256,
+):
+    """A loaded protocol bench served on a Unix socket, pumping in background."""
+    setup = make_loaded_setup(
+        amps=amps, direct=False, seed=seed, calibration_samples=1024
+    )
+    setup.source.start()
+    server = PowerSensorServer(
+        setup.source,
+        f"unix:{tmp_path / 'ps.sock'}",
+        policy=policy,
+        chunk=chunk,
+        wait_clients=wait_clients,
+        max_clients=max_clients,
+        buffer_frames=buffer_frames,
+        time_scale=0.0,
+    )
+    server.start()
+    pump = threading.Thread(target=lambda: server.serve(duration), daemon=True)
+    pump.start()
+    try:
+        yield server
+    finally:
+        server.close()
+        pump.join(timeout=10)
+        setup.close()
+
+
+def read_exactly(src: RemoteSampleSource, n: int, chunk: int = 2000):
+    """Pull exactly ``n`` samples as a list of blocks."""
+    blocks = []
+    remaining = n
+    while remaining:
+        block = src.read_block(min(chunk, remaining))
+        if not len(block):
+            break
+        blocks.append(block)
+        remaining -= len(block)
+    return blocks
+
+
+def metric_value(snapshot: dict, name: str) -> float:
+    """Sum a metric's value across label sets in a registry snapshot."""
+    return sum(
+        m.get("value", 0) for m in snapshot["metrics"] if m["name"] == name
+    )
+
+
+def concat(blocks):
+    return (
+        np.concatenate([b.times for b in blocks]),
+        np.concatenate([b.values for b in blocks]),
+        np.concatenate([b.markers for b in blocks]),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Wire frames                                                           #
+# --------------------------------------------------------------------- #
+
+
+def test_frame_roundtrip():
+    decoder = FrameDecoder()
+    payloads = [b"", b"x", b"hello world" * 100, bytes(range(256))]
+    wire = b"".join(
+        encode_frame(FrameType.DATA, i + 1, p) for i, p in enumerate(payloads)
+    )
+    frames = decoder.feed(wire)
+    assert [f.payload for f in frames] == payloads
+    assert [f.seq for f in frames] == [1, 2, 3, 4]
+    assert all(f.type == FrameType.DATA for f in frames)
+    assert decoder.frames_decoded == 4
+    assert decoder.resync_count == 0
+
+
+def test_frame_fragmented_feed_decodes_identically():
+    wire = b"".join(
+        encode_frame(FrameType.DATA, i, bytes([i]) * i) for i in range(1, 40)
+    )
+    decoder = FrameDecoder()
+    frames = []
+    for i in range(len(wire)):  # one byte at a time
+        frames.extend(decoder.feed(wire[i : i + 1]))
+    assert len(frames) == 39
+    assert all(f.payload == bytes([f.seq]) * f.seq for f in frames)
+
+
+def test_decoder_resyncs_past_garbage():
+    decoder = FrameDecoder()
+    frame = encode_frame(FrameType.MARK, 7, b"m")
+    frames = decoder.feed(b"\xde\xad\xbe\xef" * 8 + frame)
+    assert [f.seq for f in frames] == [7]
+    assert decoder.resync_count >= 1
+    assert decoder.bytes_discarded >= 32
+
+
+def test_corrupt_header_does_not_poison_the_stream():
+    good = encode_frame(FrameType.DATA, 2, b"intact")
+    bad = bytearray(encode_frame(FrameType.DATA, 1, b"x" * 50))
+    bad[7] ^= 0xFF  # corrupt the length field; header CRC must catch it
+    decoder = FrameDecoder()
+    frames = decoder.feed(bytes(bad) + good)
+    assert [f.payload for f in frames] == [b"intact"]
+    assert decoder.frames_corrupt >= 1
+
+
+def test_corrupt_payload_dropped_wholesale():
+    bad = bytearray(encode_frame(FrameType.DATA, 1, b"y" * 64))
+    bad[20] ^= 0x01  # payload bit flip: header is fine, pcrc is not
+    good = encode_frame(FrameType.DATA, 2, b"ok")
+    decoder = FrameDecoder()
+    frames = decoder.feed(bytes(bad) + good)
+    assert [f.payload for f in frames] == [b"ok"]
+    assert decoder.frames_corrupt == 1
+    # The whole bad frame was dropped in one step, not byte-by-byte.
+    assert decoder.bytes_discarded == len(bad)
+
+
+def test_oversized_payload_rejected_at_encode():
+    with pytest.raises(ProtocolError):
+        encode_frame(FrameType.DATA, 1, b"\x00" * (MAX_PAYLOAD + 1))
+
+
+@pytest.mark.parametrize("spec", ["drop:0.002", "flip:0.001", "burst:0.02@64"])
+def test_decoder_fuzz_under_fault_models(spec):
+    """Corrupted-in-transit frames are rejected, never mis-decoded."""
+    models = parse_fault_spec(spec)
+    rng = np.random.default_rng(42)
+    wire = b"".join(
+        encode_frame(FrameType.DATA, i, bytes([i % 256]) * (50 + i % 100))
+        for i in range(1, 301)
+    )
+    for model in models:
+        wire = model.transform(wire, rng)
+    decoder = FrameDecoder()
+    frames = []
+    offset = 0
+    while offset < len(wire):  # random read fragmentation on top
+        step = int(rng.integers(1, 4096))
+        frames.extend(decoder.feed(wire[offset : offset + step]))
+        offset += step
+    # Every frame that survived the CRCs is bit-exact.
+    for frame in frames:
+        assert frame.payload == bytes([frame.seq % 256]) * (50 + frame.seq % 100)
+    assert decoder.frames_decoded == len(frames)
+    # The decoder is not wedged: clean frames decode immediately after.
+    tail = decoder.feed(encode_frame(FrameType.DATA, 999, b"tail"))
+    assert tail and tail[-1].payload == b"tail"
+
+
+def test_window_payload_roundtrip():
+    rng = np.random.default_rng(3)
+    times = rng.uniform(0, 10, 17)
+    values = rng.uniform(0, 100, (17, 8))
+    markers = rng.random(17) < 0.3
+    enabled = np.array([True, True, False, True, False, False, False, True])
+    times2, values2, markers2, enabled2 = unpack_window(
+        pack_window(times, values, markers, enabled)
+    )
+    np.testing.assert_allclose(times2, times)
+    np.testing.assert_allclose(values2, values)
+    np.testing.assert_array_equal(markers2, markers)
+    np.testing.assert_array_equal(enabled2, enabled)
+
+
+def test_truncated_window_payload_raises():
+    with pytest.raises(ProtocolError):
+        unpack_window(b"\x00\x01")
+    payload = pack_window(
+        np.zeros(4), np.zeros((4, 8)), np.zeros(4, dtype=bool), np.ones(8, dtype=bool)
+    )
+    with pytest.raises(ProtocolError):
+        unpack_window(payload[:-3])
+
+
+def test_parse_endpoint_forms():
+    assert parse_endpoint("unix:/tmp/x.sock") == ("unix", "/tmp/x.sock")
+    assert parse_endpoint("example.org:9000") == ("tcp", ("example.org", 9000))
+    assert parse_endpoint(":7000") == ("tcp", ("127.0.0.1", 7000))
+    assert parse_endpoint("7000") == ("tcp", ("127.0.0.1", 7000))
+
+
+@pytest.mark.parametrize("bad", ["", "unix:", "host:port", "host:99999", "a:b:c"])
+def test_parse_endpoint_rejects(bad):
+    with pytest.raises(ConfigurationError):
+        parse_endpoint(bad)
+
+
+# --------------------------------------------------------------------- #
+# Backpressure                                                          #
+# --------------------------------------------------------------------- #
+
+
+def test_block_policy_times_out_when_full():
+    buf = SendBuffer(policy="block", max_frames=2, block_timeout=0.05)
+    assert buf.put(b"a") and buf.put(b"b")
+    with pytest.raises(BufferTimeout):
+        buf.put(b"c")
+    assert buf.dropped == 0  # block never silently drops
+
+
+def test_block_policy_unblocks_when_drained():
+    buf = SendBuffer(policy="block", max_frames=1, block_timeout=5.0)
+    buf.put(b"a")
+    threading.Timer(0.02, buf.get, kwargs={"timeout": 0.1}).start()
+    assert buf.put(b"b") is True  # the drain made room within the timeout
+    assert buf.get(timeout=0.1) == b"b"
+
+
+def test_drop_oldest_keeps_the_newest():
+    buf = SendBuffer(policy="drop-oldest", max_frames=3)
+    for frame in (b"1", b"2", b"3", b"4", b"5"):
+        buf.put(frame)
+    assert buf.dropped == 2
+    assert [buf.get(0.1) for _ in range(3)] == [b"3", b"4", b"5"]
+
+
+def test_drop_oldest_never_drops_control_frames():
+    buf = SendBuffer(policy="drop-oldest", max_frames=2)
+    buf.put(b"eos", droppable=False)
+    buf.put(b"d1")
+    buf.put(b"d2")  # full: the droppable d1 goes, never the control frame
+    assert buf.dropped == 1
+    assert [buf.get(0.1), buf.get(0.1)] == [b"eos", b"d2"]
+
+
+def test_downsample_drops_alternate_frames_under_pressure():
+    buf = SendBuffer(policy="downsample", max_frames=2)
+    results = [buf.put(bytes([i])) for i in range(6)]
+    # No pressure for the first two, then every second arrival is kept
+    # (each kept one also evicting the oldest queued frame).
+    assert results == [True, True, False, True, False, True]
+    assert buf.dropped == 4  # 2 skipped arrivals + 2 evicted oldest
+
+
+def test_closed_buffer_rejects_and_unblocks():
+    buf = SendBuffer(policy="block", max_frames=1)
+    buf.put(b"a")
+    buf.close()
+    assert buf.put(b"b") is False
+    assert buf.get(timeout=0.1) == b"a"  # drain what was queued
+    assert buf.get(timeout=0.1) is None
+
+
+# --------------------------------------------------------------------- #
+# Retry policy (extracted to repro.common.retry)                        #
+# --------------------------------------------------------------------- #
+
+
+def test_recovery_policy_reexported_from_core():
+    from repro.common import retry
+    from repro.core import powersensor
+
+    assert powersensor.RecoveryPolicy is retry.RecoveryPolicy
+    assert powersensor.DEFAULT_RECOVERY is retry.DEFAULT_RECOVERY
+    assert DEFAULT_RECOVERY is retry.DEFAULT_RECOVERY
+
+
+def test_backoff_delays_capped_geometric():
+    assert RecoveryPolicy().backoff_delays(0.05) == [0.05, 0.1, 0.1, 0.1]
+    policy = RecoveryPolicy(max_retries=3, backoff_factor=3.0, max_retry_seconds=1.0)
+    assert policy.backoff_delays(0.1) == pytest.approx([0.1, 0.3, 0.9])
+    assert RecoveryPolicy(max_retries=0).backoff_delays(0.1) == []
+
+
+# --------------------------------------------------------------------- #
+# End-to-end over a Unix socket                                         #
+# --------------------------------------------------------------------- #
+
+
+def test_remote_stream_matches_local_sample_for_sample(tmp_path):
+    n = 8000
+    local = make_loaded_setup(amps=8.0, direct=False, seed=7, calibration_samples=1024)
+    local.source.start()
+    local_blocks = [local.source.read_block(400) for _ in range(n // 400)]
+
+    with served(tmp_path, duration=n / 20_000.0, seed=7, chunk=400) as server:
+        src = RemoteSampleSource(server.address)
+        src.start()
+        remote_blocks = read_exactly(src, n)
+        src.read_block(1)  # drain to end of stream so EOS stats arrive
+        eos = src.eos_stats
+        remote_health = src.health.summary()
+        src.close()
+
+    lt, lv, lm = concat(local_blocks)
+    rt, rv, rm = concat(remote_blocks)
+    np.testing.assert_array_equal(rt, lt)
+    np.testing.assert_array_equal(rv, lv)
+    np.testing.assert_array_equal(rm, lm)
+    # Same bytes through the same decoder: identical health accounting.
+    assert remote_health == local.source.health.summary()
+    assert eos is not None and eos["frames_dropped"] == 0
+    assert src.frames_missed == 0 and src.reconnects == 0
+    local.close()
+
+
+def test_marker_from_one_client_reaches_all(tmp_path):
+    with served(tmp_path, duration=0.2, wait_clients=2) as server:
+        a = RemoteSampleSource(server.address)
+        b = RemoteSampleSource(server.address)
+        a.mark()  # lands in the shared stream before the pump starts
+        a.start()
+        b.start()
+        _, _, markers_a = concat(read_exactly(a, 4000))
+        _, _, markers_b = concat(read_exactly(b, 4000))
+        a.close()
+        b.close()
+    assert markers_a.any()
+    assert markers_b.any()
+    np.testing.assert_array_equal(markers_a, markers_b)
+
+
+def test_window_mode_serves_averaged_rows(tmp_path):
+    w = 10
+    with served(tmp_path, duration=0.5, wait_clients=2) as server:
+        raw = RemoteSampleSource(server.address)
+        win = RemoteSampleSource(server.address, mode="window", window=w)
+        assert win.sample_rate == pytest.approx(raw.sample_rate / w)
+        raw.start()
+        win.start()
+        rt, rv, rm = concat(read_exactly(raw, 10_000))
+        wt, wv, wm = concat(read_exactly(win, 1000))
+        raw.close()
+        win.close()
+    assert wt.size == 1000
+    np.testing.assert_allclose(wt, rt.reshape(1000, w).mean(axis=1))
+    np.testing.assert_allclose(wv, rv.reshape(1000, w, rv.shape[1]).mean(axis=1))
+    np.testing.assert_array_equal(wm, rm.reshape(1000, w).any(axis=1))
+
+
+def test_remote_config_image_matches_server(tmp_path):
+    with served(tmp_path) as server:
+        src = RemoteSampleSource(server.address)
+        assert src.configs == server.source.configs
+        src.close()
+
+
+def test_remote_source_is_read_only(tmp_path):
+    with served(tmp_path) as server:
+        src = RemoteSampleSource(server.address)
+        with pytest.raises(ServerError):
+            src.write_configs(src.configs)
+        with pytest.raises(ServerError):
+            src.read_block_raw(10)
+        src.close()
+
+
+def test_remote_setup_hides_the_physical_bench(tmp_path):
+    with served(tmp_path, duration=0.1) as server:
+        setup = RemoteSetup(server.address)
+        for attr in ("baseboard", "eeprom", "firmware"):
+            with pytest.raises(ServerError):
+                getattr(setup, attr)
+        with pytest.raises(ServerError):
+            setup.connect(0, None)
+        setup.close()
+
+
+def test_server_full_rejects_with_server_error(tmp_path):
+    with served(tmp_path, max_clients=1) as server:
+        first = RemoteSampleSource(server.address)
+        with pytest.raises(ServerError, match="server full"):
+            RemoteSampleSource(server.address)
+        first.close()
+
+
+def test_create_source_registry_builds_remote(tmp_path):
+    with served(tmp_path, duration=0.1) as server:
+        src = create_source("remote", server.address)
+        assert isinstance(src, RemoteSampleSource)
+        src.start()
+        assert len(src.read_block(400)) == 400
+        src.close()
+    with pytest.raises(ValueError, match="unknown sample source"):
+        create_source("telepathy")
+
+
+def test_sequence_gaps_counted_as_missed_frames(tmp_path):
+    with served(tmp_path) as server:
+        src = RemoteSampleSource(server.address)
+        link = src.link
+        link._route(Frame(FrameType.DATA, 5, b""))
+        link._route(Frame(FrameType.DATA, 8, b""))  # 6 and 7 never arrived
+        assert src.frames_missed == 2
+        snapshot = link.registry.snapshot()
+        assert metric_value(snapshot, "client_frames_missed_total") == 2
+        src.close()
+
+
+# --------------------------------------------------------------------- #
+# Connection retry and fault injection on the receive path              #
+# --------------------------------------------------------------------- #
+
+
+def test_connect_retries_through_transient_refusal(tmp_path):
+    attempts = []
+
+    def flaky_factory(spec):
+        attempts.append(spec)
+        if len(attempts) < 3:
+            raise TransportError("transient refusal")
+        return connect_stream(spec)
+
+    with served(tmp_path) as server:
+        src = RemoteSampleSource(
+            server.address,
+            stream_factory=flaky_factory,
+            recovery=RecoveryPolicy(max_retries=4, max_retry_seconds=0.01),
+        )
+        src.start()
+        assert len(src.read_block(400)) == 400
+        src.close()
+    assert len(attempts) == 3
+
+
+def test_connect_exhaustion_raises_server_error(tmp_path):
+    from repro.cli.common import exit_status
+
+    spec = f"unix:{tmp_path / 'nobody-home.sock'}"
+    policy = RecoveryPolicy(max_retries=2, max_retry_seconds=0.01)
+    with pytest.raises(ServerError, match="cannot connect"):
+        RemoteSampleSource(spec, recovery=policy, connect_timeout=0.2)
+    assert exit_status(ServerError("x")) == 76
+
+
+class _FlipBytes:
+    """ByteStream wrapper flipping one bit at fixed absolute stream offsets."""
+
+    def __init__(self, stream, offsets):
+        self.stream = stream
+        self.offsets = set(offsets)
+        self.pos = 0
+
+    def read(self, n):
+        data = self.stream.read(n)
+        end = self.pos + len(data)
+        hits = [o for o in self.offsets if self.pos <= o < end]
+        if hits:
+            buf = bytearray(data)
+            for offset in hits:
+                buf[offset - self.pos] ^= 0x40
+            data = bytes(buf)
+        self.pos = end
+        return data
+
+    def write(self, data):
+        self.stream.write(data)
+
+    def close(self):
+        self.stream.close()
+
+
+def test_corrupted_frames_cost_whole_chunks_never_wrong_samples(tmp_path):
+    """A bit flip in transit loses exactly one frame — and nothing else."""
+    n = 20_000
+    # One enabled pair is ~6 wire bytes per sample, so the ~120 kB stream
+    # puts these offsets in two distinct DATA frames, far past the
+    # handshake and config traffic.
+    flips = (40_000, 80_000)
+    with served(tmp_path, duration=n / 20_000.0, seed=11) as server:
+        src = RemoteSampleSource(
+            server.address,
+            stream_factory=lambda spec: _FlipBytes(connect_stream(spec), flips),
+        )
+        src.start()
+        blocks = read_exactly(src, n)
+        got = sum(len(b) for b in blocks)
+        corrupt = src.link._decoder.frames_corrupt
+        missed = src.frames_missed
+        snapshot = src.link.registry.snapshot()
+        src.close()
+
+    assert got == n - len(flips) * 400  # each flip costs exactly one chunk
+    assert missed == len(flips)  # the sequence gaps account for the loss
+    assert corrupt >= len(flips)  # a CRC rejected every corrupted frame
+    assert metric_value(snapshot, "client_frames_missed_total") == missed
+    assert metric_value(snapshot, "client_frames_corrupt_total") == corrupt
+
+    local = make_loaded_setup(amps=8.0, direct=False, seed=11, calibration_samples=1024)
+    local.source.start()
+    _, lv, _ = concat([local.source.read_block(400) for _ in range(n // 400)])
+    _, rv, _ = concat(blocks)
+    # The surviving chunks are an ordered, bit-exact subsequence of the
+    # true stream: corruption costs whole frames, never wrong samples.
+    local_chunks = [lv[i * 400 : (i + 1) * 400] for i in range(n // 400)]
+    j = 0
+    for i in range(got // 400):
+        chunk = rv[i * 400 : (i + 1) * 400]
+        while j < len(local_chunks) and not np.array_equal(local_chunks[j], chunk):
+            j += 1
+        assert j < len(local_chunks), "remote chunk absent from the local stream"
+        j += 1
+    local.close()
+
+
+def test_remote_setup_fault_plumbing_survives_fragmented_reads(tmp_path):
+    """``--faults partial:...`` fragments the receive path losslessly."""
+    n = 10_000
+    # Serve more than the client reads: PartialReads defers byte tails,
+    # so the client must stop while the stream is still flowing.
+    with served(tmp_path, duration=1.0, seed=11) as server:
+        setup = RemoteSetup(server.address, faults="partial:0.5", fault_seed=3)
+        src = setup.source
+        src.start()
+        _, rv, _ = concat(read_exactly(src, n))
+        snapshot = setup.registry.snapshot()
+        setup.close()
+
+    assert rv.shape[0] == n  # fragmentation reordered nothing, lost nothing
+    assert metric_value(snapshot, "faults_injected_total") >= 1
+
+    local = make_loaded_setup(amps=8.0, direct=False, seed=11, calibration_samples=1024)
+    local.source.start()
+    _, lv, _ = concat([local.source.read_block(400) for _ in range(n // 400)])
+    np.testing.assert_array_equal(rv, lv)
+    local.close()
+
+
+# --------------------------------------------------------------------- #
+# CLI and PMT surfaces                                                  #
+# --------------------------------------------------------------------- #
+
+BENCH = ["--modules", "pcie_slot_12v", "--dut", "load:8.0@12.0", "--seed", "0"]
+
+
+def _wait_for(path: str, timeout: float = 10.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if os.path.exists(path):
+            return
+        time.sleep(0.01)
+    raise AssertionError(f"socket {path} never appeared")
+
+
+def test_psserve_cli_serves_and_exits_cleanly(tmp_path, capsys):
+    from repro.cli import psserve
+
+    sock = tmp_path / "cli.sock"
+    result = {}
+    argv = BENCH + [
+        "--listen",
+        f"unix:{sock}",
+        "--duration",
+        "0.3",
+        "--wait-clients",
+        "1",
+        "--fast",
+    ]
+    daemon = threading.Thread(
+        target=lambda: result.setdefault("code", psserve.main(argv)), daemon=True
+    )
+    daemon.start()
+    _wait_for(str(sock))
+    src = RemoteSampleSource(f"unix:{sock}")
+    src.start()
+    got = sum(len(b) for b in read_exactly(src, 6000))
+    src.close()
+    daemon.join(timeout=20)
+    assert result.get("code") == 0
+    assert got == 6000
+    assert "psserve: serving on" in capsys.readouterr().err
+
+
+def test_psserve_rejects_direct_mode(capsys):
+    from repro.cli import psserve
+
+    code = psserve.main(BENCH + ["--direct", "--listen", "unix:/tmp/never.sock"])
+    assert code == 74  # ConfigurationError
+    assert "drop --direct" in capsys.readouterr().err
+
+
+def test_psrun_remote_matches_local_power(tmp_path, capsys):
+    from repro.cli import psrun
+
+    command = ["--", sys.executable, "-c", "import time; time.sleep(0.2)"]
+    assert psrun.main(BENCH + command) == 0
+    local_out = capsys.readouterr().out
+
+    with served(tmp_path, duration=5.0) as server:
+        assert psrun.main(["--remote", server.address] + command) == 0
+        remote_out = capsys.readouterr().out
+
+    local_watts = float(local_out.strip().rsplit(",", 1)[1].split()[0])
+    remote_watts = float(remote_out.strip().rsplit(",", 1)[1].split()[0])
+    assert local_watts == pytest.approx(96.0, rel=0.02)
+    assert remote_watts == pytest.approx(local_watts, rel=0.01)
+
+
+def test_pmt_remote_backend_meters_the_shared_device(tmp_path):
+    from repro.pmt.backends import create
+    from repro.pmt.base import pmt_watts
+
+    with served(tmp_path, duration=2.0) as server:
+        backend = create("powersensor3-remote", server.address)
+        first = backend.read(0.0)
+        second = backend.read(1.0)
+        assert pmt_watts(first, second) == pytest.approx(96.0, rel=0.02)
+        backend.ps.close()
