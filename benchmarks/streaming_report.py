@@ -28,6 +28,10 @@ The report compares three stages of the receive/persist pipeline:
   ``ProtocolSampleSource`` pulling the same samples (the remote decode
   overhead must stay within 2x local).  These are wall-clock runs of a
   threaded daemon, so they report single measurements, not best-of.
+* **fleet** — four mixed devices (two simulated benches, a looped replay
+  tape, a re-served remote member) behind one psserve endpoint with one
+  subscriber per device: every device must sustain its full 20 kHz with
+  zero dropped frames.
 
 Timings are best-of-``--repeat`` wall-clock; the JSON lands at the repo
 root so the numbers ride along with the code that produced them.
@@ -323,6 +327,124 @@ def bench_server(repeat: int) -> dict:
     }
 
 
+def _run_fleet(duration: float, chunk: int) -> dict:
+    """A 4-device mixed fleet behind one psserve endpoint.
+
+    The fleet mirrors the supported member kinds — two simulated benches,
+    a looped replay tape, and a remote member re-served from an inner
+    daemon — with one subscriber per device on the outer endpoint.  Each
+    device must sustain its full 20 kHz with zero dropped frames.
+    """
+    import shutil
+    import threading
+
+    from repro.core.fleet import Fleet
+    from repro.server import PowerSensorServer
+    from repro.server.client import RemoteSampleSource
+
+    tmpdir = tempfile.mkdtemp(prefix="psserve-fleet-bench-")
+    tape = os.path.join(tmpdir, "tape.dump")
+
+    # Record half a second of one-module stream as the replay member's tape.
+    rec = SimulatedSetup(["pcie_slot_12v"], seed=3, calibration_samples=1024)
+    rec.source.start()
+    writer = DumpWriter(tape, ["pcie"], rec.source.sample_rate)
+    block = rec.source.read_block(10_000)
+    writer.write_samples(block.times, block.values[:, 1:2], block.values[:, 0:1])
+    writer.close()
+    rec.close()
+
+    # The inner daemon whose stream the fleet's remote member re-serves.
+    inner_setup = SimulatedSetup(
+        ["pcie_slot_12v"], seed=5, calibration_samples=1024, device="shared"
+    )
+    inner_setup.source.start()
+    inner = PowerSensorServer(
+        inner_setup.source,
+        f"unix:{os.path.join(tmpdir, 'inner.sock')}",
+        chunk=chunk,
+        wait_clients=1,
+        time_scale=0.0,
+    )
+    inner.start()
+    inner_pump = threading.Thread(
+        target=lambda: inner.serve(duration * 1.1), daemon=True
+    )
+    inner_pump.start()
+
+    fleet = Fleet.from_specs(
+        [
+            "sim://pcie_slot_12v?seed=0&calibration_samples=1024&device=simA",
+            "sim://pcie_slot_12v?seed=1&calibration_samples=1024&device=simB",
+            f"remote://{inner.address}?device=shared",
+            f"replay://{tape}?loop=true&device=tape",
+        ]
+    )
+    rate = max(member.source.sample_rate for member in fleet)
+    expected = int(round(duration * rate))
+    server = PowerSensorServer(
+        fleet.sources(),
+        f"unix:{os.path.join(tmpdir, 'outer.sock')}",
+        chunk=chunk,
+        wait_clients=len(fleet),
+        time_scale=0.0,
+    )
+    received = {name: 0 for name in fleet.names}
+    dropped = dict(received)
+
+    def subscriber(name: str) -> None:
+        src = RemoteSampleSource(server.address, device=name)
+        src.start()
+        while True:
+            block = src.read_block(4000)
+            received[name] += len(block)
+            if len(block) < 4000:  # a short read means end of stream
+                break
+        dropped[name] = (src.eos_stats or {}).get("frames_dropped", 0)
+        src.close()
+
+    try:
+        server.start()
+        threads = [
+            threading.Thread(target=subscriber, args=(name,), daemon=True)
+            for name in fleet.names
+        ]
+        for t in threads:
+            t.start()
+        t0 = time.perf_counter()
+        server.serve(duration)
+        for t in threads:
+            t.join(timeout=60)
+        wall = time.perf_counter() - t0
+    finally:
+        server.close()
+        fleet.close()
+        inner.close()
+        inner_pump.join(timeout=60)
+        inner_setup.close()
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+    per_device_rate = expected / wall
+    return {
+        "devices": sorted(received),
+        "n_devices": len(received),
+        "chunk": chunk,
+        "simulated_seconds": duration,
+        "wall_seconds": round(wall, 3),
+        "samples_per_device": expected,
+        "per_device_samples_per_s": round(per_device_rate),
+        "sustains_20khz_each": per_device_rate >= rate,
+        "lossless": all(r == expected for r in received.values()),
+        "frames_dropped": sum(dropped.values()),
+        "received": dict(received),
+    }
+
+
+def bench_fleet(repeat: int) -> dict:
+    """The multi-device serving path (one run; a live threaded daemon)."""
+    return {"mixed_fleet": _run_fleet(2.0, 400)}
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument("--samples", type=int, default=1_000_000)
@@ -355,6 +477,7 @@ def main() -> None:
         "dump": bench_dump(args.samples, args.repeat),
         "observability": bench_observability(args.samples, args.repeat),
         "server": bench_server(args.repeat),
+        "fleet": bench_fleet(args.repeat),
     }
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))

@@ -1,8 +1,10 @@
-"""Shared CLI plumbing: build a simulated bench from command-line flags.
+"""Shared CLI plumbing: build a bench (or a fleet of them) from flags.
 
 The real tools take a serial device path; the simulated ones take a bench
 description instead (``--modules``, ``--dut``) and assemble the same
-objects the library API exposes.
+objects the library API exposes.  Repeatable ``--device SPEC`` flags
+describe devices by URI (``sim://…``, ``remote://…``, ``replay://…``)
+and build a multi-device :class:`~repro.core.fleet.FleetSetup` instead.
 """
 
 from __future__ import annotations
@@ -22,10 +24,8 @@ from repro.common.errors import (
     StreamStalledError,
     TransportError,
 )
-from repro.core.setup import SimulatedSetup
-from repro.dut.base import ConstantRail
-from repro.dut.gpu import Gpu, KernelLaunch
-from repro.dut.instruments import ElectronicLoad, LabSupply, LoadedSupplyRail
+from repro.core.setup import SimulatedSetup, parse_module_keys
+from repro.dut.rails import DUT_SPEC_HELP, build_rail
 from repro.observability import MetricsRegistry, Tracer, write_metrics
 from repro.transport.faults import FAULT_SPEC_HELP
 
@@ -97,6 +97,17 @@ def add_device_arguments(
     parser: argparse.ArgumentParser, metrics: bool = True, remote: bool = True
 ) -> None:
     parser.add_argument(
+        "--device",
+        metavar="SPEC",
+        action="append",
+        default=None,
+        dest="devices",
+        help="device URI spec: 'sim://MODULES?dut=…&seed=…', "
+        "'remote://HOST:PORT?device=NAME', 'replay://DUMP?speed=…'; "
+        "repeat for a multi-device fleet (name members with 'device=…'; "
+        "overrides --modules/--dut/--remote)",
+    )
+    parser.add_argument(
         "--modules",
         default="pcie_slot_12v",
         help="comma-separated sensor module keys for slots 0..3 "
@@ -105,8 +116,7 @@ def add_device_arguments(
     parser.add_argument(
         "--dut",
         default="load:8.0@12.0",
-        help="device under test on slot 0: 'load:<amps>@<volts>', "
-        "'gpu:<key>' (repeating synthetic workload), or 'none'",
+        help=f"device under test on slot 0: {DUT_SPEC_HELP}",
     )
     parser.add_argument("--seed", type=int, default=0, help="simulation seed")
     parser.add_argument(
@@ -159,6 +169,10 @@ def build_setup(
     registry: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
 ):
+    if getattr(args, "devices", None):
+        from repro.core.fleet import FleetSetup
+
+        return FleetSetup(args.devices, registry=registry, tracer=tracer)
     if getattr(args, "remote", None):
         from repro.server.client import RemoteSetup
 
@@ -176,12 +190,8 @@ def build_setup(
             registry=registry,
             tracer=tracer,
         )
-    keys = [
-        None if key.strip().lower() in ("none", "") else key.strip()
-        for key in args.modules.split(",")
-    ]
     setup = SimulatedSetup(
-        keys,
+        parse_module_keys(args.modules),
         seed=args.seed,
         direct=args.direct,
         faults=getattr(args, "faults", None),
@@ -197,28 +207,18 @@ def build_setup(
     return setup
 
 
+def setup_fleet(setup):
+    """The setup's :class:`~repro.core.fleet.Fleet`, or ``None``.
+
+    CLI bodies use this to branch between the single-bench path and the
+    fleet-aggregating path after :func:`build_setup`.
+    """
+    return getattr(setup, "fleet", None)
+
+
 def _build_rail(dut: str, seed: int):
-    dut = dut.strip().lower()
-    if dut in ("none", ""):
-        return None
-    if dut.startswith("load:"):
-        spec = dut.split(":", 1)[1]
-        amps_text, _, volts_text = spec.partition("@")
-        load = ElectronicLoad()
-        load.set_current(float(amps_text))
-        return LoadedSupplyRail(LabSupply(float(volts_text or 12.0)), load)
-    if dut.startswith("gpu:"):
-        key = dut.split(":", 1)[1] or "rtx4000ada"
-        gpu = Gpu(key)
-        # A repeating 2-second synthetic workload with 1 s of idle between.
-        for k in range(20):
-            gpu.launch(
-                KernelLaunch(start=1.0 + 3.0 * k, duration=2.0, n_waves=8)
-            )
-        trace = gpu.render(t_end=62.0, dt=5e-4)
-        return gpu.rails(trace)["ext_12v"]
-    if dut.startswith("const:"):
-        spec = dut.split(":", 1)[1]
-        amps_text, _, volts_text = spec.partition("@")
-        return ConstantRail(float(volts_text or 12.0), float(amps_text))
-    raise SystemExit(f"unknown --dut spec {dut!r}")
+    """CLI shim over :func:`repro.dut.rails.build_rail` (argparse-style exit)."""
+    try:
+        return build_rail(dut, seed)
+    except ConfigurationError as error:
+        raise SystemExit(f"unknown --dut spec {dut!r}") from error

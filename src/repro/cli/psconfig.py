@@ -11,7 +11,13 @@ from __future__ import annotations
 import argparse
 
 from repro.calibration.procedure import calibrate_all
-from repro.cli.common import add_device_arguments, build_setup, run_with_diagnostics
+from repro.cli.common import (
+    add_device_arguments,
+    build_setup,
+    run_with_diagnostics,
+    setup_fleet,
+)
+from repro.common.errors import ConfigurationError
 from repro.firmware.commands import Command
 from repro.observability import MetricsRegistry, Tracer
 
@@ -66,9 +72,46 @@ def _configure(
 ) -> int:
     setup = build_setup(args, registry, tracer)
     try:
+        fleet = setup_fleet(setup)
+        if fleet is not None:
+            return _apply_fleet(args, fleet)
         return _apply(args, setup)
     finally:
         setup.close()
+
+
+def _apply_fleet(args: argparse.Namespace, fleet) -> int:
+    """Read or write sensor configuration on every fleet device."""
+    if args.calibrate or args.verify or args.reboot or args.dfu:
+        raise ConfigurationError(
+            "--calibrate/--verify/--reboot operate on one local bench; "
+            "run psconfig against a single device instead of --device specs"
+        )
+    if args.sensor is None:
+        raise ConfigurationError("--device needs --sensor to read or write")
+    changes = _collect_changes(args)
+    for name, member in fleet.members.items():
+        if not changes:
+            print(f"{name}: {member.ps.get_config(args.sensor)}")
+        else:
+            cfg = member.ps.set_config(args.sensor, **changes)
+            print(f"{name}: sensor {args.sensor} updated: {cfg}")
+    return 0
+
+
+def _collect_changes(args: argparse.Namespace) -> dict:
+    changes = {}
+    if args.name is not None:
+        changes["name"] = args.name
+    if args.pair_name is not None:
+        changes["pair_name"] = args.pair_name
+    if args.vref is not None:
+        changes["vref"] = args.vref
+    if args.slope is not None:
+        changes["slope"] = args.slope
+    if args.enable is not None:
+        changes["enabled"] = args.enable == "on"
+    return changes
 
 
 def _apply(args: argparse.Namespace, setup) -> int:
@@ -99,17 +142,7 @@ def _apply(args: argparse.Namespace, setup) -> int:
             )
 
     if args.sensor is not None:
-        changes = {}
-        if args.name is not None:
-            changes["name"] = args.name
-        if args.pair_name is not None:
-            changes["pair_name"] = args.pair_name
-        if args.vref is not None:
-            changes["vref"] = args.vref
-        if args.slope is not None:
-            changes["slope"] = args.slope
-        if args.enable is not None:
-            changes["enabled"] = args.enable == "on"
+        changes = _collect_changes(args)
         if not changes:
             cfg = ps.get_config(args.sensor)
             print(cfg)

@@ -7,7 +7,12 @@ from __future__ import annotations
 
 import argparse
 
-from repro.cli.common import add_device_arguments, build_setup, run_with_diagnostics
+from repro.cli.common import (
+    add_device_arguments,
+    build_setup,
+    run_with_diagnostics,
+    setup_fleet,
+)
 from repro.observability import MetricsRegistry, Tracer, summarize_registry
 
 
@@ -51,10 +56,23 @@ def _show(args: argparse.Namespace, registry: MetricsRegistry, tracer: Tracer) -
 
 
 def _report(setup) -> int:
+    fleet = setup_fleet(setup)
+    if fleet is not None:
+        fleet.read_all(0.05)  # a short burst of fresh samples, every device
+        states = fleet.read()
+        for name, member in fleet.members.items():
+            print(f"=== device {name} ===")
+            _report_device(member.ps, states[name])
+            print()
+        print(f"fleet total power: {states.total_power:.3f} W across {len(fleet)} device(s)")
+        return 0
     ps = setup.ps
     ps.pump_seconds(0.05)  # a short burst of fresh samples
-    state = ps.read()
+    _report_device(ps, ps.read())
+    return 0
 
+
+def _report_device(ps, state) -> None:
     print(f"device    : {ps.source.version}")
     print(f"sample rate: {ps.sample_rate:.0f} Hz")
     print()
@@ -77,7 +95,6 @@ def _report(setup) -> int:
     print(f"\ntotal power: {state.total_power:.3f} W")
     if ps.health.degraded:
         print(f"stream health: {ps.health.summary()}")
-    return 0
 
 
 if __name__ == "__main__":

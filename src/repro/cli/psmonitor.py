@@ -12,7 +12,12 @@ import argparse
 import sys
 
 from repro.analysis.streaming import StreamingPowerMonitor, StreamingStats
-from repro.cli.common import add_device_arguments, build_setup, run_with_diagnostics
+from repro.cli.common import (
+    add_device_arguments,
+    build_setup,
+    run_with_diagnostics,
+    setup_fleet,
+)
 from repro.core.health import StreamHealth
 from repro.observability import MetricsRegistry, Tracer
 
@@ -69,6 +74,9 @@ def _monitor(
 ) -> int:
     setup = build_setup(args, registry, tracer)
     try:
+        fleet = setup_fleet(setup)
+        if fleet is not None:
+            return _monitor_fleet(args, fleet)
         monitor = StreamingPowerMonitor()
         print(
             f"{'t':>6} {'mean W':>9} {'min W':>9} {'max W':>9} {'std W':>8} {'energy J':>10}"
@@ -105,6 +113,45 @@ def _monitor(
         return 0
     finally:
         setup.close()
+
+
+def _monitor_fleet(args: argparse.Namespace, fleet) -> int:
+    """Per-interval rolling statistics aggregated across a device fleet."""
+    monitors = {name: StreamingPowerMonitor() for name in fleet.names}
+    print(f"{'t':>6} {'mean W':>9} {'energy J':>10}  per-device W")
+
+    elapsed = 0.0
+    while elapsed < args.duration:
+        span = min(args.interval, args.duration - elapsed)
+        fleet_block = fleet.read_all(span)
+        per_device = []
+        for name, block in fleet_block.items():
+            monitors[name].update(block)
+            if len(block):
+                per_device.append(f"{name}={float(block.total_power().mean()):.3f}")
+        energy = sum(m.energy_joules for m in monitors.values())
+        print(
+            f"{elapsed + span:5.1f}s {fleet_block.mean_power():9.3f} "
+            f"{energy:10.3f}  {' '.join(per_device)}"
+        )
+        elapsed += span
+        if not args.fast:
+            import time
+
+            time.sleep(span)
+
+    for name, health in fleet.health().items():
+        print(
+            f"{name}: {monitors[name].total.count} samples, "
+            f"mean {monitors[name].total.mean:.3f} W, "
+            f"energy {monitors[name].energy_joules:.3f} J",
+            file=sys.stderr,
+        )
+        if health.degraded:
+            print(f"{name} stream health: {health.summary()}", file=sys.stderr)
+    total_energy = sum(m.energy_joules for m in monitors.values())
+    print(f"\nfleet energy: {total_energy:.3f} J across {len(fleet)} device(s)")
+    return 0
 
 
 if __name__ == "__main__":

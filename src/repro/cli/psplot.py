@@ -1,8 +1,13 @@
-"""psplot: render a dump file as an ASCII power-over-time chart.
+"""psplot: render a dump file — or a live capture — as an ASCII chart.
 
 A convenience on top of continuous mode: visualise a 20 kHz capture in the
 terminal, with markers annotated on the time axis.  (The real toolkit
 leaves plotting to the user; this keeps the repository dependency-free.)
+
+Without a dump file, psplot captures ``--seconds`` of stream from the
+device the standard flags describe (``--modules``/``--dut``, ``--remote``,
+``--faults``, repeatable ``--device`` specs) and plots that instead — one
+chart per fleet device.
 """
 
 from __future__ import annotations
@@ -11,7 +16,12 @@ import argparse
 
 import numpy as np
 
-from repro.cli.common import run_with_diagnostics
+from repro.cli.common import (
+    add_device_arguments,
+    build_setup,
+    run_with_diagnostics,
+    setup_fleet,
+)
 from repro.core.dump import DumpReader
 from repro.observability import MetricsRegistry, Tracer
 
@@ -76,20 +86,26 @@ def render_chart(
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="psplot", description="ASCII-plot a PowerSensor3 dump file."
+        prog="psplot",
+        description="ASCII-plot a PowerSensor3 dump file or a live capture.",
     )
-    parser.add_argument("dump", help="dump file written by continuous mode")
+    parser.add_argument(
+        "dump",
+        nargs="?",
+        default=None,
+        help="dump file written by continuous mode (omit to capture live)",
+    )
+    add_device_arguments(parser)
     parser.add_argument("--width", type=int, default=72)
     parser.add_argument("--height", type=int, default=16)
     parser.add_argument(
         "--pair", type=int, default=-1, help="pair index to plot (-1 = total)"
     )
     parser.add_argument(
-        "--metrics",
-        metavar="PATH",
-        default=None,
-        help="write a metrics file on exit (.prom: Prometheus text, "
-        "otherwise one JSON snapshot line is appended)",
+        "--seconds",
+        type=float,
+        default=1.0,
+        help="live capture length in stream seconds (no dump file given)",
     )
     args = parser.parse_args(argv)
     registry = MetricsRegistry()
@@ -109,6 +125,8 @@ def _plot(
     registry: MetricsRegistry,
     tracer: Tracer,
 ) -> int:
+    if args.dump is None:
+        return _plot_live(args, registry, tracer)
     with tracer.span("read_dump"):
         data = DumpReader.read(args.dump)
     registry.gauge(
@@ -130,6 +148,41 @@ def _plot(
         chart = render_chart(data.times, watts, args.width, args.height, data.markers)
     print(chart)
     return 0
+
+
+def _plot_live(
+    args: argparse.Namespace, registry: MetricsRegistry, tracer: Tracer
+) -> int:
+    """Capture --seconds of stream from the described device(s) and plot."""
+    setup = build_setup(args, registry, tracer)
+    try:
+        fleet = setup_fleet(setup)
+        if fleet is not None:
+            blocks = fleet.read_all(args.seconds)
+            for name, block in blocks.items():
+                _plot_block(args, tracer, block, label=name)
+            return 0
+        block = setup.ps.pump_seconds(args.seconds)
+        _plot_block(args, tracer, block, label="live")
+        return 0
+    finally:
+        setup.close()
+
+
+def _plot_block(args: argparse.Namespace, tracer: Tracer, block, label: str) -> None:
+    if args.pair == -1:
+        watts = block.total_power()
+    else:
+        watts = block.pair_power(args.pair)
+        label = f"{label} pair {args.pair}"
+    mean = float(watts.mean()) if len(block) else 0.0
+    print(f"{label}: {len(block)} samples, mean {mean:.2f} W")
+    marker_times = [(float(t), "M") for t in block.times[block.markers]]
+    with tracer.span("render"):
+        chart = render_chart(
+            block.times, watts, args.width, args.height, marker_times
+        )
+    print(chart)
 
 
 if __name__ == "__main__":

@@ -16,7 +16,14 @@ import argparse
 import subprocess
 import sys
 
-from repro.cli.common import add_device_arguments, build_setup, run_with_diagnostics
+import contextlib
+
+from repro.cli.common import (
+    add_device_arguments,
+    build_setup,
+    run_with_diagnostics,
+    setup_fleet,
+)
 from repro.core.realtime import RealtimeDriver
 from repro.core.state import State, joules, seconds, watts
 from repro.observability import MetricsRegistry, Tracer
@@ -79,6 +86,9 @@ def _measure(
 ) -> int:
     setup = build_setup(args, registry, tracer)
     try:
+        fleet = setup_fleet(setup)
+        if fleet is not None:
+            return _measure_fleet(args, command, fleet, tracer)
         ps = setup.ps
         if args.dump:
             ps.dump(args.dump)
@@ -100,6 +110,46 @@ def _measure(
         return exit_code
     finally:
         setup.close()
+
+
+def _measure_fleet(
+    args: argparse.Namespace, command: list[str], fleet, tracer: Tracer
+) -> int:
+    """Run the command while every fleet device pumps in real time."""
+    if args.dump:
+        # One dump file per device: "out.txt" -> "out.<device>.txt".
+        from pathlib import Path
+
+        base = Path(args.dump)
+        for name, member in fleet.members.items():
+            member.ps.dump(str(base.with_suffix(f".{name}{base.suffix}")))
+    drivers = {
+        name: RealtimeDriver(member.ps, time_scale=args.time_scale)
+        for name, member in fleet.members.items()
+    }
+    with contextlib.ExitStack() as stack:
+        for driver in drivers.values():
+            stack.enter_context(driver)
+        before = {name: d.read() for name, d in drivers.items()}
+        try:
+            with tracer.span("command"):
+                completed = subprocess.run(command)
+        except OSError as error:
+            print(f"psrun: cannot run {command[0]!r}: {error}", file=sys.stderr)
+            return EXIT_COMMAND_NOT_RUN
+        exit_code = completed.returncode
+        after = {name: d.read() for name, d in drivers.items()}
+
+    print(f"exit status: {exit_code}", file=sys.stderr)
+    total_joules = 0.0
+    for name in drivers:
+        total_joules += joules(before[name], after[name])
+        print(f"{name}: {format_measurement(before[name], after[name])}")
+    print(f"fleet total: {total_joules:.3f} J across {len(drivers)} device(s)")
+    for name, health in fleet.health().items():
+        if health.degraded:
+            print(f"{name} stream health: {health.summary()}", file=sys.stderr)
+    return exit_code
 
 
 if __name__ == "__main__":

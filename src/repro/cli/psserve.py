@@ -1,11 +1,13 @@
-"""psserve: serve one simulated PowerSensor to many subscribers.
+"""psserve: serve one or more PowerSensor devices to many subscribers.
 
 The daemon assembles the usual simulated bench (``--modules``, ``--dut``,
-``--seed``, optional ``--faults`` on the device link), then listens on a
-TCP or Unix socket and fans the 20 kHz stream out to every connected
+``--seed``, optional ``--faults`` on the device link) — or a whole fleet
+of devices from repeated ``--device SPEC`` flags — then listens on a TCP
+or Unix socket and fans each device's stream out to every connected
 client (``psrun --remote``, ``psmonitor --remote``, the PMT remote
-backend, or any :class:`~repro.server.RemoteSampleSource`).  See
-``docs/serving.md`` for the wire protocol and backpressure policies.
+backend, or any :class:`~repro.server.RemoteSampleSource`; clients pick a
+device by name in the subscription).  See ``docs/serving.md`` for the
+wire protocol and backpressure policies.
 """
 
 from __future__ import annotations
@@ -13,7 +15,12 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.cli.common import add_device_arguments, build_setup, run_with_diagnostics
+from repro.cli.common import (
+    add_device_arguments,
+    build_setup,
+    run_with_diagnostics,
+    setup_fleet,
+)
 from repro.common.errors import ConfigurationError
 from repro.observability import MetricsRegistry, Tracer
 from repro.server.backpressure import POLICIES
@@ -106,15 +113,17 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _serve(args: argparse.Namespace, registry: MetricsRegistry, tracer: Tracer) -> int:
-    if args.direct:
+    if args.direct and not getattr(args, "devices", None):
         raise ConfigurationError(
             "psserve relays the device's wire bytes; it needs the "
             "byte-accurate protocol path (drop --direct)"
         )
     setup = build_setup(args, registry, tracer)
     try:
+        fleet = setup_fleet(setup)
+        source = fleet.sources() if fleet is not None else setup.source
         server = PowerSensorServer(
-            setup.source,
+            source,
             args.listen,
             policy=args.policy,
             buffer_frames=args.buffer_frames,
@@ -127,7 +136,13 @@ def _serve(args: argparse.Namespace, registry: MetricsRegistry, tracer: Tracer) 
             tracer=tracer,
         )
         with server:
-            print(f"psserve: serving on {server.address}", file=sys.stderr, flush=True)
+            names = ", ".join(server.devices)
+            print(
+                f"psserve: serving {len(server.devices)} device(s) [{names}] "
+                f"on {server.address}",
+                file=sys.stderr,
+                flush=True,
+            )
             try:
                 stats = server.serve(duration=args.duration)
             except KeyboardInterrupt:
@@ -138,7 +153,11 @@ def _serve(args: argparse.Namespace, registry: MetricsRegistry, tracer: Tracer) 
             f"{stats['clients_evicted']} evicted ({stats['reason']})",
             file=sys.stderr,
         )
-        if setup.ps.health.degraded:
+        if fleet is not None:
+            for name, health in fleet.health().items():
+                if health.degraded:
+                    print(f"{name} stream health: {health.summary()}", file=sys.stderr)
+        elif setup.ps.health.degraded:
             print(f"stream health: {setup.ps.health.summary()}", file=sys.stderr)
         return 0
     finally:

@@ -11,7 +11,12 @@ from __future__ import annotations
 
 import argparse
 
-from repro.cli.common import add_device_arguments, build_setup, run_with_diagnostics
+from repro.cli.common import (
+    add_device_arguments,
+    build_setup,
+    run_with_diagnostics,
+    setup_fleet,
+)
 from repro.common.stats import summarize
 from repro.core.state import joules, seconds, watts
 from repro.observability import MetricsRegistry, Tracer
@@ -52,6 +57,9 @@ def _selftest(
 ) -> int:
     setup = build_setup(args, registry, tracer)
     try:
+        fleet = setup_fleet(setup)
+        if fleet is not None:
+            return _selftest_fleet(args, fleet)
         ps = setup.ps
         if args.dump:
             ps.dump(args.dump)
@@ -82,6 +90,39 @@ def _selftest(
         return 0
     finally:
         setup.close()
+
+
+def _selftest_fleet(args: argparse.Namespace, fleet) -> int:
+    """The interval ladder with energy/power aggregated across the fleet."""
+    interval = 0.001
+    print(f"{'interval':>12} {'energy':>12} {'power':>10}")
+    for _ in range(args.intervals):
+        before = fleet.read()
+        fleet.read_all(interval)
+        after = fleet.read()
+        energy = after.total_energy - before.total_energy
+        print(
+            f"{interval:>10.4f} s "
+            f"{energy:>10.4f} J "
+            f"{energy / interval:>9.3f} W"
+        )
+        interval *= 2
+
+    if args.capture:
+        fleet_block = fleet.read_all(args.capture / min(
+            member.source.sample_rate for member in fleet
+        ))
+        for name, block in fleet_block.items():
+            if not len(block):
+                continue
+            summary = summarize(block.pair_power(0))
+            print(
+                f"\n{name}: captured {summary.count} samples: "
+                f"mean={summary.mean:.4f} W min={summary.minimum:.4f} W "
+                f"max={summary.maximum:.4f} W p-p={summary.peak_to_peak:.4f} W "
+                f"std={summary.std:.4f} W"
+            )
+    return 0
 
 
 if __name__ == "__main__":

@@ -19,13 +19,17 @@ from repro.core.dump import DumpReader, DumpWriter
 from repro.core.health import StreamHealth
 from repro.core.powersensor import DEFAULT_RECOVERY, PowerSensor, RecoveryPolicy
 from repro.core.setup import SimulatedSetup
+from repro.core.fleet import Fleet, FleetBlock, FleetMember, FleetSetup, FleetState
 from repro.core.sources import (
     SAMPLE_SOURCES,
     DirectSampleSource,
     ProtocolSampleSource,
     SampleBlock,
+    SampleSource,
+    SourceSpec,
     convert_codes,
     create_source,
+    parse_source_spec,
     register_source,
 )
 from repro.core.state import State, joules, seconds, watts
@@ -41,12 +45,20 @@ __all__ = [
     "seconds",
     "SimulatedSetup",
     "SampleBlock",
+    "SampleSource",
+    "SourceSpec",
     "ProtocolSampleSource",
     "DirectSampleSource",
     "SAMPLE_SOURCES",
     "create_source",
+    "parse_source_spec",
     "register_source",
     "convert_codes",
+    "Fleet",
+    "FleetBlock",
+    "FleetMember",
+    "FleetSetup",
+    "FleetState",
     "DumpReader",
     "DumpWriter",
 ]

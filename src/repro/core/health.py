@@ -90,17 +90,23 @@ class StreamHealth:
             or the realtime watchdog tripped).
     """
 
-    __slots__ = ("registry", "_counters")
+    __slots__ = ("registry", "device", "_counters")
 
-    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        device: str | None = None,
+    ) -> None:
         object.__setattr__(
             self, "registry", registry if registry is not None else MetricsRegistry()
         )
+        object.__setattr__(self, "device", device)
+        labels = {"device": device} if device else {}
         object.__setattr__(
             self,
             "_counters",
             {
-                field: self.registry.counter(name, help=help_text)
+                field: self.registry.counter(name, help=help_text, **labels)
                 for field, (name, help_text) in HEALTH_COUNTERS.items()
             },
         )
@@ -133,14 +139,19 @@ class StreamHealth:
         return {field: counter.value for field, counter in self._counters.items()}
 
     @staticmethod
-    def counters_in(registry: MetricsRegistry) -> dict[str, int]:
+    def counters_in(
+        registry: MetricsRegistry, device: str | None = None
+    ) -> dict[str, int]:
         """The health counters as recorded in a registry (0 if absent).
 
-        The equivalence tests compare this against :meth:`as_dict` to
-        prove the view and the registry never diverge.
+        With ``device`` the per-device labelled series are read instead
+        of the unlabelled ones.  The equivalence tests compare this
+        against :meth:`as_dict` to prove the view and the registry never
+        diverge.
         """
+        labels = {"device": device} if device else {}
         return {
-            field: registry.value(name)
+            field: registry.value(name, **labels)
             for field, (name, _) in HEALTH_COUNTERS.items()
         }
 

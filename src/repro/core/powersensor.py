@@ -27,7 +27,7 @@ from repro.common.errors import (
 from repro.common.retry import DEFAULT_RECOVERY, RecoveryPolicy
 from repro.core.dump import DumpWriter
 from repro.core.health import StreamHealth
-from repro.core.sources import DirectSampleSource, ProtocolSampleSource, SampleBlock
+from repro.core.sources import ProtocolSampleSource, SampleBlock, SampleSource
 from repro.core.state import PAIRS, State
 from repro.hardware.eeprom import SENSORS, SensorConfig
 from repro.observability import MetricsRegistry, Tracer
@@ -49,20 +49,14 @@ class PowerSensor:
 
     def __init__(
         self,
-        device: (
-            VirtualSerialLink
-            | FaultySerialLink
-            | ProtocolSampleSource
-            | DirectSampleSource
-        ),
+        device: VirtualSerialLink | FaultySerialLink | SampleSource,
         recovery: RecoveryPolicy | None = DEFAULT_RECOVERY,
     ) -> None:
         if isinstance(device, (VirtualSerialLink, FaultySerialLink)):
-            self.source: ProtocolSampleSource | DirectSampleSource = (
-                ProtocolSampleSource(device)
-            )
+            self.source: SampleSource = ProtocolSampleSource(device)
         else:
             self.source = device
+        self.device: str | None = getattr(self.source, "device", None)
         self.recovery = recovery
         self.health: StreamHealth = getattr(self.source, "health", None) or StreamHealth()
         self.registry: MetricsRegistry = (
@@ -71,15 +65,19 @@ class PowerSensor:
         self.tracer: Tracer = getattr(self.source, "tracer", None) or Tracer(
             self.registry
         )
+        device = getattr(self.source, "device", None)
+        labels = {"device": device} if device else {}
         self._retry_histogram = self.registry.histogram(
             "recovery_retries_per_event",
             buckets=RETRY_BUCKETS,
             help="retry reads issued per empty-read recovery event",
+            **labels,
         )
         self._backoff_histogram = self.registry.histogram(
             "recovery_backoff_span_seconds",
             buckets=(1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 0.05, 0.1, 0.5),
             help="stream-time span of the final (widest) retry read",
+            **labels,
         )
         self._pump_residual = 0.0  # fractional samples carried across pump_seconds
         self._energy = np.zeros(PAIRS)
@@ -284,7 +282,7 @@ class PowerSensor:
 
     def close(self) -> None:
         self.dump(None)
-        self.source.stop()
+        self.source.close()
 
     def __enter__(self) -> "PowerSensor":
         return self

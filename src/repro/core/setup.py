@@ -12,7 +12,12 @@ from repro.calibration.procedure import calibrate_all, CalibrationResult
 from repro.common.errors import ConfigurationError
 from repro.common.rng import RngStream
 from repro.core.powersensor import PowerSensor, RecoveryPolicy, DEFAULT_RECOVERY
-from repro.core.sources import DirectSampleSource, ProtocolSampleSource
+from repro.core.sources import (
+    DirectSampleSource,
+    ProtocolSampleSource,
+    register_source,
+)
+from repro.dut.rails import build_rail
 from repro.firmware.device import Firmware, default_eeprom
 from repro.hardware.baseboard import Baseboard, PowerRail
 from repro.hardware.modules import SensorModule
@@ -69,11 +74,13 @@ class SimulatedSetup:
         vectorized: bool = True,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        device: str | None = None,
     ) -> None:
         if len(module_keys) > 4:
             raise ValueError("a baseboard has at most four slots")
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer(self.registry)
+        self.device = device
         self.rng = RngStream(seed, "setup")
         self.baseboard = Baseboard()
         for slot, key in enumerate(module_keys):
@@ -109,6 +116,7 @@ class SimulatedSetup:
                     self.eeprom,
                     registry=self.registry,
                     tracer=self.tracer,
+                    device=device,
                 )
             )
         else:
@@ -120,12 +128,14 @@ class SimulatedSetup:
                     fault_models,
                     seed=seed if fault_seed is None else fault_seed,
                     registry=self.registry,
+                    device=device,
                 )
             self.source = ProtocolSampleSource(
                 self.link,
                 vectorized=vectorized,
                 registry=self.registry,
                 tracer=self.tracer,
+                device=device,
             )
         self.ps = PowerSensor(self.source, recovery=recovery)
 
@@ -145,3 +155,59 @@ class SimulatedSetup:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+def parse_module_keys(modules: str) -> list[str | None]:
+    """Parse a comma-separated module list (``none``/empty leaves a slot free)."""
+    return [
+        None if key.strip().lower() in ("none", "") else key.strip()
+        for key in modules.split(",")
+    ]
+
+
+def simulated_source(
+    modules: str = "pcie_slot_12v",
+    *,
+    dut: str = "load:8.0@12.0",
+    seed: int = 0,
+    direct: bool = False,
+    faults: str | None = None,
+    fault_seed: int | None = None,
+    calibrate: bool = True,
+    calibration_samples: int = SETUP_CALIBRATION_SAMPLES,
+    vectorized: bool = True,
+    device: str | None = None,
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+):
+    """Factory behind ``create_source("sim://MODULES?...")``.
+
+    Assembles a full simulated bench (modules, calibration, DUT rail on
+    the first populated slot) and returns its sample source.  The bench
+    stays reachable through ``source.bench`` so the baseboard and DUT
+    outlive the factory call.
+    """
+    setup = SimulatedSetup(
+        parse_module_keys(modules),
+        seed=seed,
+        direct=direct,
+        faults=faults,
+        fault_seed=fault_seed,
+        calibrate=calibrate,
+        calibration_samples=calibration_samples,
+        vectorized=vectorized,
+        registry=registry,
+        tracer=tracer,
+        device=device,
+    )
+    rail = build_rail(dut, seed)
+    if rail is not None:
+        for channel in setup.baseboard.populated_slots():
+            setup.connect(channel.slot, rail)
+            break
+    source = setup.source
+    source.bench = setup
+    return source
+
+
+register_source("sim", simulated_source)

@@ -31,8 +31,11 @@ The protocol source decodes in three tiers, fastest applicable first:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import abc
+import importlib
+from dataclasses import dataclass, field
 from typing import Callable
+from urllib.parse import parse_qsl
 
 import numpy as np
 
@@ -132,7 +135,79 @@ def convert_codes(
     return values, enabled
 
 
-class ProtocolSampleSource:
+class SampleSource(abc.ABC):
+    """The formal contract every sample source implements.
+
+    :class:`~repro.core.powersensor.PowerSensor`, the serving daemon and
+    the fleet layer program against exactly this surface — nothing else.
+    What used to be implicit duck typing between the protocol, direct and
+    remote sources is now checkable: a new source kind subclasses this,
+    implements the abstract methods, and every consumer (CLIs, psserve,
+    PMT, :class:`~repro.core.fleet.Fleet`) works unchanged.
+
+    Required attributes (set by concrete ``__init__``):
+
+    * ``device`` — optional device name; when set, every stream/decode
+      metric and span this source emits carries a ``device=`` label.
+    * ``version`` — firmware/protocol version string.
+    * ``streaming`` — True between :meth:`start` and :meth:`stop`.
+    * ``configs`` — the eight :class:`SensorConfig` records.
+    * ``health`` / ``registry`` / ``tracer`` — observability handles.
+    """
+
+    device: str | None = None
+    version: str = ""
+    streaming: bool = False
+    configs: list[SensorConfig]
+    health: StreamHealth
+    registry: MetricsRegistry
+    tracer: Tracer
+
+    @property
+    @abc.abstractmethod
+    def sample_rate(self) -> float:
+        """Nominal output sample rate, Hz."""
+
+    @abc.abstractmethod
+    def start(self) -> None:
+        """Begin streaming samples."""
+
+    @abc.abstractmethod
+    def stop(self) -> None:
+        """Stop streaming samples."""
+
+    @abc.abstractmethod
+    def mark(self) -> None:
+        """Inject a marker into the sample stream."""
+
+    @abc.abstractmethod
+    def refresh_configs(self) -> None:
+        """Re-read the sensor configuration from the device."""
+
+    @abc.abstractmethod
+    def write_configs(self, configs: list[SensorConfig]) -> None:
+        """Persist a full set of sensor configs to the device."""
+
+    @abc.abstractmethod
+    def read_block(self, n_samples: int) -> SampleBlock:
+        """Pull the next ``n_samples`` output samples."""
+
+    def close(self) -> None:
+        """Release the source (default: stop streaming if running)."""
+        if self.streaming:
+            self.stop()
+
+    def _metric_labels(self) -> dict[str, str]:
+        """Labels for this source's metrics: ``device=`` when named.
+
+        Unnamed sources keep emitting unlabelled series, so single-device
+        benches (and everything reading ``stream_*_total`` by bare name)
+        see exactly the pre-fleet metric surface.
+        """
+        return {"device": self.device} if self.device else {}
+
+
+class ProtocolSampleSource(SampleSource):
     """Byte-accurate source over the virtual serial link.
 
     ``vectorized=False`` selects the scalar per-event reference decoder;
@@ -146,24 +221,33 @@ class ProtocolSampleSource:
         vectorized: bool = True,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        device: str | None = None,
     ) -> None:
         self.link = link
+        self.device = device
         self._vectorized = bool(vectorized)
         self._decoder = BlockDecoder() if self._vectorized else StreamDecoder()
         self._unwrapper = TimestampUnwrapper()
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer(self.registry)
-        self.health = StreamHealth(self.registry)
+        self.health = StreamHealth(self.registry, device=device)
+        labels = self._metric_labels()
         self._bytes_gauge = self.registry.gauge(
-            "decode_last_block_bytes", help="wire bytes in the last decoded block"
+            "decode_last_block_bytes",
+            help="wire bytes in the last decoded block",
+            **labels,
         )
         self._samples_gauge = self.registry.gauge(
-            "decode_last_block_samples", help="samples in the last decoded block"
+            "decode_last_block_samples",
+            help="samples in the last decoded block",
+            **labels,
         )
         self._throughput_gauge = self.registry.gauge(
             "decode_samples_per_second",
             help="decode throughput of the last non-trivial block",
+            **labels,
         )
+        self._span_labels = labels
         self.streaming = False
         self.configs: list[SensorConfig] = []
         self.version = self._read_version()
@@ -258,12 +342,12 @@ class ProtocolSampleSource:
 
     def _decode(self, data: bytes, n_expected: int) -> SampleBlock:
         if not self._vectorized:
-            with self.tracer.span("decode", tier="scalar") as span:
+            with self.tracer.span("decode", tier="scalar", **self._span_labels) as span:
                 block = self._decode_scalar(data, n_expected)
             self._observe_decode(len(data), len(block), span.duration)
             return block
         self.health.bytes_read += len(data)
-        with self.tracer.span("decode", tier="template") as span:
+        with self.tracer.span("decode", tier="template", **self._span_labels) as span:
             block = self._decode_template(data)
             if block is None:
                 span.relabel(tier="block")
@@ -558,7 +642,7 @@ class ProtocolSampleSource:
         self._pending_marker = False
 
 
-class DirectSampleSource:
+class DirectSampleSource(SampleSource):
     """Vectorised source reading the baseboard directly (no byte encoding)."""
 
     def __init__(
@@ -568,21 +652,27 @@ class DirectSampleSource:
         clock: VirtualClock | None = None,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        device: str | None = None,
     ) -> None:
         self.baseboard = baseboard
         self.eeprom = eeprom
+        self.device = device
         self.clock = clock or VirtualClock()
         self.clock.configure_ticks(baseboard.timing.output_interval_s)
         self.version = FIRMWARE_VERSION
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer(self.registry)
-        self.health = StreamHealth(self.registry)
+        self.health = StreamHealth(self.registry, device=device)
+        labels = self._metric_labels()
         self._samples_gauge = self.registry.gauge(
-            "decode_last_block_samples", help="samples in the last decoded block"
+            "decode_last_block_samples",
+            help="samples in the last decoded block",
+            **labels,
         )
         self._throughput_gauge = self.registry.gauge(
             "decode_samples_per_second",
             help="decode throughput of the last non-trivial block",
+            **labels,
         )
         self._marker_pending = 0
         self.streaming = False
@@ -640,14 +730,81 @@ class DirectSampleSource:
 
 
 # --------------------------------------------------------------------- #
-# Source registry                                                       #
+# Source registry and URI device specs                                  #
 # --------------------------------------------------------------------- #
 
 #: Named sample-source factories.  ``protocol`` and ``direct`` register
-#: here; :mod:`repro.server.client` adds ``remote`` on import (and
-#: :func:`create_source` imports it lazily, so ``create_source("remote",
-#: "host:port")`` works without the caller touching the server package).
+#: here; other packages add their kinds on import (see
+#: :data:`_LAZY_SOURCES` — :func:`create_source` imports them lazily, so
+#: ``create_source("remote", "host:port")`` works without the caller
+#: touching the server package).
 SAMPLE_SOURCES: dict[str, Callable[..., object]] = {}
+
+#: Source kinds registered by importing a module on first use.
+_LAZY_SOURCES: dict[str, str] = {
+    "remote": "repro.server.client",
+    "replay": "repro.core.replay",
+    "sim": "repro.core.setup",
+}
+
+#: Typed coercion for URI query options (everything else stays a string).
+_SPEC_INT_KEYS = frozenset({"seed", "fault_seed", "window", "calibration_samples"})
+_SPEC_FLOAT_KEYS = frozenset({"speed", "connect_timeout"})
+_SPEC_BOOL_KEYS = frozenset({"direct", "loop", "vectorized", "calibrate"})
+_SPEC_TRUE = frozenset({"1", "true", "yes", "on", ""})
+_SPEC_FALSE = frozenset({"0", "false", "no", "off"})
+
+
+@dataclass(frozen=True)
+class SourceSpec:
+    """A parsed ``scheme://target?key=value`` device spec."""
+
+    scheme: str
+    target: str
+    options: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def device(self) -> str | None:
+        """The device name carried in the spec's ``device=`` option."""
+        name = self.options.get("device")
+        return str(name) if name else None
+
+
+def _coerce_option(key: str, value: str) -> object:
+    if key in _SPEC_INT_KEYS:
+        return int(value)
+    if key in _SPEC_FLOAT_KEYS:
+        return float(value)
+    if key in _SPEC_BOOL_KEYS:
+        lowered = value.strip().lower()
+        if lowered in _SPEC_TRUE:
+            return True
+        if lowered in _SPEC_FALSE:
+            return False
+        raise ValueError(f"option {key}={value!r} is not a boolean")
+    return value
+
+
+def parse_source_spec(spec: str) -> SourceSpec:
+    """Parse a URI-style device spec into scheme, target and options.
+
+    ``sim://pcie_slot_12v?seed=3&dut=load:8@12`` addresses a simulated
+    bench, ``remote://host:port?device=gpu`` a psserve subscription,
+    ``replay://run.dump?speed=4`` a recorded dump.  The target may itself
+    contain colons (``remote://unix:/tmp/ps.sock``); everything after the
+    first ``?`` is a query string with typed coercion for well-known keys
+    (seeds and windows to int, speed to float, flags to bool).
+    """
+    scheme, sep, rest = spec.partition("://")
+    if not sep:
+        raise ValueError(f"not a URI device spec (no '://'): {spec!r}")
+    if not scheme:
+        raise ValueError(f"device spec {spec!r} has an empty scheme")
+    target, _, query = rest.partition("?")
+    options: dict[str, object] = {}
+    for key, value in parse_qsl(query, keep_blank_values=True):
+        options[key] = _coerce_option(key, value)
+    return SourceSpec(scheme=scheme, target=target, options=options)
 
 
 def register_source(name: str, factory: Callable[..., object]) -> None:
@@ -658,16 +815,38 @@ def register_source(name: str, factory: Callable[..., object]) -> None:
     SAMPLE_SOURCES[name] = factory
 
 
-def create_source(name: str, *args, **kwargs):
-    """Instantiate a registered sample source by name."""
-    if name not in SAMPLE_SOURCES and name == "remote":
-        import repro.server.client  # noqa: F401  — registers "remote"
+def _resolve_factory(name: str) -> Callable[..., object]:
+    if name not in SAMPLE_SOURCES and name in _LAZY_SOURCES:
+        importlib.import_module(_LAZY_SOURCES[name])  # registers on import
     try:
-        factory = SAMPLE_SOURCES[name]
+        return SAMPLE_SOURCES[name]
     except KeyError:
-        known = ", ".join(sorted(SAMPLE_SOURCES)) or "(none)"
+        known = ", ".join(sorted(set(SAMPLE_SOURCES) | set(_LAZY_SOURCES)))
         raise ValueError(f"unknown sample source {name!r}; known: {known}") from None
-    return factory(*args, **kwargs)
+
+
+def create_source(name: str, *args, **kwargs):
+    """Instantiate a sample source by registered name or URI spec.
+
+    Two calling conventions:
+
+    * ``create_source("remote", "host:port", window=8)`` — bare registered
+      name plus explicit arguments (the original surface, unchanged).
+    * ``create_source("remote://host:port?window=8")`` — a URI device
+      spec; the scheme picks the factory, the target becomes the first
+      positional argument and the query options become keyword arguments.
+      Explicit ``**kwargs`` override spec options, so programmatic callers
+      can fix e.g. ``registry=`` while users vary the spec string.
+    """
+    if "://" in name:
+        spec = parse_source_spec(name)
+        factory = _resolve_factory(spec.scheme)
+        merged = dict(spec.options)
+        merged.update(kwargs)
+        if spec.target:
+            return factory(spec.target, *args, **merged)
+        return factory(*args, **merged)
+    return _resolve_factory(name)(*args, **kwargs)
 
 
 register_source("protocol", ProtocolSampleSource)

@@ -8,6 +8,7 @@ paper's GPU case studies (Fig. 7) run through PMT.
 from repro.pmt.backends import (
     AmdSmiBackend,
     DummyBackend,
+    FleetBackend,
     JetsonBackend,
     NvmlBackend,
     PowerSensorBackend,
@@ -25,6 +26,7 @@ __all__ = [
     "pmt_watts",
     "pmt_seconds",
     "PowerSensorBackend",
+    "FleetBackend",
     "NvmlBackend",
     "RocmBackend",
     "AmdSmiBackend",

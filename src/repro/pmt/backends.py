@@ -65,6 +65,55 @@ class RemotePowerSensorBackend(PowerSensorBackend):
         super().__init__(PowerSensor(source))
 
 
+class FleetBackend(PmtBackend):
+    """PMT over a device fleet: per-member backends plus an aggregate.
+
+    Accepts a :class:`~repro.core.fleet.Fleet` or a list of device specs
+    (``sim://…``, ``remote://…``, ``replay://…``).  :attr:`members` maps
+    each device name to its own :class:`PowerSensorBackend`, so callers
+    can meter any member individually; reading the fleet backend itself
+    pumps every member to the same timestamp and reports fleet-wide
+    cumulative joules and instantaneous watts.
+    """
+
+    name = "powersensor3-fleet"
+
+    def __init__(self, fleet) -> None:
+        from repro.core.fleet import Fleet
+
+        if not isinstance(fleet, Fleet):
+            fleet = Fleet.from_specs(list(fleet))
+        self.fleet = fleet
+        self.members = {
+            name: PowerSensorBackend(member.ps)
+            for name, member in fleet.members.items()
+        }
+        self.observe(fleet.registry, fleet.tracer)
+
+    def member(self, name: str) -> PowerSensorBackend:
+        """The per-device backend for one fleet member."""
+        try:
+            return self.members[name]
+        except KeyError:
+            known = ", ".join(self.members) or "(none)"
+            raise ConfigurationError(
+                f"no fleet member named {name!r}; members: {known}"
+            ) from None
+
+    def _read(self, at_time: float) -> PmtState:
+        if not self.members:
+            raise MeasurementError("the fleet has no devices")
+        states = [backend._read(at_time) for backend in self.members.values()]
+        return PmtState(
+            timestamp=at_time,
+            joules=sum(s.joules for s in states),
+            watts=sum(s.watts for s in states),
+        )
+
+    def close(self) -> None:
+        self.fleet.close()
+
+
 class _PolledApiBackend(PmtBackend):
     """Shared shape for backends over a polled vendor API."""
 
@@ -193,6 +242,7 @@ class DummyBackend(PmtBackend):
 _FACTORIES = {
     "powersensor3": PowerSensorBackend,
     "powersensor3-remote": RemotePowerSensorBackend,
+    "powersensor3-fleet": FleetBackend,
     "nvml": NvmlBackend,
     "rocm": RocmBackend,
     "amdsmi": AmdSmiBackend,

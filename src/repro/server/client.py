@@ -38,7 +38,6 @@ from repro.common.retry import DEFAULT_RECOVERY, RecoveryPolicy
 from repro.core.powersensor import PowerSensor
 from repro.core.sources import ProtocolSampleSource, SampleBlock, register_source
 from repro.firmware.commands import Command
-from repro.hardware.eeprom import SENSORS
 from repro.observability import MetricsRegistry, Tracer
 from repro.server.wire import (
     Frame,
@@ -91,6 +90,7 @@ class RemoteLink:
         spec: str,
         mode: str = "raw",
         window: int = 1,
+        device: str | None = None,
         recovery: RecoveryPolicy | None = DEFAULT_RECOVERY,
         registry: MetricsRegistry | None = None,
         connect_timeout: float = 5.0,
@@ -103,6 +103,7 @@ class RemoteLink:
         self.spec = spec
         self.mode = mode
         self.window = int(window)
+        self.device = device
         self.recovery = recovery
         self.registry = registry if registry is not None else MetricsRegistry()
         self.connect_timeout = float(connect_timeout)
@@ -110,6 +111,7 @@ class RemoteLink:
             lambda s: connect_stream(s, timeout=self.connect_timeout)
         )
         self.hello: dict = {}
+        self.suback: dict = {}
         self.client_id: int | None = None
         self.eos: dict | None = None
         self.reconnects = 0
@@ -151,15 +153,17 @@ class RemoteLink:
         try:
             hello = self._expect(stream, decoder, FrameType.HELLO)
             self.hello = hello.json()
-            stream.write(
-                encode_control(
-                    FrameType.SUBSCRIBE,
-                    0,
-                    {"mode": self.mode, "window": self.window},
-                )
-            )
+            request = {"mode": self.mode, "window": self.window}
+            if self.device is not None:
+                request["device"] = self.device
+            stream.write(encode_control(FrameType.SUBSCRIBE, 0, request))
             suback = self._expect(stream, decoder, FrameType.SUBACK)
-            self.client_id = suback.json().get("client")
+            self.suback = suback.json()
+            self.client_id = self.suback.get("client")
+            # The server may downgrade a raw subscription (a device with
+            # no wire byte stream goes out as WINDOW frames instead).
+            self.mode = self.suback.get("mode", self.mode)
+            self.window = int(self.suback.get("window", self.window))
         except Exception:
             stream.close()
             raise
@@ -219,6 +223,25 @@ class RemoteLink:
     def at_eos(self) -> bool:
         return self.eos is not None
 
+    def device_info(self) -> dict:
+        """Version/sample_rate of the subscribed device.
+
+        Resolution order: the SUBACK (authoritative for this
+        subscription), the HELLO's per-device map, then the legacy
+        top-level HELLO fields of a single-device server.
+        """
+        info: dict = {}
+        name = self.suback.get("device") or self.device
+        devices = self.hello.get("devices") or {}
+        if name and name in devices:
+            info.update(devices[name])
+        for key in ("version", "sample_rate"):
+            if key in self.suback:
+                info[key] = self.suback[key]
+            elif key not in info and key in self.hello:
+                info[key] = self.hello[key]
+        return info
+
     # ------------------------------------------------------------------ #
     # The serial-link control surface                                    #
     # ------------------------------------------------------------------ #
@@ -227,9 +250,9 @@ class RemoteLink:
         """Dispatch a device command to the matching wire frame."""
         command = data[:1]
         if command == Command.VERSION.value:
-            # The version travelled in HELLO; answer locally in the same
-            # NUL-terminated shape the firmware uses.
-            version = str(self.hello.get("version", ""))
+            # The version travelled in the handshake; answer locally in
+            # the same NUL-terminated shape the firmware uses.
+            version = str(self.device_info().get("version", ""))
             self._response += version.encode("ascii") + b"\x00"
         elif command == Command.READ_CONFIG.value:
             self._send(encode_frame(FrameType.CONFIG_REQ, 0))
@@ -361,6 +384,7 @@ class RemoteSampleSource(ProtocolSampleSource):
         remote: str | RemoteLink,
         mode: str = "raw",
         window: int = 1,
+        device: str | None = None,
         vectorized: bool = True,
         recovery: RecoveryPolicy | None = DEFAULT_RECOVERY,
         registry: MetricsRegistry | None = None,
@@ -376,6 +400,7 @@ class RemoteSampleSource(ProtocolSampleSource):
                 remote,
                 mode=mode,
                 window=window,
+                device=device,
                 recovery=recovery,
                 registry=registry,
                 connect_timeout=connect_timeout,
@@ -383,14 +408,20 @@ class RemoteSampleSource(ProtocolSampleSource):
             )
         self._backlog: list[SampleBlock] = []
         self._backlog_count = 0
-        super().__init__(link, vectorized=vectorized, registry=registry, tracer=tracer)
+        super().__init__(
+            link,
+            vectorized=vectorized,
+            registry=registry,
+            tracer=tracer,
+            device=link.device,
+        )
 
     # The serial-link property chain ends at the daemon, not a local
     # firmware object: rate and stats come from the handshake.
     @property
     def sample_rate(self) -> float:
-        rate = float(self.link.hello["sample_rate"])
-        if self.link.mode == "window":
+        rate = float(self.link.device_info()["sample_rate"])
+        if self.link.mode == "window" and self.link.window > 1:
             return rate / self.link.window
         return rate
 
@@ -489,6 +520,7 @@ class RemoteSetup:
         remote: str,
         mode: str = "raw",
         window: int = 1,
+        device: str | None = None,
         recovery: RecoveryPolicy | None = DEFAULT_RECOVERY,
         faults: str | list | None = None,
         fault_seed: int = 0,
@@ -498,6 +530,7 @@ class RemoteSetup:
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer(self.registry)
+        self.device = device
         stream_factory = None
         if faults:
             from repro.transport.bytestream import FaultyByteStream
@@ -517,6 +550,7 @@ class RemoteSetup:
             remote,
             mode=mode,
             window=window,
+            device=device,
             recovery=recovery,
             registry=self.registry,
             tracer=self.tracer,

@@ -1,25 +1,35 @@
-"""The psserve daemon: one device, many subscribers.
+"""The psserve daemon: N devices, many subscribers, one endpoint.
 
-:class:`PowerSensorServer` owns one :class:`ProtocolSampleSource` and
-fans its stream out over TCP or Unix sockets.  The pump thread reads the
-device once per chunk via :meth:`read_block_raw`, encodes a single
-``DATA`` frame carrying the raw wire bytes, and hands that *same encoded
-frame* to every raw subscriber's send buffer — fan-out cost is one
-encode plus N queue appends, independent of subscriber count.  Window
-subscribers get server-side averaged rows instead (one ``WINDOW`` frame
-per chunk with whatever windows completed).
+:class:`PowerSensorServer` owns one or more named
+:class:`~repro.core.sources.SampleSource` devices and fans their streams
+out over TCP or Unix sockets.  Each subscriber names its device in the
+``SUBSCRIBE`` frame (the HELLO advertises all of them); omitting the
+name subscribes to the first device, which keeps single-device clients
+oblivious to the fleet.
+
+For a byte-accurate device the pump thread reads one chunk via
+:meth:`read_block_raw`, encodes a single ``DATA`` frame carrying the raw
+wire bytes, and hands that *same encoded frame* to every raw subscriber
+of that device — fan-out cost is one encode plus N queue appends,
+independent of subscriber count.  Devices without a wire byte stream
+(replay tapes, direct sources, re-served remotes) stream float64
+``WINDOW`` rows instead — still sample-exact, just not byte-framed.
+Window-mode subscribers get server-side averaged rows in either case.
 
 Each client runs two daemon threads: a reader (handshake, then control
-frames — START/STOP/MARK/CONFIG_REQ/BYE) and a sender draining the
-client's :class:`SendBuffer`.  A client whose ``block``-policy buffer
-stays full past the timeout is evicted; the others never stall the pump.
+frames — START/STOP/MARK/CONFIG_REQ/BYE, each acting on the client's
+device) and a sender draining the client's :class:`SendBuffer`.  A
+client whose ``block``-policy buffer stays full past the timeout is
+evicted; the others never stall the pump.
 
 Everything observable is counted: ``server_clients_connected`` (gauge),
 ``server_clients_total`` / ``server_clients_evicted_total``,
-``server_samples_produced_total``, ``server_frames_sent_total``,
+``server_samples_produced_total`` (fleet-wide, plus one
+``{device=}``-labelled series per device), ``server_frames_sent_total``,
 ``server_bytes_sent_total``, per-client
-``server_frames_dropped_total{client=,policy=}``, and ``server_accept``
-/ ``server_pump`` / ``server_send`` trace spans.
+``server_frames_dropped_total{client=,policy=,device=}``, and
+``server_accept`` / ``server_pump`` (``device=``-labelled) /
+``server_send`` trace spans.
 """
 
 from __future__ import annotations
@@ -32,7 +42,7 @@ import time
 import numpy as np
 
 from repro.common.errors import ConfigurationError, ServerError, TransportError
-from repro.core.sources import ProtocolSampleSource, SampleBlock
+from repro.core.sources import SampleBlock, SampleSource
 from repro.hardware.eeprom import VirtualEeprom
 from repro.observability import MetricsRegistry, Tracer
 from repro.server.backpressure import POLICIES, BufferTimeout, SendBuffer
@@ -51,6 +61,50 @@ from repro.transport.bytestream import ByteStream, SocketByteStream
 DEFAULT_CHUNK = 400
 
 
+def _raw_capable(source) -> bool:
+    """True if the source can relay raw wire bytes (read_block_raw).
+
+    Remote sources inherit the method but raise — a re-served remote
+    stream (and any source without wire bytes) goes out as sample-exact
+    float64 WINDOW rows instead.
+    """
+    if not callable(getattr(source, "read_block_raw", None)):
+        return False
+    from repro.server.client import RemoteSampleSource
+
+    return not isinstance(source, RemoteSampleSource)
+
+
+class _Device:
+    """Server-side state for one served device."""
+
+    def __init__(self, name: str, source, registry: MetricsRegistry) -> None:
+        self.name = name
+        self.source = source
+        self.raw_capable = _raw_capable(source)
+        self.seq = 0  # DATA/WINDOW sequence shared by this device's stream
+        self.samples_produced = 0
+        self.samples_counter = registry.counter(
+            "server_samples_produced_total",
+            help="samples pumped from the device",
+            device=name,
+        )
+
+    def next_seq(self) -> int:
+        self.seq += 1
+        return self.seq
+
+    def info(self) -> dict:
+        return {
+            "version": self.source.version,
+            "sample_rate": self.source.sample_rate,
+        }
+
+    def config_image(self) -> bytes:
+        """The device's current EEPROM image (fresh, not connect-time)."""
+        return VirtualEeprom(configs=list(self.source.configs)).pack()
+
+
 class _Client:
     """Server-side state for one subscriber."""
 
@@ -61,6 +115,7 @@ class _Client:
         self.decoder = FrameDecoder()
         self.mode = "raw"
         self.window = 1
+        self.device: _Device | None = None
         self.started = threading.Event()
         self.samples_sent = 0
         self.frames_sent = 0
@@ -77,11 +132,16 @@ class _Client:
 
 
 class PowerSensorServer:
-    """Serve one simulated PowerSensor stream to N subscribers."""
+    """Serve one or more PowerSensor streams to N subscribers.
+
+    ``source`` is a single :class:`~repro.core.sources.SampleSource` or a
+    ``{name: source}`` dict for a multi-device endpoint; the first entry
+    is the default device for subscribers that don't name one.
+    """
 
     def __init__(
         self,
-        source: ProtocolSampleSource,
+        source: SampleSource | dict[str, SampleSource],
         listen: str,
         *,
         policy: str = "block",
@@ -100,7 +160,6 @@ class PowerSensorServer:
             )
         if chunk < 1:
             raise ConfigurationError(f"chunk must be >= 1, got {chunk}")
-        self.source = source
         self.endpoint = parse_endpoint(listen)
         self.policy = policy
         self.buffer_frames = int(buffer_frames)
@@ -111,7 +170,16 @@ class PowerSensorServer:
         self.wait_clients = int(wait_clients)
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer(self.registry)
-        self._config_image = VirtualEeprom(configs=list(source.configs)).pack()
+
+        if not isinstance(source, dict):
+            source = {getattr(source, "device", None) or "device0": source}
+        if not source:
+            raise ConfigurationError("a server needs at least one device")
+        self.devices: dict[str, _Device] = {
+            name: _Device(name, src, self.registry) for name, src in source.items()
+        }
+        self.default_device = next(iter(self.devices.values()))
+        self.source = self.default_device.source  # single-device back-compat
 
         self._clients: dict[int, _Client] = {}
         self._clients_lock = threading.Lock()
@@ -120,8 +188,6 @@ class PowerSensorServer:
         self._stop = threading.Event()
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
-        self._seq = 0  # global DATA sequence
-        self.samples_produced = 0
 
         self._connected_gauge = self.registry.gauge(
             "server_clients_connected", help="subscribers currently connected"
@@ -146,6 +212,11 @@ class PowerSensorServer:
     # ------------------------------------------------------------------ #
     # Lifecycle                                                          #
     # ------------------------------------------------------------------ #
+
+    @property
+    def samples_produced(self) -> int:
+        """Samples pumped across every device since start."""
+        return sum(d.samples_produced for d in self.devices.values())
 
     @property
     def address(self) -> str:
@@ -249,10 +320,13 @@ class PowerSensorServer:
         """HELLO -> SUBSCRIBE -> SUBACK; returns the registered client."""
         hello = {
             "server": "psserve",
-            "version": self.source.version,
-            "sample_rate": self.source.sample_rate,
+            # Legacy top-level fields describe the default device so old
+            # single-device clients keep working unmodified.
+            "version": self.default_device.source.version,
+            "sample_rate": self.default_device.source.sample_rate,
             "policy": self.policy,
             "buffer_frames": self.buffer_frames,
+            "devices": {name: dev.info() for name, dev in self.devices.items()},
         }
         stream.write(encode_control(FrameType.HELLO, 0, hello))
         sub = self._read_control(stream, FrameType.SUBSCRIBE)
@@ -268,6 +342,24 @@ class PowerSensorServer:
                 )
             )
             return None
+        device_name = request.get("device") or self.default_device.name
+        device = self.devices.get(device_name)
+        if device is None:
+            stream.write(
+                encode_control(
+                    FrameType.ERROR,
+                    0,
+                    {
+                        "message": f"unknown device {device_name!r}",
+                        "devices": list(self.devices),
+                    },
+                )
+            )
+            return None
+        # A raw subscription needs the device's wire byte stream; fall
+        # back to sample-exact single-sample windows when it has none.
+        if mode == "raw" and not device.raw_capable:
+            mode = "window"
         with self._clients_lock:
             if len(self._clients) >= self.max_clients:
                 stream.write(
@@ -287,6 +379,7 @@ class PowerSensorServer:
             )
             client.mode = mode
             client.window = window
+            client.device = device
             self._clients[cid] = client
             self._connected_gauge.set(len(self._clients))
         self._clients_counter.inc()
@@ -296,10 +389,20 @@ class PowerSensorServer:
             help="frames discarded by backpressure, per client",
             client=str(cid),
             policy=self.policy,
+            device=device.name,
         )
         stream.write(
             encode_control(
-                FrameType.SUBACK, 0, {"client": cid, "mode": mode, "window": window}
+                FrameType.SUBACK,
+                0,
+                {
+                    "client": cid,
+                    "mode": mode,
+                    "window": window,
+                    "device": device.name,
+                    "version": device.source.version,
+                    "sample_rate": device.source.sample_rate,
+                },
             )
         )
         return client
@@ -335,11 +438,14 @@ class PowerSensorServer:
                 elif frame.type == FrameType.STOP:
                     client.started.clear()
                 elif frame.type == FrameType.MARK:
-                    self.source.mark()  # the marker lands in the shared stream
+                    # The marker lands in the device's shared stream.
+                    client.device.source.mark()
                 elif frame.type == FrameType.CONFIG_REQ:
                     client.buffer.put(
                         encode_frame(
-                            FrameType.CONFIG, client.next_seq(), self._config_image
+                            FrameType.CONFIG,
+                            client.next_seq(),
+                            client.device.config_image(),
                         ),
                         droppable=False,
                     )
@@ -371,40 +477,87 @@ class PowerSensorServer:
     # ------------------------------------------------------------------ #
 
     def serve(self, duration: float | None = None) -> dict:
-        """Pump the device and fan out until ``duration`` simulated seconds.
+        """Pump every device and fan out until ``duration`` simulated seconds.
 
-        ``duration=None`` pumps until :meth:`close` (or Ctrl-C in the
-        CLI).  With ``time_scale > 0`` the pump paces itself against the
-        wall clock (1.0 = real time); 0 pumps as fast as possible.
-        Returns a stats dict (also the shape of the EOS payload).
+        Each pump round advances every device by the same simulated time
+        (per-device chunk sizes scale with sample rate), so a fleet's
+        clocks stay aligned.  ``duration=None`` pumps until
+        :meth:`close` (or Ctrl-C in the CLI).  With ``time_scale > 0``
+        the pump paces itself against the wall clock (1.0 = real time);
+        0 pumps as fast as possible.  Returns a stats dict (also the
+        shape of the EOS payload).
         """
         if self.wait_clients:
             self._await_clients(self.wait_clients)
-        rate = self.source.sample_rate
-        total = None if duration is None else max(int(round(duration * rate)), 0)
+        devices = list(self.devices.values())
+        ref = max(devices, key=lambda d: d.source.sample_rate)
+        ref_rate = ref.source.sample_rate
+        chunks = {
+            d.name: max(int(round(self.chunk * d.source.sample_rate / ref_rate)), 1)
+            for d in devices
+        }
+        totals = (
+            None
+            if duration is None
+            else {
+                d.name: max(int(round(duration * d.source.sample_rate)), 0)
+                for d in devices
+            }
+        )
+        dry: set[str] = set()  # finite replay tapes that ran out
         t0 = time.monotonic()
         while not self._stop.is_set():
-            if total is not None and self.samples_produced >= total:
+            live = [
+                d
+                for d in devices
+                if d.name not in dry
+                and (totals is None or d.samples_produced < totals[d.name])
+            ]
+            if not live:
                 break
-            n = self.chunk
-            if total is not None:
-                n = min(n, total - self.samples_produced)
-            with self.tracer.span("server_pump"):
-                block, raw = self.source.read_block_raw(n)
-            self.samples_produced += n
-            self._samples_counter.inc(n)
-            self._seq += 1
-            data_frame = encode_frame(FrameType.DATA, self._seq, raw)
             with self._clients_lock:
                 clients = list(self._clients.values())
-            for client in clients:
-                self._deliver(client, data_frame, block, n)
+            for device in live:
+                n = chunks[device.name]
+                if totals is not None:
+                    n = min(n, totals[device.name] - device.samples_produced)
+                if self._pump_device(device, n, clients) == 0:
+                    dry.add(device.name)
             if self.time_scale > 0:
-                target = t0 + (self.samples_produced / rate) * self.time_scale
+                target = t0 + (ref.samples_produced / ref_rate) * self.time_scale
                 delay = target - time.monotonic()
                 if delay > 0:
                     time.sleep(delay)
-        return self.finish(reason="duration" if total is not None else "stopped")
+        return self.finish(reason="duration" if duration is not None else "stopped")
+
+    def _pump_device(self, device: _Device, n: int, clients: list[_Client]) -> int:
+        """Pump ``n`` samples from one device and fan them out.
+
+        Returns the number of samples actually produced (a finite replay
+        tape may run dry and return 0).
+        """
+        source = device.source
+        if not source.streaming:
+            source.start()
+        if device.raw_capable:
+            with self.tracer.span("server_pump", device=device.name):
+                block, raw = source.read_block_raw(n)
+            produced = n
+            data_frame = encode_frame(FrameType.DATA, device.next_seq(), raw)
+        else:
+            with self.tracer.span("server_pump", device=device.name):
+                block = source.read_block(n)
+            produced = len(block)
+            if produced == 0:
+                return 0
+            data_frame = None
+        device.samples_produced += produced
+        device.samples_counter.inc(produced)
+        self._samples_counter.inc(produced)
+        for client in clients:
+            if client.device is device:
+                self._deliver(client, data_frame, block, produced)
+        return produced
 
     def _await_clients(self, n: int) -> None:
         """Block until ``n`` subscribers have sent START (or the server stops)."""
@@ -415,12 +568,13 @@ class PowerSensorServer:
             )
 
     def _deliver(
-        self, client: _Client, data_frame: bytes, block: SampleBlock, n: int
+        self, client: _Client, data_frame: bytes | None, block: SampleBlock, n: int
     ) -> None:
         if not client.started.is_set():
             return
         try:
             if client.mode == "raw":
+                assert data_frame is not None  # raw mode implies a raw device
                 if client.buffer.put(data_frame):
                     client.frames_sent += 1
                     client.samples_sent += n
@@ -471,6 +625,7 @@ class PowerSensorServer:
     def _client_stats(self, client: _Client) -> dict:
         return {
             "client": client.id,
+            "device": client.device.name if client.device is not None else None,
             "samples_sent": client.samples_sent,
             "frames_sent": client.frames_sent,
             "frames_dropped": client.buffer.dropped,
@@ -485,6 +640,9 @@ class PowerSensorServer:
         return {
             "reason": reason,
             "samples_produced": self.samples_produced,
+            "devices": {
+                name: dev.samples_produced for name, dev in self.devices.items()
+            },
             "clients_served": int(self._clients_counter.value),
             "clients_evicted": int(self._evicted_counter.value),
         }

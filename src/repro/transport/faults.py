@@ -264,18 +264,22 @@ class FaultySerialLink:
         seed: int = 0,
         spare_control_plane: bool = True,
         registry: MetricsRegistry | None = None,
+        device: str | None = None,
     ) -> None:
         self.link = link
         self.models = list(models or [])
         self.rng = np.random.default_rng(seed)
         self.spare_control_plane = spare_control_plane
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.device = device
+        labels = {"device": device} if device else {}
         self._mirrored = [0] * len(self.models)
         self._fault_counters = [
             self.registry.counter(
                 "faults_injected_total",
                 help="corruptions injected by the fault layer, per model",
                 model=model.name,
+                **labels,
             )
             for model in self.models
         ]

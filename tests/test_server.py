@@ -617,7 +617,7 @@ def test_psserve_cli_serves_and_exits_cleanly(tmp_path, capsys):
     daemon.join(timeout=20)
     assert result.get("code") == 0
     assert got == 6000
-    assert "psserve: serving on" in capsys.readouterr().err
+    assert "psserve: serving 1 device(s)" in capsys.readouterr().err
 
 
 def test_psserve_rejects_direct_mode(capsys):
