@@ -1,0 +1,123 @@
+"""Gate the serving layer's fan-out numbers against a committed baseline.
+
+Usage::
+
+    python benchmarks/check_streaming_regression.py \
+        --baseline BENCH_streaming.json --current /tmp/bench_now.json
+
+Compares the ``server.scaling`` section of a freshly generated report
+(``--current``) against the numbers committed at the repo root
+(``--baseline``).  The gate fails when:
+
+* the 64-subscriber ``drop-oldest`` per-client delivery rate regresses
+  by more than ``--max-regression`` percent (the CI boxes are noisy, so
+  the anchor is the smallest, most repeatable point on the curve);
+* any ``block``-policy point stops being lossless;
+* any point stops being encode-once (the broadcast ring must encode each
+  frame exactly once regardless of subscriber count);
+* the 1024-subscriber ``drop-oldest`` point (when present) falls below
+  20 kHz aggregate delivery — the paper-level floor for a fan-out that
+  is still "real time" for at least one subscriber's worth of stream.
+
+Exit status 0 on pass, 1 on any failure, with one line per check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Aggregate delivery floor for the largest drop-oldest point.
+AGGREGATE_FLOOR_SAMPLES_PER_S = 20_000
+
+
+def _scaling_points(report: dict, policy: str) -> list[dict]:
+    return report.get("server", {}).get("scaling", {}).get(policy, [])
+
+
+def _point(points: list[dict], n_clients: int) -> dict | None:
+    for point in points:
+        if point.get("n_clients") == n_clients:
+            return point
+    return None
+
+
+def check(baseline: dict, current: dict, max_regression: float) -> list[str]:
+    failures: list[str] = []
+
+    base_64 = _point(_scaling_points(baseline, "drop_oldest"), 64)
+    cur_64 = _point(_scaling_points(current, "drop_oldest"), 64)
+    if cur_64 is None:
+        failures.append("current report has no 64-subscriber drop-oldest point")
+    elif base_64 is not None:
+        base_rate = base_64["per_client_samples_per_s"]
+        cur_rate = cur_64["per_client_samples_per_s"]
+        floor = base_rate * (1.0 - max_regression / 100.0)
+        line = (
+            f"64-subscriber drop-oldest per-client rate: {cur_rate}/s "
+            f"(baseline {base_rate}/s, floor {floor:.0f}/s)"
+        )
+        if cur_rate < floor:
+            failures.append(f"REGRESSION {line}")
+        else:
+            print(f"ok: {line}")
+
+    for point in _scaling_points(current, "block"):
+        n = point.get("n_clients")
+        if not point.get("lossless"):
+            failures.append(
+                f"block policy lost frames at {n} subscribers "
+                f"(dropped={point.get('frames_dropped')}, gaps={point.get('seq_gaps')})"
+            )
+        else:
+            print(f"ok: block policy lossless at {n} subscribers")
+
+    for policy in ("drop_oldest", "block"):
+        for point in _scaling_points(current, policy):
+            n = point.get("n_clients")
+            if not point.get("encode_once"):
+                failures.append(
+                    f"{policy} at {n} subscribers is not encode-once "
+                    f"(encoded={point.get('frames_encoded')}, "
+                    f"expected={point.get('frames_expected')})"
+                )
+
+    cur_1024 = _point(_scaling_points(current, "drop_oldest"), 1024)
+    if cur_1024 is not None:
+        rate = cur_1024["aggregate_samples_per_s"]
+        if rate < AGGREGATE_FLOOR_SAMPLES_PER_S:
+            failures.append(
+                f"1024-subscriber aggregate delivery {rate}/s is below "
+                f"the {AGGREGATE_FLOOR_SAMPLES_PER_S}/s floor"
+            )
+        else:
+            print(f"ok: 1024-subscriber aggregate delivery {rate}/s")
+
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--baseline", required=True, type=Path)
+    parser.add_argument("--current", required=True, type=Path)
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=20.0,
+        metavar="PCT",
+        help="allowed drop in the 64-subscriber per-client rate",
+    )
+    args = parser.parse_args()
+
+    baseline = json.loads(args.baseline.read_text())
+    current = json.loads(args.current.read_text())
+    failures = check(baseline, current, args.max_regression)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,7 +27,14 @@ The report compares three stages of the receive/persist pipeline:
   the single-client remote read path against a local
   ``ProtocolSampleSource`` pulling the same samples (the remote decode
   overhead must stay within 2x local).  These are wall-clock runs of a
-  threaded daemon, so they report single measurements, not best-of.
+  live daemon, so they report single measurements, not best-of.  The
+  ``scaling`` sub-section drives the asyncio broadcast-ring core with
+  the lightweight :mod:`repro.server.loadgen` swarm instead of full
+  client stacks: a 64/256/1024-subscriber curve under ``drop-oldest``
+  (1024 subscribers must clear 20 kHz aggregate delivery) and a 64/256
+  curve under ``block`` (which must stay lossless), with the ring's
+  encode counter proving each frame was encoded exactly once no matter
+  how many subscribers received it.
 * **fleet** — four mixed devices (two simulated benches, a looped replay
   tape, a re-served remote member) behind one psserve endpoint with one
   subscriber per device: every device must sustain its full 20 kHz with
@@ -313,10 +320,90 @@ def _run_remote_read(n_samples: int, chunk: int) -> dict:
     }
 
 
+def _encoded_total(registry) -> int:
+    """Sum of the ring encode counter across devices."""
+    total = 0
+    for metric in registry.snapshot()["metrics"]:
+        if metric["name"] == "server_frames_encoded_total":
+            total += int(metric["value"])
+    return total
+
+
+def _run_swarm_fanout(n_clients: int, duration: float, chunk: int, policy: str) -> dict:
+    """One scaling-curve point: ``n_clients`` loadgen subscribers.
+
+    The swarm is N asyncio subscribers on one event loop, so the point
+    measures the server's fan-out, not a thread-per-client load
+    generator fighting it for the CPU.
+    """
+    import shutil
+    import threading
+
+    from repro.server import PowerSensorServer
+    from repro.server.loadgen import run_swarm
+
+    setup = SimulatedSetup(_MODULES, seed=0, calibration_samples=1024)
+    setup.source.start()
+    rate = setup.source.sample_rate
+    expected_samples = int(round(duration * rate))
+    expected_frames = -(-expected_samples // chunk)  # ceil
+    tmpdir = tempfile.mkdtemp(prefix="psserve-bench-")
+    server = PowerSensorServer(
+        setup.source,
+        f"unix:{os.path.join(tmpdir, 'bench.sock')}",
+        policy=policy,
+        chunk=chunk,
+        wait_clients=n_clients,
+        max_clients=n_clients,
+        client_timeout=30.0,
+        time_scale=0.0,
+    )
+    try:
+        server.start()
+        pump = threading.Thread(target=lambda: server.serve(duration), daemon=True)
+        pump.start()
+        swarm = run_swarm(
+            server.address,
+            n_clients,
+            connect_concurrency=128,
+            timeout=600.0,
+        )
+        pump.join(timeout=120)
+        encodes = _encoded_total(server.registry)
+    finally:
+        server.close()
+        setup.close()
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+    delivered_frames = swarm.total_frames
+    delivered_samples = delivered_frames * chunk
+    wall = swarm.elapsed
+    return {
+        "n_clients": n_clients,
+        "policy": policy,
+        "chunk": chunk,
+        "simulated_seconds": duration,
+        "wall_seconds": round(wall, 3),
+        "clients_completed": len(swarm.completed),
+        "frames_encoded": encodes,
+        "frames_expected": expected_frames,
+        "encode_once": encodes == expected_frames,
+        "frames_delivered": delivered_frames,
+        "aggregate_samples_per_s": round(delivered_samples / wall),
+        "per_client_samples_per_s": round(delivered_samples / wall / n_clients),
+        "lossless": (
+            delivered_frames == n_clients * encodes
+            and swarm.eos_total("frames_dropped") == 0
+        ),
+        "frames_dropped": swarm.eos_total("frames_dropped"),
+        "seq_gaps": swarm.total_gaps,
+    }
+
+
 def bench_server(repeat: int) -> dict:
     """Fan-out capacity and remote read overhead of the serving layer.
 
-    ``repeat`` is ignored: these runs involve a live threaded daemon and
+    ``repeat`` is ignored: these runs involve a live daemon and
     simulated seconds of stream, so each configuration is run once.
     """
     return {
@@ -324,6 +411,17 @@ def bench_server(repeat: int) -> dict:
             _run_fanout(64, 2.0, chunk, "drop-oldest") for chunk in (400, 2000)
         ],
         "remote_read": _run_remote_read(200_000, 2000),
+        "scaling": {
+            "drop_oldest": [
+                _run_swarm_fanout(64, 2.0, 400, "drop-oldest"),
+                _run_swarm_fanout(256, 1.0, 400, "drop-oldest"),
+                _run_swarm_fanout(1024, 0.5, 400, "drop-oldest"),
+            ],
+            "block": [
+                _run_swarm_fanout(64, 2.0, 400, "block"),
+                _run_swarm_fanout(256, 1.0, 400, "block"),
+            ],
+        },
     }
 
 
@@ -445,14 +543,43 @@ def bench_fleet(repeat: int) -> dict:
     return {"mixed_fleet": _run_fleet(2.0, 400)}
 
 
+SECTIONS = {
+    "decode": lambda a: bench_decode(a.samples, a.repeat),
+    "dump": lambda a: bench_dump(a.samples, a.repeat),
+    "observability": lambda a: bench_observability(a.samples, a.repeat),
+    "server": lambda a: bench_server(a.repeat),
+    "fleet": lambda a: bench_fleet(a.repeat),
+}
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument("--samples", type=int, default=1_000_000)
     parser.add_argument("--repeat", type=int, default=3)
     parser.add_argument(
+        "--only",
+        metavar="SECTION[,SECTION...]",
+        default=None,
+        help="run only these sections (%s); the other sections are "
+        "carried over from the existing output file when present, so CI "
+        "can refresh just the server numbers" % ", ".join(SECTIONS),
+    )
+    parser.add_argument(
         "--output", default=str(Path(__file__).resolve().parent.parent / "BENCH_streaming.json")
     )
     args = parser.parse_args()
+
+    selected = list(SECTIONS)
+    if args.only:
+        selected = [s.strip() for s in args.only.split(",") if s.strip()]
+        unknown = [s for s in selected if s not in SECTIONS]
+        if unknown:
+            parser.error(f"unknown section(s): {', '.join(unknown)}")
+
+    previous: dict = {}
+    out_path = Path(args.output)
+    if args.only and out_path.exists():
+        previous = json.loads(out_path.read_text())
 
     commit = "unknown"
     try:
@@ -473,13 +600,13 @@ def main() -> None:
             "cpus": os.cpu_count(),
         },
         "recorded_baselines": RECORDED_BASELINES,
-        "decode": bench_decode(args.samples, args.repeat),
-        "dump": bench_dump(args.samples, args.repeat),
-        "observability": bench_observability(args.samples, args.repeat),
-        "server": bench_server(args.repeat),
-        "fleet": bench_fleet(args.repeat),
     }
-    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    for name in SECTIONS:
+        if name in selected:
+            report[name] = SECTIONS[name](args)
+        elif name in previous:
+            report[name] = previous[name]
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
 
 

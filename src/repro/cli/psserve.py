@@ -25,6 +25,7 @@ from repro.common.errors import ConfigurationError
 from repro.observability import MetricsRegistry, Tracer
 from repro.server.backpressure import POLICIES
 from repro.server.daemon import DEFAULT_CHUNK, PowerSensorServer
+from repro.server.threaded import ThreadedPowerSensorServer
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -100,6 +101,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="pump as fast as possible instead of pacing to --time-scale",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("async", "threaded"),
+        default="async",
+        help="server core: the asyncio broadcast-ring event loop "
+        "(default) or the legacy thread-per-client engine",
+    )
     args = parser.parse_args(argv)
     registry = MetricsRegistry()
     tracer = Tracer(registry)
@@ -122,7 +130,10 @@ def _serve(args: argparse.Namespace, registry: MetricsRegistry, tracer: Tracer) 
     try:
         fleet = setup_fleet(setup)
         source = fleet.sources() if fleet is not None else setup.source
-        server = PowerSensorServer(
+        server_cls = (
+            ThreadedPowerSensorServer if args.engine == "threaded" else PowerSensorServer
+        )
+        server = server_cls(
             source,
             args.listen,
             policy=args.policy,

@@ -7,6 +7,12 @@ Unix sockets; :class:`RemoteSampleSource` is the client side — a drop-in
 device bytes relayed by the server, so every consumer (CLI tools via
 ``--remote``, the PMT backend, experiments) reads the shared stream with
 unchanged semantics.  See ``docs/serving.md``.
+
+:class:`PowerSensorServer` runs a single-threaded asyncio event loop
+around a shared :class:`BroadcastRing` (encode each frame once, fan out
+by :class:`RingCursor`); the original thread-per-client engine survives
+as :class:`ThreadedPowerSensorServer` (``psserve --engine threaded``) and
+as the byte-equivalence baseline in the test suite.
 """
 
 from repro.server.backpressure import BufferTimeout, SendBuffer
@@ -17,6 +23,8 @@ from repro.server.client import (
     connect_stream,
 )
 from repro.server.daemon import PowerSensorServer
+from repro.server.ring import BroadcastRing, RingCursor
+from repro.server.threaded import ThreadedPowerSensorServer
 from repro.server.wire import (
     Frame,
     FrameDecoder,
@@ -37,6 +45,9 @@ __all__ = [
     "RemoteSetup",
     "connect_stream",
     "PowerSensorServer",
+    "ThreadedPowerSensorServer",
+    "BroadcastRing",
+    "RingCursor",
     "Frame",
     "FrameDecoder",
     "FrameType",

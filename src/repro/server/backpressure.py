@@ -16,9 +16,15 @@ happens when the queue fills is the policy:
 
 Control frames (``EOS``, ``CONFIG``, ...) are enqueued as non-droppable:
 they may overfill the queue momentarily but are never discarded, so a
-client always learns *why* its stream ended.  Every discarded frame is
-counted in :attr:`SendBuffer.dropped`; the daemon mirrors the count into
-``server_frames_dropped_total{client=,policy=}``.
+client always learns *why* its stream ended.
+
+Drop accounting is exact: each lost frame is counted **exactly once**,
+either in :attr:`SendBuffer.dropped_oldest` (a queued frame evicted to
+make room) or in :attr:`SendBuffer.dropped_newest` (an arriving frame
+refused outright — a downsample skip, or a queue full of non-droppable
+frames).  :attr:`SendBuffer.dropped` is their sum; the daemon mirrors
+both kinds into
+``server_frames_dropped_total{client=,policy=,device=,kind=}``.
 """
 
 from __future__ import annotations
@@ -53,7 +59,8 @@ class SendBuffer:
         self.policy = policy
         self.max_frames = int(max_frames)
         self.block_timeout = float(block_timeout)
-        self.dropped = 0  # frames discarded by the policy
+        self.dropped_oldest = 0  # queued frames evicted to make room
+        self.dropped_newest = 0  # arriving frames refused outright
         self._queue: deque[tuple[bytes, bool]] = deque()
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
@@ -68,6 +75,11 @@ class SendBuffer:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def dropped(self) -> int:
+        """Frames lost by the policy — exactly one count per lost frame."""
+        return self.dropped_oldest + self.dropped_newest
 
     def put(self, frame: bytes, droppable: bool = True) -> bool:
         """Enqueue one encoded frame; returns False if the policy dropped it.
@@ -100,15 +112,15 @@ class SendBuffer:
                     self._append(frame, droppable)
                     return True
                 # Queue full of non-droppable frames: drop the newcomer.
-                self.dropped += 1
+                self.dropped_newest += 1
                 return False
             # downsample: under pressure, discard every second arrival.
             self._downsample_skip = not self._downsample_skip
             if self._downsample_skip:
-                self.dropped += 1
+                self.dropped_newest += 1
                 return False
             if not self._drop_oldest():
-                self.dropped += 1
+                self.dropped_newest += 1
                 return False
             self._append(frame, droppable)
             return True
@@ -122,7 +134,7 @@ class SendBuffer:
         for i, (_, droppable) in enumerate(self._queue):
             if droppable:
                 del self._queue[i]
-                self.dropped += 1
+                self.dropped_oldest += 1
                 return True
         return False
 

@@ -94,6 +94,7 @@ class RemoteLink:
         recovery: RecoveryPolicy | None = DEFAULT_RECOVERY,
         registry: MetricsRegistry | None = None,
         connect_timeout: float = 5.0,
+        handshake_timeout: float | None = None,
         stream_factory: Callable[[str], ByteStream] | None = None,
     ) -> None:
         if mode not in ("raw", "window"):
@@ -107,6 +108,15 @@ class RemoteLink:
         self.recovery = recovery
         self.registry = registry if registry is not None else MetricsRegistry()
         self.connect_timeout = float(connect_timeout)
+        if handshake_timeout is None:
+            # Derive the handshake budget from the configured recovery
+            # policy: one connect's worth of patience plus the policy's
+            # whole backoff schedule — instead of a hardcoded constant
+            # that ignored how patient the caller asked the link to be.
+            handshake_timeout = self.connect_timeout
+            if recovery is not None:
+                handshake_timeout += sum(recovery.backoff_delays(CONNECT_BACKOFF))
+        self.handshake_timeout = float(handshake_timeout)
         self._factory = stream_factory or (
             lambda s: connect_stream(s, timeout=self.connect_timeout)
         )
@@ -173,9 +183,8 @@ class RemoteLink:
         if self._started:
             stream.write(encode_frame(FrameType.START, 0))
 
-    @staticmethod
-    def _expect(stream: ByteStream, decoder: FrameDecoder, ftype: int) -> Frame:
-        deadline = time.monotonic() + 30.0
+    def _expect(self, stream: ByteStream, decoder: FrameDecoder, ftype: int) -> Frame:
+        deadline = time.monotonic() + self.handshake_timeout
         pending: deque[Frame] = deque()
         while time.monotonic() < deadline:
             while pending:
@@ -390,6 +399,7 @@ class RemoteSampleSource(ProtocolSampleSource):
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         connect_timeout: float = 5.0,
+        handshake_timeout: float | None = None,
         stream_factory: Callable[[str], ByteStream] | None = None,
     ) -> None:
         registry = registry if registry is not None else MetricsRegistry()
@@ -404,6 +414,7 @@ class RemoteSampleSource(ProtocolSampleSource):
                 recovery=recovery,
                 registry=registry,
                 connect_timeout=connect_timeout,
+                handshake_timeout=handshake_timeout,
                 stream_factory=stream_factory,
             )
         self._backlog: list[SampleBlock] = []
@@ -525,6 +536,7 @@ class RemoteSetup:
         faults: str | list | None = None,
         fault_seed: int = 0,
         connect_timeout: float = 5.0,
+        handshake_timeout: float | None = None,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
     ) -> None:
@@ -555,6 +567,7 @@ class RemoteSetup:
             registry=self.registry,
             tracer=self.tracer,
             connect_timeout=connect_timeout,
+            handshake_timeout=handshake_timeout,
             stream_factory=stream_factory,
         )
         self.link = self.source.link

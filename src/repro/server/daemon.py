@@ -1,4 +1,4 @@
-"""The psserve daemon: N devices, many subscribers, one endpoint.
+"""The psserve daemon: N devices, thousands of subscribers, one event loop.
 
 :class:`PowerSensorServer` owns one or more named
 :class:`~repro.core.sources.SampleSource` devices and fans their streams
@@ -7,45 +7,63 @@ out over TCP or Unix sockets.  Each subscriber names its device in the
 name subscribes to the first device, which keeps single-device clients
 oblivious to the fleet.
 
-For a byte-accurate device the pump thread reads one chunk via
-:meth:`read_block_raw`, encodes a single ``DATA`` frame carrying the raw
-wire bytes, and hands that *same encoded frame* to every raw subscriber
-of that device — fan-out cost is one encode plus N queue appends,
-independent of subscriber count.  Devices without a wire byte stream
-(replay tapes, direct sources, re-served remotes) stream float64
-``WINDOW`` rows instead — still sample-exact, just not byte-framed.
-Window-mode subscribers get server-side averaged rows in either case.
+The core is a **single-threaded asyncio event loop** around a **shared
+broadcast ring** (:mod:`repro.server.ring`): per pump tick each device's
+DATA frame is encoded exactly once and appended to the device's
+:class:`~repro.server.ring.BroadcastRing`; every subscriber holds a
+:class:`~repro.server.ring.RingCursor` into that ring instead of a
+per-client frame queue, so fan-out cost is one encode plus N integer
+cursor advances — independent of payload size and linear only in the
+*count* of subscribers.  Server-side windowing is shared the same way:
+all subscribers of one ``(device, window)`` stream read one ring fed by
+a single vectorised NumPy fold per tick (so the window(1) float64
+downgrade of a byte-less device costs one ``pack_window`` per tick, not
+one per client).
 
-Each client runs two daemon threads: a reader (handshake, then control
-frames — START/STOP/MARK/CONFIG_REQ/BYE, each acting on the client's
-device) and a sender draining the client's :class:`SendBuffer`.  A
-client whose ``block``-policy buffer stays full past the timeout is
-evicted; the others never stall the pump.
+Backpressure policies are cursor policies: ``block`` flow-controls the
+pump (bounded by the client timeout, then evicts the laggard),
+``drop-oldest`` lets the ring evict and accounts the gap on the lapped
+cursor, ``downsample`` thins a pressured cursor to alternate frames.
+Per-socket flow control is the transport's own: each client's writer
+coroutine awaits ``drain()``, so a slow socket shows up as cursor lag,
+never as a stalled pump.
 
-Everything observable is counted: ``server_clients_connected`` (gauge),
-``server_clients_total`` / ``server_clients_evicted_total``,
-``server_samples_produced_total`` (fleet-wide, plus one
-``{device=}``-labelled series per device), ``server_frames_sent_total``,
-``server_bytes_sent_total``, per-client
-``server_frames_dropped_total{client=,policy=,device=}``, and
-``server_accept`` / ``server_pump`` (``device=``-labelled) /
-``server_send`` trace spans.
+The public surface is thread-friendly: :meth:`start`, :meth:`serve`,
+:meth:`finish` and :meth:`close` may be called from plain threads (the
+CLI and the test suite do); they marshal onto the loop internally.
+
+Everything observable is counted: the thread-era series
+(``server_clients_connected``, ``server_clients_total``,
+``server_clients_evicted_total``, ``server_samples_produced_total``,
+``server_frames_sent_total``, ``server_bytes_sent_total``,
+``server_frames_dropped_total{client=,policy=,device=,kind=}``, the
+``server_accept`` / ``server_pump`` / ``server_send`` spans) plus the
+ring-era gauges ``server_frames_encoded_total{device=}``,
+``server_ring_occupancy{device=}`` and
+``server_client_cursor_lag{client=,device=}``.
 """
 
 from __future__ import annotations
 
+import asyncio
 import os
 import socket
 import threading
-import time
+from collections import deque
 
 import numpy as np
 
-from repro.common.errors import ConfigurationError, ServerError, TransportError
+from repro.common.errors import (
+    ConfigurationError,
+    ProtocolError,
+    ServerError,
+    TransportError,
+)
 from repro.core.sources import SampleBlock, SampleSource
 from repro.hardware.eeprom import VirtualEeprom
 from repro.observability import MetricsRegistry, Tracer
-from repro.server.backpressure import POLICIES, BufferTimeout, SendBuffer
+from repro.server.backpressure import POLICIES
+from repro.server.ring import BroadcastRing, RingCursor
 from repro.server.wire import (
     Frame,
     FrameDecoder,
@@ -55,10 +73,11 @@ from repro.server.wire import (
     pack_window,
     parse_endpoint,
 )
-from repro.transport.bytestream import ByteStream, SocketByteStream
 
 #: Default pump chunk: 400 samples = 20 ms of stream at 20 kHz.
 DEFAULT_CHUNK = 400
+#: Frames a writer drains per wake-up before yielding to its peers.
+WRITER_BATCH = 64
 
 
 def _raw_capable(source) -> bool:
@@ -75,24 +94,69 @@ def _raw_capable(source) -> bool:
     return not isinstance(source, RemoteSampleSource)
 
 
+def _bind_listener(endpoint: tuple[str, object], backlog: int) -> socket.socket:
+    """Bind (but don't accept on) the listening socket for an endpoint."""
+    kind, target = endpoint
+    if kind == "unix":
+        assert isinstance(target, str)
+        if os.path.exists(target):
+            os.unlink(target)  # stale socket from a previous run
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.bind(target)
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind(target)  # type: ignore[arg-type]
+    sock.listen(backlog)
+    return sock
+
+
+def _unlink_unix(endpoint: tuple[str, object]) -> None:
+    kind, target = endpoint
+    if kind == "unix" and isinstance(target, str) and os.path.exists(target):
+        try:
+            os.unlink(target)
+        except OSError:
+            pass
+
+
 class _Device:
-    """Server-side state for one served device."""
+    """Server-side state for one served device (shared by both engines)."""
 
     def __init__(self, name: str, source, registry: MetricsRegistry) -> None:
         self.name = name
         self.source = source
         self.raw_capable = _raw_capable(source)
-        self.seq = 0  # DATA/WINDOW sequence shared by this device's stream
+        self.seq = 0  # DATA sequence for the threaded engine
         self.samples_produced = 0
         self.samples_counter = registry.counter(
             "server_samples_produced_total",
             help="samples pumped from the device",
             device=name,
         )
+        # Ring-engine state (unused by the threaded engine).
+        self.clients: set[_AsyncClient] = set()
+        self.raw_ring: BroadcastRing | None = None
+        self.window_streams: dict[int, _WindowStream] = {}
+        self.encode_counter = registry.counter(
+            "server_frames_encoded_total",
+            help="frames encoded into the device's broadcast rings",
+            device=name,
+        )
+        self.ring_gauge = registry.gauge(
+            "server_ring_occupancy",
+            help="frames retained in the device's raw broadcast ring",
+            device=name,
+        )
 
     def next_seq(self) -> int:
         self.seq += 1
         return self.seq
+
+    def ensure_raw_ring(self, capacity: int) -> BroadcastRing:
+        if self.raw_ring is None:
+            self.raw_ring = BroadcastRing(capacity)
+        return self.raw_ring
 
     def info(self) -> dict:
         return {
@@ -105,26 +169,95 @@ class _Device:
         return VirtualEeprom(configs=list(self.source.configs)).pack()
 
 
-class _Client:
-    """Server-side state for one subscriber."""
+class _WindowStream:
+    """One shared server-side window stream: fold and encode once per tick.
 
-    def __init__(self, cid: int, stream: ByteStream, buffer: SendBuffer) -> None:
+    All subscribers of the same ``(device, window)`` pair share this
+    accumulator and its ring — the thread-era daemon kept one
+    accumulator *per client* and paid a Python fold per client per tick.
+    """
+
+    def __init__(self, window: int, capacity: int) -> None:
+        self.window = int(window)
+        self.ring = BroadcastRing(capacity)
+        self.acc: list[SampleBlock] = []
+        self.acc_count = 0
+
+    def fold(self, block: SampleBlock) -> list[tuple[bytes, int]]:
+        """Fold one device block; return the encoded WINDOW frames due.
+
+        Each returned entry is ``(frame, raw_samples_covered)``.  A
+        window of 1 (the byte-less-device downgrade) is the fast path:
+        one ``pack_window`` pass over the block, no accumulation.
+        """
+        w = self.window
+        if w == 1:
+            if not len(block):
+                return []
+            payload = pack_window(
+                block.times, block.values, block.markers, block.enabled
+            )
+            frame = encode_frame(FrameType.WINDOW, self.ring.next_seq(), payload)
+            return [(frame, len(block))]
+        if len(block):
+            self.acc.append(block)
+            self.acc_count += len(block)
+        if self.acc_count < w:
+            return []
+        times = np.concatenate([b.times for b in self.acc])
+        values = np.concatenate([b.values for b in self.acc])
+        markers = np.concatenate([b.markers for b in self.acc])
+        k = self.acc_count // w
+        used = k * w
+        avg_times = times[:used].reshape(k, w).mean(axis=1)
+        avg_values = values[:used].reshape(k, w, values.shape[1]).mean(axis=1)
+        any_markers = markers[:used].reshape(k, w).any(axis=1)
+        leftover = SampleBlock(
+            times=times[used:],
+            values=values[used:],
+            markers=markers[used:],
+            enabled=block.enabled,
+        )
+        self.acc = [leftover] if len(leftover) else []
+        self.acc_count -= used
+        payload = pack_window(avg_times, avg_values, any_markers, block.enabled)
+        frame = encode_frame(FrameType.WINDOW, self.ring.next_seq(), payload)
+        return [(frame, used)]
+
+
+class _AsyncClient:
+    """Server-side state for one subscriber on the event loop."""
+
+    def __init__(
+        self,
+        cid: int,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        device: _Device,
+        cursor: RingCursor,
+    ) -> None:
         self.id = cid
-        self.stream = stream
-        self.buffer = buffer
+        self.reader = reader
+        self.writer = writer
+        self.device = device
+        self.cursor = cursor
         self.decoder = FrameDecoder()
         self.mode = "raw"
         self.window = 1
-        self.device: _Device | None = None
-        self.started = threading.Event()
-        self.samples_sent = 0
-        self.frames_sent = 0
-        self.seq = 0  # per-client sequence for WINDOW/control frames
+        self.started = False
+        self.ever_started = False
+        self.finishing = False
         self.evicted = False
-        self.sender: threading.Thread | None = None
-        # Window-mode accumulator (touched only by the pump thread).
-        self.acc: list[SampleBlock] = []
-        self.acc_count = 0
+        self.torn = False
+        self.eos_frame: bytes | None = None
+        self.seq = 0  # per-client sequence for control frames
+        self.frames_sent = 0
+        self.samples_sent = 0
+        self.control: deque[bytes] = deque()
+        self.wake = asyncio.Event()
+        self.writer_task: asyncio.Task | None = None
+        self.drop_counters: dict[str, object] = {}
+        self.lag_gauge = None
 
     def next_seq(self) -> int:
         self.seq += 1
@@ -132,7 +265,7 @@ class _Client:
 
 
 class PowerSensorServer:
-    """Serve one or more PowerSensor streams to N subscribers.
+    """Serve one or more PowerSensor streams to N subscribers (asyncio).
 
     ``source`` is a single :class:`~repro.core.sources.SampleSource` or a
     ``{name: source}`` dict for a multi-device endpoint; the first entry
@@ -181,13 +314,17 @@ class PowerSensorServer:
         self.default_device = next(iter(self.devices.values()))
         self.source = self.default_device.source  # single-device back-compat
 
-        self._clients: dict[int, _Client] = {}
-        self._clients_lock = threading.Lock()
-        self._started_cond = threading.Condition(self._clients_lock)
+        self._clients: dict[int, _AsyncClient] = {}
         self._next_cid = 0
-        self._stop = threading.Event()
+        self._starts_seen = 0  # distinct subscribers that ever sent START
         self._listener: socket.socket | None = None
-        self._accept_thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._loop_thread: threading.Thread | None = None
+        self._aio_server: asyncio.AbstractServer | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._started_event: asyncio.Event | None = None
+        self._drain_event: asyncio.Event | None = None
+        self._serve_task: asyncio.Task | None = None
 
         self._connected_gauge = self.registry.gauge(
             "server_clients_connected", help="subscribers currently connected"
@@ -203,14 +340,14 @@ class PowerSensorServer:
             "server_samples_produced_total", help="samples pumped from the device"
         )
         self._frames_counter = self.registry.counter(
-            "server_frames_sent_total", help="frames enqueued to subscribers"
+            "server_frames_sent_total", help="frames written to subscribers"
         )
         self._bytes_counter = self.registry.counter(
             "server_bytes_sent_total", help="frame bytes written to sockets"
         )
 
     # ------------------------------------------------------------------ #
-    # Lifecycle                                                          #
+    # Lifecycle (thread-facing surface)                                  #
     # ------------------------------------------------------------------ #
 
     @property
@@ -224,53 +361,93 @@ class PowerSensorServer:
         kind, target = self.endpoint
         if kind == "unix":
             return f"unix:{target}"
-        host, port = target
+        host, port = target  # type: ignore[misc]
         if self._listener is not None:
             host, port = self._listener.getsockname()[:2]
         return f"{host}:{port}"
 
     def start(self) -> None:
-        """Bind the listener and start accepting subscribers."""
-        kind, target = self.endpoint
-        if kind == "unix":
-            if os.path.exists(target):
-                os.unlink(target)  # stale socket from a previous run
-            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            sock.bind(target)
-        else:
-            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-            sock.bind(target)
-        sock.listen(self.max_clients)
-        self._listener = sock
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="psserve-accept", daemon=True
+        """Bind the listener and start the event loop thread."""
+        if self._loop is not None:
+            return
+        # The backlog needs headroom beyond max_clients: a connect storm
+        # deeper than the queue makes unix-socket connects fail hard
+        # (ECONNREFUSED/EINVAL) rather than wait for an accept slot.
+        self._listener = _bind_listener(self.endpoint, max(self.max_clients, 512))
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        self._loop_thread = threading.Thread(
+            target=self._run_loop, name="psserve-loop", daemon=True
         )
-        self._accept_thread.start()
+        self._loop_thread.start()
+        asyncio.run_coroutine_threadsafe(self._start_async(), loop).result(timeout=10)
+
+    def _run_loop(self) -> None:
+        assert self._loop is not None
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    async def _start_async(self) -> None:
+        self._stop_event = asyncio.Event()
+        self._started_event = asyncio.Event()
+        self._drain_event = asyncio.Event()
+        assert self._listener is not None
+        self._listener.setblocking(False)
+        kind, _ = self.endpoint
+        if kind == "unix":
+            self._aio_server = await asyncio.start_unix_server(
+                self._client_connected, sock=self._listener
+            )
+        else:
+            self._aio_server = await asyncio.start_server(
+                self._client_connected, sock=self._listener
+            )
+
+    def serve(self, duration: float | None = None) -> dict:
+        """Pump every device and fan out until ``duration`` simulated seconds.
+
+        Each pump round advances every device by the same simulated time
+        (per-device chunk sizes scale with sample rate), so a fleet's
+        clocks stay aligned.  ``duration=None`` pumps until
+        :meth:`close` (or Ctrl-C in the CLI).  With ``time_scale > 0``
+        the pump paces itself against the wall clock (1.0 = real time);
+        0 pumps as fast as possible.  Returns a stats dict (also the
+        shape of the EOS payload).  Blocks the calling thread; the work
+        happens on the server's event loop.
+        """
+        loop = self._require_loop()
+        future = asyncio.run_coroutine_threadsafe(self._serve_async(duration), loop)
+        return future.result()
+
+    def finish(self, reason: str = "end of stream") -> dict:
+        """Stop pumping, send EOS (with stats) to everyone, return stats."""
+        loop = self._loop
+        if loop is None or not loop.is_running():
+            return self._stats_dict(reason)
+        loop.call_soon_threadsafe(self._signal_stop)
+        return asyncio.run_coroutine_threadsafe(
+            self._finish_async(reason), loop
+        ).result(timeout=max(self.client_timeout, 2.0) + 10)
 
     def close(self) -> None:
         """Stop accepting, end the stream, disconnect everyone."""
-        self._stop.set()
-        with self._started_cond:
-            self._started_cond.notify_all()
-        if self._listener is not None:
-            try:
-                self._listener.close()
-            except OSError:
-                pass
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=2.0)
-            self._accept_thread = None
-        with self._clients_lock:
-            clients = list(self._clients.values())
-        for client in clients:
-            self._finish_client(client, reason="server closed")
-        kind, target = self.endpoint
-        if kind == "unix" and os.path.exists(target):
-            try:
-                os.unlink(target)
-            except OSError:
-                pass
+        loop = self._loop
+        if loop is None:
+            _unlink_unix(self.endpoint)
+            return
+        try:
+            asyncio.run_coroutine_threadsafe(self._shutdown_async(), loop).result(
+                timeout=max(self.client_timeout, 2.0) + 15
+            )
+        finally:
+            loop.call_soon_threadsafe(loop.stop)
+            if self._loop_thread is not None:
+                self._loop_thread.join(timeout=10)
+                self._loop_thread = None
+            loop.close()
+            self._loop = None
+            self._listener = None
+            _unlink_unix(self.endpoint)
 
     def __enter__(self) -> "PowerSensorServer":
         self.start()
@@ -279,45 +456,79 @@ class PowerSensorServer:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    # ------------------------------------------------------------------ #
-    # Accepting and per-client threads                                   #
-    # ------------------------------------------------------------------ #
+    def _require_loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None:
+            raise ServerError("server is not started (call start() first)")
+        return self._loop
 
-    def _accept_loop(self) -> None:
-        assert self._listener is not None
-        while not self._stop.is_set():
+    def _signal_stop(self) -> None:
+        """Loop-thread half of stopping: wake everything that waits."""
+        if self._stop_event is not None:
+            self._stop_event.set()
+        if self._started_event is not None:
+            self._started_event.set()
+        if self._drain_event is not None:
+            self._drain_event.set()
+
+    async def _shutdown_async(self) -> None:
+        self._signal_stop()
+        if self._aio_server is not None:
+            self._aio_server.close()
+        serve_task = self._serve_task
+        if serve_task is not None:
+            # The pump notices the stop event within one pacing interval
+            # and runs _finish_async itself.
+            await asyncio.wait({serve_task}, timeout=max(self.client_timeout, 2.0) + 5)
+        if self._clients:
+            await self._finish_async("server closed")
+        if self._aio_server is not None:
             try:
-                conn, _ = self._listener.accept()
-            except OSError:
-                return  # listener closed
-            threading.Thread(
-                target=self._client_main,
-                args=(conn,),
-                name="psserve-client",
-                daemon=True,
-            ).start()
+                await self._aio_server.wait_closed()
+            except Exception:
+                pass
+            self._aio_server = None
 
-    def _client_main(self, conn: socket.socket) -> None:
-        conn.settimeout(self.client_timeout)
-        stream = SocketByteStream(conn)
+    # ------------------------------------------------------------------ #
+    # Accepting and per-client coroutines                                #
+    # ------------------------------------------------------------------ #
+
+    async def _client_connected(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        client: _AsyncClient | None = None
+        leftovers: list[Frame] = []
         try:
-            with self.tracer.span("server_accept"):
-                client = self._handshake(stream)
-        except (TransportError, ServerError, ConfigurationError):
-            stream.close()
-            return
-        if client is None:
-            stream.close()
-            return
-        conn.settimeout(None)
-        client.sender = threading.Thread(
-            target=self._sender_loop, args=(client,), name="psserve-send", daemon=True
-        )
-        client.sender.start()
-        self._reader_loop(client)
+            try:
+                with self.tracer.span("server_accept"):
+                    client, leftovers = await asyncio.wait_for(
+                        self._handshake(reader, writer), timeout=self.client_timeout
+                    )
+            except (
+                TimeoutError,
+                TransportError,
+                ServerError,
+                ConfigurationError,
+                ProtocolError,
+                ConnectionError,
+                OSError,
+            ):
+                client = None
+            if client is None:
+                writer.close()
+                return
+            client.writer_task = asyncio.get_running_loop().create_task(
+                self._writer_loop(client)
+            )
+            if self._handle_control(client, leftovers):
+                await self._control_loop(client)
+        finally:
+            if client is not None:
+                self._teardown(client)
 
-    def _handshake(self, stream: ByteStream) -> _Client | None:
-        """HELLO -> SUBSCRIBE -> SUBACK; returns the registered client."""
+    async def _handshake(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> tuple[_AsyncClient | None, list[Frame]]:
+        """HELLO -> SUBSCRIBE -> SUBACK; returns (client, undelivered frames)."""
         hello = {
             "server": "psserve",
             # Legacy top-level fields describe the default device so old
@@ -328,24 +539,38 @@ class PowerSensorServer:
             "buffer_frames": self.buffer_frames,
             "devices": {name: dev.info() for name, dev in self.devices.items()},
         }
-        stream.write(encode_control(FrameType.HELLO, 0, hello))
-        sub = self._read_control(stream, FrameType.SUBSCRIBE)
-        if sub is None:
-            return None
+        writer.write(encode_control(FrameType.HELLO, 0, hello))
+        await writer.drain()
+        decoder = FrameDecoder()
+        sub: Frame | None = None
+        leftovers: list[Frame] = []
+        while sub is None:
+            data = await reader.read(65536)
+            if not data:
+                return None, []
+            frames = decoder.feed(data)
+            for i, frame in enumerate(frames):
+                if frame.type == FrameType.SUBSCRIBE:
+                    sub = frame
+                    leftovers = frames[i + 1 :]
+                    break
+                if frame.type == FrameType.BYE:
+                    return None, []
         request = sub.json()
         mode = request.get("mode", "raw")
         window = int(request.get("window", 1) or 1)
         if mode not in ("raw", "window") or window < 1:
-            stream.write(
+            writer.write(
                 encode_control(
                     FrameType.ERROR, 0, {"message": f"bad subscription {request!r}"}
                 )
             )
-            return None
+            await writer.drain()
+            return None, []
         device_name = request.get("device") or self.default_device.name
         device = self.devices.get(device_name)
         if device is None:
-            stream.write(
+            writer.write(
                 encode_control(
                     FrameType.ERROR,
                     0,
@@ -355,43 +580,58 @@ class PowerSensorServer:
                     },
                 )
             )
-            return None
+            await writer.drain()
+            return None, []
         # A raw subscription needs the device's wire byte stream; fall
         # back to sample-exact single-sample windows when it has none.
         if mode == "raw" and not device.raw_capable:
             mode = "window"
-        with self._clients_lock:
-            if len(self._clients) >= self.max_clients:
-                stream.write(
-                    encode_control(FrameType.ERROR, 0, {"message": "server full"})
-                )
-                return None
-            cid = self._next_cid
-            self._next_cid += 1
-            client = _Client(
-                cid,
-                stream,
-                SendBuffer(
-                    policy=self.policy,
-                    max_frames=self.buffer_frames,
-                    block_timeout=self.client_timeout,
-                ),
+            window = max(window, 1)
+        if len(self._clients) >= self.max_clients:
+            writer.write(
+                encode_control(FrameType.ERROR, 0, {"message": "server full"})
             )
-            client.mode = mode
-            client.window = window
-            client.device = device
-            self._clients[cid] = client
-            self._connected_gauge.set(len(self._clients))
+            await writer.drain()
+            return None, []
+        if mode == "raw":
+            ring = device.ensure_raw_ring(self.buffer_frames)
+        else:
+            stream = device.window_streams.get(window)
+            if stream is None:
+                stream = _WindowStream(window, self.buffer_frames)
+                device.window_streams[window] = stream
+            ring = stream.ring
+        cid = self._next_cid
+        self._next_cid += 1
+        client = _AsyncClient(
+            cid, reader, writer, device, RingCursor(ring, policy=self.policy)
+        )
+        client.mode = mode
+        client.window = window
+        self._clients[cid] = client
+        device.clients.add(client)
+        self._connected_gauge.set(len(self._clients))
         self._clients_counter.inc()
-        # Per-client drop counter, mirrored from the buffer on removal.
-        client.drop_counter = self.registry.counter(
-            "server_frames_dropped_total",
-            help="frames discarded by backpressure, per client",
+        # Per-client backpressure accounting: ``kind`` distinguishes
+        # ring-evicted frames from downsample-skipped ones.
+        client.drop_counters = {
+            kind: self.registry.counter(
+                "server_frames_dropped_total",
+                help="frames discarded by backpressure, per client",
+                client=str(cid),
+                policy=self.policy,
+                device=device.name,
+                kind=kind,
+            )
+            for kind in ("evicted", "skipped")
+        }
+        client.lag_gauge = self.registry.gauge(
+            "server_client_cursor_lag",
+            help="frames between the broadcast ring head and the client cursor",
             client=str(cid),
-            policy=self.policy,
             device=device.name,
         )
-        stream.write(
+        writer.write(
             encode_control(
                 FrameType.SUBACK,
                 0,
@@ -405,133 +645,188 @@ class PowerSensorServer:
                 },
             )
         )
-        return client
+        await writer.drain()
+        return client, leftovers
 
-    def _read_control(self, stream: ByteStream, expected: int) -> Frame | None:
-        """Read frames until one of ``expected`` type arrives (or EOF)."""
-        decoder = FrameDecoder()
-        while True:
-            data = stream.read(65536)
-            if not data:
-                return None
-            for frame in decoder.feed(data):
-                if frame.type == expected:
-                    return frame
-                if frame.type == FrameType.BYE:
-                    return None
-
-    def _reader_loop(self, client: _Client) -> None:
+    async def _control_loop(self, client: _AsyncClient) -> None:
         """Handle control frames from one subscriber until it goes away."""
-        while not self._stop.is_set():
+        stop = self._stop_event
+        while not client.torn and (stop is None or not stop.is_set()):
             try:
-                data = client.stream.read(65536)
-            except TransportError:
-                break
-            if not data:
-                break
-            goodbye = False
-            for frame in client.decoder.feed(data):
-                if frame.type == FrameType.START:
-                    client.started.set()
-                    with self._started_cond:
-                        self._started_cond.notify_all()
-                elif frame.type == FrameType.STOP:
-                    client.started.clear()
-                elif frame.type == FrameType.MARK:
-                    # The marker lands in the device's shared stream.
-                    client.device.source.mark()
-                elif frame.type == FrameType.CONFIG_REQ:
-                    client.buffer.put(
-                        encode_frame(
-                            FrameType.CONFIG,
-                            client.next_seq(),
-                            client.device.config_image(),
-                        ),
-                        droppable=False,
-                    )
-                elif frame.type == FrameType.BYE:
-                    goodbye = True
-                    break
-            if goodbye:
-                break
-        self._remove_client(client)
-
-    def _sender_loop(self, client: _Client) -> None:
-        """Drain one subscriber's send buffer onto its socket."""
-        while True:
-            frame = client.buffer.get(timeout=0.25)
-            if frame is None:
-                if client.buffer.closed:
-                    return
-                continue
-            try:
-                with self.tracer.span("server_send"):
-                    client.stream.write(frame)
-                self._bytes_counter.inc(len(frame))
-            except TransportError:
-                self._evict(client, reason="send failed")
+                data = await client.reader.read(65536)
+            except (ConnectionError, OSError):
                 return
+            if not data:
+                return
+            if not self._handle_control(client, client.decoder.feed(data)):
+                return
+
+    def _handle_control(self, client: _AsyncClient, frames: list[Frame]) -> bool:
+        """Apply control frames; False means the client said goodbye."""
+        for frame in frames:
+            if frame.type == FrameType.START:
+                if not client.started:
+                    # Join (or rejoin) at the live edge: frames streamed
+                    # while stopped are skipped, not counted as drops.
+                    client.cursor.rebase()
+                    client.started = True
+                    if not client.ever_started:
+                        client.ever_started = True
+                        self._starts_seen += 1
+                if self._started_event is not None:
+                    self._started_event.set()
+            elif frame.type == FrameType.STOP:
+                client.started = False
+            elif frame.type == FrameType.MARK:
+                # The marker lands in the device's shared stream.
+                client.device.source.mark()
+            elif frame.type == FrameType.CONFIG_REQ:
+                client.control.append(
+                    encode_frame(
+                        FrameType.CONFIG,
+                        client.next_seq(),
+                        client.device.config_image(),
+                    )
+                )
+                client.wake.set()
+            elif frame.type == FrameType.BYE:
+                return False
+        return True
+
+    async def _writer_loop(self, client: _AsyncClient) -> None:
+        """Drain one subscriber's cursor (and control queue) onto its socket."""
+        writer = client.writer
+        try:
+            while not client.torn:
+                client.wake.clear()
+                wrote = False
+                while client.control:
+                    frame = client.control.popleft()
+                    writer.write(frame)
+                    self._bytes_counter.inc(len(frame))
+                    wrote = True
+                if client.started:
+                    batch = client.cursor.take(limit=WRITER_BATCH)
+                    if batch:
+                        with self.tracer.span("server_send"):
+                            for frame, _samples in batch:
+                                writer.write(frame)
+                            await writer.drain()
+                        client.frames_sent += len(batch)
+                        client.samples_sent += sum(s for _, s in batch)
+                        self._frames_counter.inc(len(batch))
+                        self._bytes_counter.inc(sum(len(f) for f, _ in batch))
+                        if client.lag_gauge is not None:
+                            client.lag_gauge.set(client.cursor.lag)
+                        if self._drain_event is not None:
+                            self._drain_event.set()
+                        wrote = True
+                if wrote:
+                    await writer.drain()
+                    continue
+                if client.finishing:
+                    if client.eos_frame is not None:
+                        writer.write(client.eos_frame)
+                        self._bytes_counter.inc(len(client.eos_frame))
+                        client.eos_frame = None
+                        await writer.drain()
+                    return
+                try:
+                    await asyncio.wait_for(client.wake.wait(), timeout=0.25)
+                except TimeoutError:
+                    pass
+        except (TransportError, ConnectionError, OSError):
+            self._evict(client, reason="send failed")
 
     # ------------------------------------------------------------------ #
     # The pump                                                           #
     # ------------------------------------------------------------------ #
 
-    def serve(self, duration: float | None = None) -> dict:
-        """Pump every device and fan out until ``duration`` simulated seconds.
-
-        Each pump round advances every device by the same simulated time
-        (per-device chunk sizes scale with sample rate), so a fleet's
-        clocks stay aligned.  ``duration=None`` pumps until
-        :meth:`close` (or Ctrl-C in the CLI).  With ``time_scale > 0``
-        the pump paces itself against the wall clock (1.0 = real time);
-        0 pumps as fast as possible.  Returns a stats dict (also the
-        shape of the EOS payload).
-        """
-        if self.wait_clients:
-            self._await_clients(self.wait_clients)
-        devices = list(self.devices.values())
-        ref = max(devices, key=lambda d: d.source.sample_rate)
-        ref_rate = ref.source.sample_rate
-        chunks = {
-            d.name: max(int(round(self.chunk * d.source.sample_rate / ref_rate)), 1)
-            for d in devices
-        }
-        totals = (
-            None
-            if duration is None
-            else {
-                d.name: max(int(round(duration * d.source.sample_rate)), 0)
+    async def _serve_async(self, duration: float | None) -> dict:
+        self._serve_task = asyncio.current_task()
+        stop = self._stop_event
+        assert stop is not None
+        try:
+            if self.wait_clients:
+                await self._await_started(self.wait_clients)
+            devices = list(self.devices.values())
+            ref_rate = max(d.source.sample_rate for d in devices)
+            chunks = {
+                d.name: max(
+                    int(round(self.chunk * d.source.sample_rate / ref_rate)), 1
+                )
                 for d in devices
             }
-        )
-        dry: set[str] = set()  # finite replay tapes that ran out
-        t0 = time.monotonic()
-        while not self._stop.is_set():
-            live = [
-                d
-                for d in devices
-                if d.name not in dry
-                and (totals is None or d.samples_produced < totals[d.name])
-            ]
-            if not live:
-                break
-            with self._clients_lock:
-                clients = list(self._clients.values())
-            for device in live:
-                n = chunks[device.name]
-                if totals is not None:
-                    n = min(n, totals[device.name] - device.samples_produced)
-                if self._pump_device(device, n, clients) == 0:
-                    dry.add(device.name)
-            if self.time_scale > 0:
-                target = t0 + (ref.samples_produced / ref_rate) * self.time_scale
-                delay = target - time.monotonic()
-                if delay > 0:
-                    time.sleep(delay)
-        return self.finish(reason="duration" if duration is not None else "stopped")
+            totals = (
+                None
+                if duration is None
+                else {
+                    d.name: max(int(round(duration * d.source.sample_rate)), 0)
+                    for d in devices
+                }
+            )
+            dry: set[str] = set()  # finite replay tapes that ran out
 
-    def _pump_device(self, device: _Device, n: int, clients: list[_Client]) -> int:
-        """Pump ``n`` samples from one device and fan them out.
+            def is_live(d: _Device) -> bool:
+                return d.name not in dry and (
+                    totals is None or d.samples_produced < totals[d.name]
+                )
+
+            loop = asyncio.get_running_loop()
+            t0 = loop.time()
+            while not stop.is_set():
+                live = [d for d in devices if is_live(d)]
+                if not live:
+                    break
+                for device in live:
+                    n = chunks[device.name]
+                    if totals is not None:
+                        n = min(n, totals[device.name] - device.samples_produced)
+                    if await self._pump_device(device, n) == 0:
+                        dry.add(device.name)
+                if self.time_scale > 0:
+                    # Pace from the furthest-ahead device still
+                    # producing: a fixed reference would freeze the
+                    # clock once a finite replay tape runs dry and pump
+                    # the remaining devices unpaced at 100% CPU.
+                    pacers = [d for d in devices if is_live(d)] or devices
+                    sim_elapsed = max(
+                        d.samples_produced / d.source.sample_rate for d in pacers
+                    )
+                    delay = t0 + sim_elapsed * self.time_scale - loop.time()
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                else:
+                    # Fast mode never sleeps; yield once per tick so the
+                    # writer coroutines actually get scheduled.
+                    await asyncio.sleep(0)
+            return await self._finish_async(
+                "duration" if duration is not None else "stopped"
+            )
+        finally:
+            self._serve_task = None
+
+    async def _await_started(self, n: int) -> None:
+        """Wait until ``n`` distinct subscribers have sent START.
+
+        The count is cumulative: a subscriber that started and then went
+        away still counts, so a client crashing mid-rendezvous degrades
+        the fan-out instead of deadlocking the pump forever.
+        """
+        stop = self._stop_event
+        started = self._started_event
+        assert stop is not None and started is not None
+        while not stop.is_set():
+            if self._starts_seen >= n:
+                return
+            started.clear()
+            try:
+                await asyncio.wait_for(started.wait(), timeout=0.25)
+            except TimeoutError:
+                pass
+
+    async def _pump_device(self, device: _Device, n: int) -> int:
+        """Pump ``n`` samples from one device into its broadcast rings.
 
         Returns the number of samples actually produced (a finite replay
         tape may run dry and return 0).
@@ -539,104 +834,97 @@ class PowerSensorServer:
         source = device.source
         if not source.streaming:
             source.start()
+        raw: bytes | None = None
         if device.raw_capable:
             with self.tracer.span("server_pump", device=device.name):
                 block, raw = source.read_block_raw(n)
             produced = n
-            data_frame = encode_frame(FrameType.DATA, device.next_seq(), raw)
         else:
             with self.tracer.span("server_pump", device=device.name):
                 block = source.read_block(n)
             produced = len(block)
             if produced == 0:
                 return 0
-            data_frame = None
         device.samples_produced += produced
         device.samples_counter.inc(produced)
         self._samples_counter.inc(produced)
-        for client in clients:
-            if client.device is device:
-                self._deliver(client, data_frame, block, produced)
+        # Encode the DATA frame exactly once, into the shared ring.
+        if raw is not None and any(c.mode == "raw" for c in device.clients):
+            ring = device.ensure_raw_ring(self.buffer_frames)
+            frame = encode_frame(FrameType.DATA, ring.next_seq(), raw)
+            await self._append(device, ring, frame, produced)
+            device.encode_counter.inc()
+            device.ring_gauge.set(ring.occupancy)
+        # One vectorised fold + one encode per (device, window) stream.
+        for stream in device.window_streams.values():
+            if not any(c.cursor.ring is stream.ring for c in device.clients):
+                continue
+            for frame, samples in stream.fold(block):
+                await self._append(device, stream.ring, frame, samples)
+                device.encode_counter.inc()
         return produced
 
-    def _await_clients(self, n: int) -> None:
-        """Block until ``n`` subscribers have sent START (or the server stops)."""
-        with self._started_cond:
-            self._started_cond.wait_for(
-                lambda: self._stop.is_set()
-                or sum(c.started.is_set() for c in self._clients.values()) >= n
-            )
-
-    def _deliver(
-        self, client: _Client, data_frame: bytes | None, block: SampleBlock, n: int
+    async def _append(
+        self, device: _Device, ring: BroadcastRing, frame: bytes, samples: int
     ) -> None:
-        if not client.started.is_set():
-            return
-        try:
-            if client.mode == "raw":
-                assert data_frame is not None  # raw mode implies a raw device
-                if client.buffer.put(data_frame):
-                    client.frames_sent += 1
-                    client.samples_sent += n
-                    self._frames_counter.inc()
-            else:
-                frame = self._window_frame(client, block)
-                if frame is not None and client.buffer.put(frame):
-                    client.frames_sent += 1
-                    self._frames_counter.inc()
-        except BufferTimeout:
-            self._evict(client, reason="backpressure timeout")
+        if self.policy == "block":
+            await self._flow_control(device, ring)
+        ring.append(frame, samples)
+        for client in device.clients:
+            if client.cursor.ring is ring:
+                client.wake.set()
 
-    def _window_frame(self, client: _Client, block: SampleBlock) -> bytes | None:
-        """Fold a block into the client's window accumulator; emit full windows."""
-        if len(block):
-            client.acc.append(block)
-            client.acc_count += len(block)
-        w = client.window
-        if client.acc_count < w:
-            return None
-        times = np.concatenate([b.times for b in client.acc])
-        values = np.concatenate([b.values for b in client.acc])
-        markers = np.concatenate([b.markers for b in client.acc])
-        k = client.acc_count // w
-        used = k * w
-        avg_times = times[:used].reshape(k, w).mean(axis=1)
-        avg_values = values[:used].reshape(k, w, values.shape[1]).mean(axis=1)
-        any_markers = markers[:used].reshape(k, w).any(axis=1)
-        leftover = SampleBlock(
-            times=times[used:],
-            values=values[used:],
-            markers=markers[used:],
-            enabled=block.enabled,
-        )
-        client.acc = [leftover] if len(leftover) else []
-        client.acc_count -= used
-        client.samples_sent += used
-        return encode_frame(
-            FrameType.WINDOW,
-            client.next_seq(),
-            pack_window(avg_times, avg_values, any_markers, block.enabled),
-        )
+    async def _flow_control(self, device: _Device, ring: BroadcastRing) -> None:
+        """Hold the pump while a ``block``-policy cursor would be overrun.
+
+        Bounded by the client timeout, after which the laggards are
+        evicted — the async analogue of :class:`BufferTimeout`.
+        """
+        stop = self._stop_event
+        drained = self._drain_event
+        assert stop is not None and drained is not None
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.client_timeout
+        while not stop.is_set():
+            laggards = [
+                c
+                for c in device.clients
+                if c.started and c.cursor.ring is ring and c.cursor.overrun()
+            ]
+            if not laggards:
+                return
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                for client in laggards:
+                    self._evict(client, reason="backpressure timeout")
+                return
+            drained.clear()
+            try:
+                await asyncio.wait_for(drained.wait(), timeout=min(remaining, 0.25))
+            except TimeoutError:
+                pass
 
     # ------------------------------------------------------------------ #
     # Teardown                                                           #
     # ------------------------------------------------------------------ #
 
-    def _client_stats(self, client: _Client) -> dict:
+    def _client_stats(self, client: _AsyncClient) -> dict:
+        cursor = client.cursor
+        # Count from the cursor, not the writer's post-drain counters: a
+        # batch in flight inside ``drain()`` is already consumed by the
+        # cursor and will reach the socket before the EOS frame — as
+        # will frames still retained in the ring (``pending``).
+        pending_samples = cursor.pending_samples() if client.started else 0
+        pending_frames = cursor.lag if client.started else 0
         return {
             "client": client.id,
-            "device": client.device.name if client.device is not None else None,
-            "samples_sent": client.samples_sent,
-            "frames_sent": client.frames_sent,
-            "frames_dropped": client.buffer.dropped,
+            "device": client.device.name,
+            "samples_sent": cursor.taken_samples + pending_samples,
+            "frames_sent": cursor.taken_frames + pending_frames,
+            "frames_dropped": cursor.dropped,
         }
 
-    def finish(self, reason: str = "end of stream") -> dict:
-        """Send EOS (with per-client stats) to everyone and disconnect them."""
-        with self._clients_lock:
-            clients = list(self._clients.values())
-        for client in clients:
-            self._finish_client(client, reason=reason)
+    def _stats_dict(self, reason: str) -> dict:
         return {
             "reason": reason,
             "samples_produced": self.samples_produced,
@@ -647,38 +935,65 @@ class PowerSensorServer:
             "clients_evicted": int(self._evicted_counter.value),
         }
 
-    def _finish_client(self, client: _Client, reason: str) -> None:
-        stats = self._client_stats(client)
-        stats["reason"] = reason
-        client.buffer.put(
-            encode_control(FrameType.EOS, client.next_seq(), stats), droppable=False
-        )
-        client.buffer.close()
-        if client.sender is not None:
-            client.sender.join(timeout=2.0)
-        self._remove_client(client)
-        client.stream.close()
+    async def _finish_async(self, reason: str) -> dict:
+        """Send EOS (with per-client stats) to everyone and disconnect them."""
+        clients = list(self._clients.values())
+        for client in clients:
+            if client.finishing:
+                continue
+            stats = self._client_stats(client)
+            stats["reason"] = reason
+            client.eos_frame = encode_control(
+                FrameType.EOS, client.next_seq(), stats
+            )
+            client.finishing = True
+            client.wake.set()
+        tasks = {c.writer_task for c in clients if c.writer_task is not None}
+        tasks = {t for t in tasks if not t.done()}
+        if tasks:
+            await asyncio.wait(tasks, timeout=max(self.client_timeout, 2.0))
+        for client in clients:
+            self._teardown(client)
+        return self._stats_dict(reason)
 
-    def _evict(self, client: _Client, reason: str) -> None:
-        if client.evicted:
+    def _evict(self, client: _AsyncClient, reason: str) -> None:
+        if client.evicted or client.torn:
             return
         client.evicted = True
         # Only count an eviction if the client was still registered — a
         # send failing after a clean BYE is a disconnect, not an eviction.
-        if self._remove_client(client):
+        if client.id in self._clients:
             self._evicted_counter.inc()
-        client.buffer.close()
-        client.stream.close()  # unblocks the reader thread too
+        self._teardown(client)
 
-    def _remove_client(self, client: _Client) -> bool:
-        with self._clients_lock:
-            present = self._clients.pop(client.id, None)
-            self._connected_gauge.set(len(self._clients))
-        if present is not None:
-            drops = client.buffer.dropped
-            counted = getattr(client, "_drops_counted", 0)
-            if drops > counted:
-                client.drop_counter.inc(drops - counted)
-                client._drops_counted = drops
-            client.buffer.close()
-        return present is not None
+    def _mirror_drops(self, client: _AsyncClient) -> None:
+        cursor = client.cursor
+        for kind, value in (
+            ("evicted", cursor.lost_frames),
+            ("skipped", cursor.skipped_frames),
+        ):
+            counter = client.drop_counters.get(kind)
+            if counter is not None and value:
+                already = int(counter.value)
+                if value > already:
+                    counter.inc(value - already)
+
+    def _teardown(self, client: _AsyncClient) -> None:
+        """Idempotent full teardown: registry entry, tasks, socket."""
+        if client.torn:
+            return
+        client.torn = True
+        self._clients.pop(client.id, None)
+        client.device.clients.discard(client)
+        self._connected_gauge.set(len(self._clients))
+        self._mirror_drops(client)
+        task = client.writer_task
+        if task is not None and task is not asyncio.current_task() and not task.done():
+            task.cancel()
+        try:
+            client.writer.close()
+        except Exception:
+            pass
+        client.wake.set()
+        if self._drain_event is not None:
+            self._drain_event.set()

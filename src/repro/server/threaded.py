@@ -1,0 +1,652 @@
+"""The original thread-per-client psserve core, kept as a reference.
+
+:class:`ThreadedPowerSensorServer` is the pre-asyncio daemon: one accept
+thread, a reader and a sender thread per subscriber, and a bounded
+per-client :class:`~repro.server.backpressure.SendBuffer` between the
+pump and each sender.  The asyncio broadcast-ring core in
+:mod:`repro.server.daemon` replaced it as the default (``psserve
+--engine threaded`` still selects this one), but it stays in the tree
+for two reasons: it is the equivalence baseline the async server is
+pinned byte-for-byte against, and it is the simplest complete statement
+of the serving contract.
+
+Scaling ceiling: every frame costs one ``SendBuffer.put`` (lock +
+policy + notify) per subscriber and every subscriber costs two OS
+threads, which tops out around the 64 clients recorded in
+``BENCH_streaming.json`` — the motivation for the ring rewrite.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError, ServerError, TransportError
+from repro.core.sources import SampleBlock, SampleSource
+from repro.observability import MetricsRegistry, Tracer
+from repro.server.backpressure import POLICIES, BufferTimeout, SendBuffer
+from repro.server.daemon import DEFAULT_CHUNK, _bind_listener, _Device, _unlink_unix
+from repro.server.wire import (
+    Frame,
+    FrameDecoder,
+    FrameType,
+    encode_control,
+    encode_frame,
+    pack_window,
+    parse_endpoint,
+)
+from repro.transport.bytestream import ByteStream, SocketByteStream
+
+
+class _Client:
+    """Server-side state for one subscriber."""
+
+    def __init__(self, cid: int, stream: ByteStream, buffer: SendBuffer) -> None:
+        self.id = cid
+        self.stream = stream
+        self.buffer = buffer
+        self.decoder = FrameDecoder()
+        self.mode = "raw"
+        self.window = 1
+        self.device: _Device | None = None
+        self.started = threading.Event()
+        self.ever_started = False
+        self.samples_sent = 0
+        self.frames_sent = 0
+        self.seq = 0  # per-client sequence for WINDOW/control frames
+        self.evicted = False
+        self.released = False
+        self.sender: threading.Thread | None = None
+        self.drop_counters: dict[str, object] = {}
+        # Window-mode accumulator (touched only by the pump thread).
+        self.acc: list[SampleBlock] = []
+        self.acc_count = 0
+
+    def next_seq(self) -> int:
+        self.seq += 1
+        return self.seq
+
+
+class ThreadedPowerSensorServer:
+    """Serve one or more PowerSensor streams to N subscribers (threads).
+
+    ``source`` is a single :class:`~repro.core.sources.SampleSource` or a
+    ``{name: source}`` dict for a multi-device endpoint; the first entry
+    is the default device for subscribers that don't name one.
+    """
+
+    def __init__(
+        self,
+        source: SampleSource | dict[str, SampleSource],
+        listen: str,
+        *,
+        policy: str = "block",
+        buffer_frames: int = 256,
+        chunk: int = DEFAULT_CHUNK,
+        client_timeout: float = 5.0,
+        max_clients: int = 64,
+        time_scale: float = 0.0,
+        wait_clients: int = 0,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        if policy not in POLICIES:
+            raise ConfigurationError(
+                f"unknown backpressure policy {policy!r} (choose from {POLICIES})"
+            )
+        if chunk < 1:
+            raise ConfigurationError(f"chunk must be >= 1, got {chunk}")
+        self.endpoint = parse_endpoint(listen)
+        self.policy = policy
+        self.buffer_frames = int(buffer_frames)
+        self.chunk = int(chunk)
+        self.client_timeout = float(client_timeout)
+        self.max_clients = int(max_clients)
+        self.time_scale = float(time_scale)
+        self.wait_clients = int(wait_clients)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(self.registry)
+
+        if not isinstance(source, dict):
+            source = {getattr(source, "device", None) or "device0": source}
+        if not source:
+            raise ConfigurationError("a server needs at least one device")
+        self.devices: dict[str, _Device] = {
+            name: _Device(name, src, self.registry) for name, src in source.items()
+        }
+        self.default_device = next(iter(self.devices.values()))
+        self.source = self.default_device.source  # single-device back-compat
+
+        self._clients: dict[int, _Client] = {}
+        self._clients_lock = threading.Lock()
+        self._started_cond = threading.Condition(self._clients_lock)
+        self._next_cid = 0
+        self._starts_seen = 0  # distinct subscribers that ever sent START
+        self._stop = threading.Event()
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+
+        self._connected_gauge = self.registry.gauge(
+            "server_clients_connected", help="subscribers currently connected"
+        )
+        self._clients_counter = self.registry.counter(
+            "server_clients_total", help="subscribers accepted since start"
+        )
+        self._evicted_counter = self.registry.counter(
+            "server_clients_evicted_total",
+            help="subscribers force-disconnected (backpressure or send failure)",
+        )
+        self._samples_counter = self.registry.counter(
+            "server_samples_produced_total", help="samples pumped from the device"
+        )
+        self._frames_counter = self.registry.counter(
+            "server_frames_sent_total", help="frames enqueued to subscribers"
+        )
+        self._bytes_counter = self.registry.counter(
+            "server_bytes_sent_total", help="frame bytes written to sockets"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle                                                          #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def samples_produced(self) -> int:
+        """Samples pumped across every device since start."""
+        return sum(d.samples_produced for d in self.devices.values())
+
+    @property
+    def address(self) -> str:
+        """The bound address, as a connect spec (useful with port 0)."""
+        kind, target = self.endpoint
+        if kind == "unix":
+            return f"unix:{target}"
+        host, port = target
+        if self._listener is not None:
+            host, port = self._listener.getsockname()[:2]
+        return f"{host}:{port}"
+
+    def start(self) -> None:
+        """Bind the listener and start accepting subscribers."""
+        # Headroom beyond max_clients: see PowerSensorServer.start().
+        self._listener = _bind_listener(self.endpoint, max(self.max_clients, 512))
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="psserve-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    def close(self) -> None:
+        """Stop accepting, end the stream, disconnect everyone."""
+        self._stop.set()
+        with self._started_cond:
+            self._started_cond.notify_all()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+            self._accept_thread = None
+        with self._clients_lock:
+            clients = list(self._clients.values())
+        for client in clients:
+            self._finish_client(client, reason="server closed")
+        _unlink_unix(self.endpoint)
+
+    def __enter__(self) -> "ThreadedPowerSensorServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Accepting and per-client threads                                   #
+    # ------------------------------------------------------------------ #
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            threading.Thread(
+                target=self._client_main,
+                args=(conn,),
+                name="psserve-client",
+                daemon=True,
+            ).start()
+
+    def _client_main(self, conn: socket.socket) -> None:
+        conn.settimeout(self.client_timeout)
+        stream = SocketByteStream(conn)
+        client: _Client | None = None
+        try:
+            try:
+                with self.tracer.span("server_accept"):
+                    client = self._handshake(stream)
+            except (TransportError, ServerError, ConfigurationError):
+                return
+            if client is None:
+                return
+            conn.settimeout(None)
+            client.sender = threading.Thread(
+                target=self._sender_loop,
+                args=(client,),
+                name="psserve-send",
+                daemon=True,
+            )
+            client.sender.start()
+            self._reader_loop(client)
+        finally:
+            # Every exit path — clean BYE, EOF, reader crash, sender
+            # crash mid-handshake — releases the registration, the
+            # buffer, and the socket exactly once.  Before this guard a
+            # sender death (e.g. BufferTimeout under the block policy)
+            # could leave the client registered with an open socket and
+            # a live peer thread.
+            if client is None:
+                stream.close()
+            else:
+                self._release_client(client)
+
+    def _handshake(self, stream: ByteStream) -> _Client | None:
+        """HELLO -> SUBSCRIBE -> SUBACK; returns the registered client."""
+        hello = {
+            "server": "psserve",
+            # Legacy top-level fields describe the default device so old
+            # single-device clients keep working unmodified.
+            "version": self.default_device.source.version,
+            "sample_rate": self.default_device.source.sample_rate,
+            "policy": self.policy,
+            "buffer_frames": self.buffer_frames,
+            "devices": {name: dev.info() for name, dev in self.devices.items()},
+        }
+        stream.write(encode_control(FrameType.HELLO, 0, hello))
+        sub = self._read_control(stream, FrameType.SUBSCRIBE)
+        if sub is None:
+            return None
+        request = sub.json()
+        mode = request.get("mode", "raw")
+        window = int(request.get("window", 1) or 1)
+        if mode not in ("raw", "window") or window < 1:
+            stream.write(
+                encode_control(
+                    FrameType.ERROR, 0, {"message": f"bad subscription {request!r}"}
+                )
+            )
+            return None
+        device_name = request.get("device") or self.default_device.name
+        device = self.devices.get(device_name)
+        if device is None:
+            stream.write(
+                encode_control(
+                    FrameType.ERROR,
+                    0,
+                    {
+                        "message": f"unknown device {device_name!r}",
+                        "devices": list(self.devices),
+                    },
+                )
+            )
+            return None
+        # A raw subscription needs the device's wire byte stream; fall
+        # back to sample-exact single-sample windows when it has none.
+        if mode == "raw" and not device.raw_capable:
+            mode = "window"
+        with self._clients_lock:
+            if len(self._clients) >= self.max_clients:
+                stream.write(
+                    encode_control(FrameType.ERROR, 0, {"message": "server full"})
+                )
+                return None
+            cid = self._next_cid
+            self._next_cid += 1
+            client = _Client(
+                cid,
+                stream,
+                SendBuffer(
+                    policy=self.policy,
+                    max_frames=self.buffer_frames,
+                    block_timeout=self.client_timeout,
+                ),
+            )
+            client.mode = mode
+            client.window = window
+            client.device = device
+            self._clients[cid] = client
+            self._connected_gauge.set(len(self._clients))
+        self._clients_counter.inc()
+        # Per-client drop counters, mirrored from the buffer on removal;
+        # ``kind`` distinguishes evicted queue heads from refused newcomers.
+        client.drop_counters = {
+            kind: self.registry.counter(
+                "server_frames_dropped_total",
+                help="frames discarded by backpressure, per client",
+                client=str(cid),
+                policy=self.policy,
+                device=device.name,
+                kind=kind,
+            )
+            for kind in ("evicted", "newcomer")
+        }
+        stream.write(
+            encode_control(
+                FrameType.SUBACK,
+                0,
+                {
+                    "client": cid,
+                    "mode": mode,
+                    "window": window,
+                    "device": device.name,
+                    "version": device.source.version,
+                    "sample_rate": device.source.sample_rate,
+                },
+            )
+        )
+        return client
+
+    def _read_control(self, stream: ByteStream, expected: int) -> Frame | None:
+        """Read frames until one of ``expected`` type arrives (or EOF)."""
+        decoder = FrameDecoder()
+        while True:
+            data = stream.read(65536)
+            if not data:
+                return None
+            for frame in decoder.feed(data):
+                if frame.type == expected:
+                    return frame
+                if frame.type == FrameType.BYE:
+                    return None
+
+    def _reader_loop(self, client: _Client) -> None:
+        """Handle control frames from one subscriber until it goes away."""
+        while not self._stop.is_set():
+            try:
+                data = client.stream.read(65536)
+            except TransportError:
+                return
+            if not data:
+                return
+            for frame in client.decoder.feed(data):
+                if frame.type == FrameType.START:
+                    client.started.set()
+                    with self._started_cond:
+                        if not client.ever_started:
+                            client.ever_started = True
+                            self._starts_seen += 1
+                        self._started_cond.notify_all()
+                elif frame.type == FrameType.STOP:
+                    client.started.clear()
+                elif frame.type == FrameType.MARK:
+                    # The marker lands in the device's shared stream.
+                    client.device.source.mark()
+                elif frame.type == FrameType.CONFIG_REQ:
+                    client.buffer.put(
+                        encode_frame(
+                            FrameType.CONFIG,
+                            client.next_seq(),
+                            client.device.config_image(),
+                        ),
+                        droppable=False,
+                    )
+                elif frame.type == FrameType.BYE:
+                    return
+
+    def _sender_loop(self, client: _Client) -> None:
+        """Drain one subscriber's send buffer onto its socket."""
+        while True:
+            frame = client.buffer.get(timeout=0.25)
+            if frame is None:
+                if client.buffer.closed:
+                    return
+                continue
+            try:
+                with self.tracer.span("server_send"):
+                    client.stream.write(frame)
+                self._bytes_counter.inc(len(frame))
+            except TransportError:
+                self._evict(client, reason="send failed")
+                return
+
+    # ------------------------------------------------------------------ #
+    # The pump                                                           #
+    # ------------------------------------------------------------------ #
+
+    def serve(self, duration: float | None = None) -> dict:
+        """Pump every device and fan out until ``duration`` simulated seconds.
+
+        Each pump round advances every device by the same simulated time
+        (per-device chunk sizes scale with sample rate), so a fleet's
+        clocks stay aligned.  ``duration=None`` pumps until
+        :meth:`close` (or Ctrl-C in the CLI).  With ``time_scale > 0``
+        the pump paces itself against the wall clock (1.0 = real time);
+        0 pumps as fast as possible.  Returns a stats dict (also the
+        shape of the EOS payload).
+        """
+        if self.wait_clients:
+            self._await_clients(self.wait_clients)
+        devices = list(self.devices.values())
+        ref_rate = max(d.source.sample_rate for d in devices)
+        chunks = {
+            d.name: max(int(round(self.chunk * d.source.sample_rate / ref_rate)), 1)
+            for d in devices
+        }
+        totals = (
+            None
+            if duration is None
+            else {
+                d.name: max(int(round(duration * d.source.sample_rate)), 0)
+                for d in devices
+            }
+        )
+        dry: set[str] = set()  # finite replay tapes that ran out
+
+        def is_live(d: _Device) -> bool:
+            return d.name not in dry and (
+                totals is None or d.samples_produced < totals[d.name]
+            )
+
+        t0 = time.monotonic()
+        while not self._stop.is_set():
+            live = [d for d in devices if is_live(d)]
+            if not live:
+                break
+            with self._clients_lock:
+                clients = list(self._clients.values())
+            for device in live:
+                n = chunks[device.name]
+                if totals is not None:
+                    n = min(n, totals[device.name] - device.samples_produced)
+                if self._pump_device(device, n, clients) == 0:
+                    dry.add(device.name)
+            if self.time_scale > 0:
+                # Pace from the furthest-ahead device still producing: a
+                # fixed reference would freeze the clock once that device
+                # is a finite replay tape that ran dry, and the loop
+                # would pump the remaining live devices unpaced at 100%
+                # CPU for the rest of the serve.
+                pacers = [d for d in devices if is_live(d)] or devices
+                sim_elapsed = max(
+                    d.samples_produced / d.source.sample_rate for d in pacers
+                )
+                target = t0 + sim_elapsed * self.time_scale
+                delay = target - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+        return self.finish(reason="duration" if duration is not None else "stopped")
+
+    def _pump_device(self, device: _Device, n: int, clients: list[_Client]) -> int:
+        """Pump ``n`` samples from one device and fan them out.
+
+        Returns the number of samples actually produced (a finite replay
+        tape may run dry and return 0).
+        """
+        source = device.source
+        if not source.streaming:
+            source.start()
+        if device.raw_capable:
+            with self.tracer.span("server_pump", device=device.name):
+                block, raw = source.read_block_raw(n)
+            produced = n
+            data_frame = encode_frame(FrameType.DATA, device.next_seq(), raw)
+        else:
+            with self.tracer.span("server_pump", device=device.name):
+                block = source.read_block(n)
+            produced = len(block)
+            if produced == 0:
+                return 0
+            data_frame = None
+        device.samples_produced += produced
+        device.samples_counter.inc(produced)
+        self._samples_counter.inc(produced)
+        for client in clients:
+            if client.device is device:
+                self._deliver(client, data_frame, block, produced)
+        return produced
+
+    def _await_clients(self, n: int) -> None:
+        """Block until ``n`` distinct subscribers have sent START.
+
+        Cumulative, like the async engine: a subscriber that started and
+        then went away still counts, so a client crashing mid-rendezvous
+        cannot deadlock the pump.
+        """
+        with self._started_cond:
+            self._started_cond.wait_for(
+                lambda: self._stop.is_set() or self._starts_seen >= n
+            )
+
+    def _deliver(
+        self, client: _Client, data_frame: bytes | None, block: SampleBlock, n: int
+    ) -> None:
+        if not client.started.is_set():
+            return
+        try:
+            if client.mode == "raw":
+                assert data_frame is not None  # raw mode implies a raw device
+                if client.buffer.put(data_frame):
+                    client.frames_sent += 1
+                    client.samples_sent += n
+                    self._frames_counter.inc()
+            else:
+                frame = self._window_frame(client, block)
+                if frame is not None and client.buffer.put(frame):
+                    client.frames_sent += 1
+                    self._frames_counter.inc()
+        except BufferTimeout:
+            self._evict(client, reason="backpressure timeout")
+
+    def _window_frame(self, client: _Client, block: SampleBlock) -> bytes | None:
+        """Fold a block into the client's window accumulator; emit full windows."""
+        if len(block):
+            client.acc.append(block)
+            client.acc_count += len(block)
+        w = client.window
+        if client.acc_count < w:
+            return None
+        times = np.concatenate([b.times for b in client.acc])
+        values = np.concatenate([b.values for b in client.acc])
+        markers = np.concatenate([b.markers for b in client.acc])
+        k = client.acc_count // w
+        used = k * w
+        avg_times = times[:used].reshape(k, w).mean(axis=1)
+        avg_values = values[:used].reshape(k, w, values.shape[1]).mean(axis=1)
+        any_markers = markers[:used].reshape(k, w).any(axis=1)
+        leftover = SampleBlock(
+            times=times[used:],
+            values=values[used:],
+            markers=markers[used:],
+            enabled=block.enabled,
+        )
+        client.acc = [leftover] if len(leftover) else []
+        client.acc_count -= used
+        client.samples_sent += used
+        return encode_frame(
+            FrameType.WINDOW,
+            client.next_seq(),
+            pack_window(avg_times, avg_values, any_markers, block.enabled),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Teardown                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _client_stats(self, client: _Client) -> dict:
+        return {
+            "client": client.id,
+            "device": client.device.name if client.device is not None else None,
+            "samples_sent": client.samples_sent,
+            "frames_sent": client.frames_sent,
+            "frames_dropped": client.buffer.dropped,
+        }
+
+    def finish(self, reason: str = "end of stream") -> dict:
+        """Send EOS (with per-client stats) to everyone and disconnect them."""
+        with self._clients_lock:
+            clients = list(self._clients.values())
+        for client in clients:
+            self._finish_client(client, reason=reason)
+        return {
+            "reason": reason,
+            "samples_produced": self.samples_produced,
+            "devices": {
+                name: dev.samples_produced for name, dev in self.devices.items()
+            },
+            "clients_served": int(self._clients_counter.value),
+            "clients_evicted": int(self._evicted_counter.value),
+        }
+
+    def _finish_client(self, client: _Client, reason: str) -> None:
+        stats = self._client_stats(client)
+        stats["reason"] = reason
+        client.buffer.put(
+            encode_control(FrameType.EOS, client.next_seq(), stats), droppable=False
+        )
+        client.buffer.close()
+        if client.sender is not None:
+            client.sender.join(timeout=2.0)
+        self._release_client(client)
+
+    def _evict(self, client: _Client, reason: str) -> None:
+        if client.evicted:
+            return
+        client.evicted = True
+        # Only count an eviction if the client was still registered — a
+        # send failing after a clean BYE is a disconnect, not an eviction.
+        if self._remove_client(client):
+            self._evicted_counter.inc()
+        client.buffer.close()
+        client.stream.close()  # unblocks the reader thread too
+
+    def _release_client(self, client: _Client) -> None:
+        """Idempotent full teardown: registry entry, buffer, socket, sender."""
+        client.released = True
+        self._remove_client(client)
+        client.buffer.close()
+        client.stream.close()
+        sender = client.sender
+        if sender is not None and sender is not threading.current_thread():
+            sender.join(timeout=2.0)
+
+    def _remove_client(self, client: _Client) -> bool:
+        with self._clients_lock:
+            present = self._clients.pop(client.id, None)
+            self._connected_gauge.set(len(self._clients))
+        if present is not None:
+            for kind, attr in (
+                ("evicted", "dropped_oldest"),
+                ("newcomer", "dropped_newest"),
+            ):
+                drops = getattr(client.buffer, attr)
+                counted = getattr(client, f"_drops_counted_{kind}", 0)
+                if drops > counted and kind in client.drop_counters:
+                    client.drop_counters[kind].inc(drops - counted)
+                    setattr(client, f"_drops_counted_{kind}", drops)
+            client.buffer.close()
+        return present is not None

@@ -1,0 +1,653 @@
+"""The asyncio broadcast-ring server core and its bug-sweep regressions.
+
+Covers the ring/cursor primitives, the exact drop-accounting semantics
+of both engines, byte-identical equivalence between the asyncio and
+thread-per-client servers, and the four bug regressions: dry-reference
+pacing, the hardcoded handshake deadline, the client-thread/socket leak,
+and double-counted drops.  The 256-subscriber fan-out tests are gated
+behind ``PS_SCALING=1`` (they run in the CI server-smoke job).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from contextlib import contextmanager
+
+import pytest
+
+from repro.common.errors import ServerError, TransportError
+from repro.common.retry import RecoveryPolicy
+from repro.core.replay import ReplaySampleSource
+from repro.firmware.commands import Command
+from repro.server import (
+    BroadcastRing,
+    BufferTimeout,
+    FrameDecoder,
+    FrameType,
+    PowerSensorServer,
+    RemoteLink,
+    RingCursor,
+    SendBuffer,
+    ThreadedPowerSensorServer,
+    encode_frame,
+)
+from repro.server.client import CONNECT_BACKOFF
+from repro.server.loadgen import run_swarm
+from repro.server.wire import encode_control
+from tests.conftest import make_loaded_setup
+from tests.test_fleet import record_tape
+
+ENGINES = [PowerSensorServer, ThreadedPowerSensorServer]
+ENGINE_IDS = ["async", "threaded"]
+
+scaling = pytest.mark.skipif(
+    not os.environ.get("PS_SCALING"),
+    reason="256-subscriber fan-out test; set PS_SCALING=1 to run",
+)
+
+
+@contextmanager
+def served_engine(
+    tmp_path,
+    cls,
+    *,
+    duration=0.2,
+    wait_clients=1,
+    policy="block",
+    chunk=400,
+    seed=0,
+    buffer_frames=256,
+    max_clients=64,
+    client_timeout=5.0,
+    time_scale=0.0,
+):
+    """Like test_server.served, but with a selectable engine class."""
+    setup = make_loaded_setup(
+        amps=8.0, direct=False, seed=seed, calibration_samples=1024
+    )
+    setup.source.start()
+    server = cls(
+        setup.source,
+        f"unix:{tmp_path / 'engine.sock'}",
+        policy=policy,
+        chunk=chunk,
+        wait_clients=wait_clients,
+        max_clients=max_clients,
+        buffer_frames=buffer_frames,
+        client_timeout=client_timeout,
+        time_scale=time_scale,
+    )
+    server.start()
+    pump = threading.Thread(target=lambda: server.serve(duration), daemon=True)
+    pump.start()
+    try:
+        yield server
+    finally:
+        server.close()
+        pump.join(timeout=15)
+        setup.close()
+
+
+def encoded_frames(server, device="device0") -> int:
+    return int(server.registry.value("server_frames_encoded_total", device=device))
+
+
+# --------------------------------------------------------------------- #
+# BroadcastRing / RingCursor primitives                                 #
+# --------------------------------------------------------------------- #
+
+
+def test_ring_append_evicts_past_capacity():
+    ring = BroadcastRing(capacity=3)
+    for i in range(5):
+        assert ring.append(f"f{i}".encode(), samples=10 + i) == i
+    assert ring.head == 5 and ring.tail == 2
+    assert ring.occupancy == 3 and len(ring) == 3
+    assert ring.encodes == 5
+    assert ring.samples_appended == sum(range(10, 15))
+    assert ring.samples_evicted == 10 + 11
+    assert ring.entry(2) == (b"f2", 12)
+    with pytest.raises(IndexError):
+        ring.entry(1)  # evicted
+    with pytest.raises(IndexError):
+        ring.entry(5)  # not yet appended
+
+
+def test_cursor_consumes_in_order_without_loss():
+    ring = BroadcastRing(capacity=8)
+    cursor = RingCursor(ring, policy="block")
+    for i in range(5):
+        ring.append(f"f{i}".encode(), samples=1)
+    assert cursor.lag == 5
+    taken = cursor.take()
+    assert [f for f, _ in taken] == [b"f0", b"f1", b"f2", b"f3", b"f4"]
+    assert cursor.taken_frames == 5 and cursor.taken_samples == 5
+    assert cursor.dropped == 0 and cursor.lag == 0
+    assert cursor.take() == []
+
+
+def test_cursor_take_respects_limit():
+    ring = BroadcastRing(capacity=16)
+    cursor = RingCursor(ring)
+    for i in range(10):
+        ring.append(b"x", samples=2)
+    assert len(cursor.take(limit=4)) == 4
+    assert cursor.lag == 6
+    assert len(cursor.take()) == 6
+
+
+def test_cursor_gap_accounting_when_lapped():
+    ring = BroadcastRing(capacity=4)
+    cursor = RingCursor(ring, policy="drop-oldest")
+    for i in range(10):
+        ring.append(f"f{i}".encode(), samples=100 + i)
+    # Frames 0..5 were evicted before the cursor consumed them.
+    taken = cursor.take()
+    assert [f for f, _ in taken] == [b"f6", b"f7", b"f8", b"f9"]
+    assert cursor.lost_frames == 6
+    assert cursor.lost_samples == sum(100 + i for i in range(6))
+    assert cursor.dropped == 6  # exactly one count per lost frame
+    # Losses never double-count on subsequent takes.
+    assert cursor.take() == []
+    assert cursor.lost_frames == 6
+
+
+def test_cursor_overrun_flags_block_pressure():
+    ring = BroadcastRing(capacity=2)
+    cursor = RingCursor(ring, policy="block")
+    ring.append(b"a", 1)
+    assert not cursor.overrun()
+    ring.append(b"b", 1)
+    assert cursor.overrun()  # next append would evict frame the cursor needs
+    cursor.take(limit=1)
+    assert not cursor.overrun()
+
+
+def test_cursor_downsample_skips_alternate_frames_under_pressure():
+    ring = BroadcastRing(capacity=8)
+    cursor = RingCursor(ring, policy="downsample")
+    for i in range(8):
+        ring.append(f"f{i}".encode(), samples=1)
+    cursor.take()
+    assert cursor.skipped_frames > 0
+    assert cursor.taken_frames + cursor.skipped_frames == 8
+    assert cursor.dropped == cursor.skipped_frames
+    # Once caught up (lag below half the ring) frames pass unthinned.
+    ring.append(b"calm", 1)
+    assert [f for f, _ in cursor.take()] == [b"calm"]
+
+
+def test_cursor_rebase_joins_live_edge_without_loss():
+    ring = BroadcastRing(capacity=4)
+    cursor = RingCursor(ring, policy="drop-oldest")
+    for i in range(10):
+        ring.append(b"old", 1)
+    cursor.rebase()
+    assert cursor.lag == 0 and cursor.dropped == 0
+    ring.append(b"new", 1)
+    assert [f for f, _ in cursor.take()] == [b"new"]
+    assert cursor.dropped == 0
+
+
+# --------------------------------------------------------------------- #
+# SendBuffer drop accounting (satellite: drop audit)                    #
+# --------------------------------------------------------------------- #
+
+
+def test_sendbuffer_block_never_drops():
+    buf = SendBuffer(policy="block", max_frames=2, block_timeout=0.05)
+    assert buf.put(b"a") and buf.put(b"b")
+    with pytest.raises(BufferTimeout):
+        buf.put(b"c")
+    assert buf.dropped == 0
+    assert buf.dropped_oldest == 0 and buf.dropped_newest == 0
+
+
+def test_sendbuffer_drop_oldest_counts_evicted_frame_once():
+    buf = SendBuffer(policy="drop-oldest", max_frames=2)
+    assert buf.put(b"a") and buf.put(b"b")
+    assert buf.put(b"c")  # evicts a — one lost frame, one count
+    assert buf.dropped_oldest == 1
+    assert buf.dropped_newest == 0
+    assert buf.dropped == 1
+    assert buf.get(timeout=0) == b"b" and buf.get(timeout=0) == b"c"
+
+
+def test_sendbuffer_drop_oldest_refused_newcomer_is_counted_as_newest():
+    buf = SendBuffer(policy="drop-oldest", max_frames=1)
+    assert buf.put(b"eos", droppable=False)
+    assert not buf.put(b"data")  # nothing droppable to evict
+    assert buf.dropped_newest == 1 and buf.dropped_oldest == 0
+    assert buf.dropped == 1
+    assert buf.get(timeout=0) == b"eos"
+
+
+def test_sendbuffer_downsample_split_matches_pinned_sequence():
+    buf = SendBuffer(policy="downsample", max_frames=2)
+    results = [buf.put(f"f{i}".encode()) for i in range(6)]
+    # Pinned: two uncontended, then alternate skip/evict under pressure.
+    assert results == [True, True, False, True, False, True]
+    assert buf.dropped_newest == 2  # the skipped arrivals
+    assert buf.dropped_oldest == 2  # the evicted queue heads
+    assert buf.dropped == 4  # exactly one count per lost frame
+
+
+# --------------------------------------------------------------------- #
+# Engine equivalence: async stream == threaded stream, byte for byte    #
+# --------------------------------------------------------------------- #
+
+
+def _collect_stream(spec, mode="raw", window=1):
+    """Subscribe once and collect every DATA/WINDOW frame until EOS."""
+    link = RemoteLink(spec, mode=mode, window=window, recovery=None)
+    link.write(Command.START_STREAMING.value)
+    frames = []
+    while True:
+        frame = link.next_data()
+        if frame is None:
+            break
+        frames.append((int(frame.type), frame.seq, frame.payload))
+    hello, suback, eos = link.hello, link.suback, link.eos
+    link.close()
+    return hello, suback, frames, eos
+
+
+@pytest.mark.parametrize("mode,window", [("raw", 1), ("window", 8)])
+def test_async_and_threaded_streams_are_byte_identical(tmp_path, mode, window):
+    captures = []
+    for cls in ENGINES:
+        with served_engine(tmp_path, cls, duration=0.2, seed=11) as server:
+            captures.append(_collect_stream(server.address, mode=mode, window=window))
+    (hello_a, suback_a, frames_a, eos_a) = captures[0]
+    (hello_t, suback_t, frames_t, eos_t) = captures[1]
+    assert hello_a == hello_t
+    assert suback_a == suback_t
+    assert len(frames_a) == len(frames_t) > 0
+    assert frames_a == frames_t  # type, sequence and payload bytes
+    for eos in (eos_a, eos_t):
+        assert eos is not None and eos["frames_dropped"] == 0
+    assert eos_a["samples_sent"] == eos_t["samples_sent"]
+    assert eos_a["frames_sent"] == eos_t["frames_sent"]
+
+
+# --------------------------------------------------------------------- #
+# Bugfix regression: dry-reference pacing busy-spin                     #
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("cls", ENGINES, ids=ENGINE_IDS)
+def test_pacing_survives_replay_tape_exhaustion(tmp_path, cls):
+    """A dried finite tape must not freeze the pacing clock.
+
+    The tape replays at 8x, making it the fastest device — the pacing
+    reference the buggy code pinned.  It runs dry within the first pump
+    rounds; pacing must then re-elect the live simulated device instead
+    of pumping it unpaced at 100% CPU.
+    """
+    tape_file = tmp_path / "tape.psdump"
+    record_tape(tape_file, n=1600, seed=3)
+    setup = make_loaded_setup(amps=8.0, direct=False, seed=1, calibration_samples=1024)
+    setup.source.start()
+    tape = ReplaySampleSource(tape_file, speed=8.0)
+    assert tape.sample_rate > setup.source.sample_rate
+    server = cls(
+        {"sim": setup.source, "tape": tape},
+        f"unix:{tmp_path / 'pace.sock'}",
+        time_scale=1.0,
+    )
+    server.start()
+    sim_duration = 0.25
+    try:
+        t0 = time.monotonic()
+        stats = server.serve(duration=sim_duration)
+        elapsed = time.monotonic() - t0
+    finally:
+        server.close()
+        tape.close()
+        setup.close()
+    # The tape ran dry well before the requested duration...
+    assert stats["devices"]["tape"] < sim_duration * tape.sample_rate
+    # ...while the simulated device was pumped to completion...
+    assert stats["devices"]["sim"] == round(sim_duration * setup.source.sample_rate)
+    # ...at wall-clock pace (the bug finished in a few milliseconds).
+    assert elapsed >= 0.6 * sim_duration
+
+
+# --------------------------------------------------------------------- #
+# Bugfix regression: handshake deadline follows the recovery policy     #
+# --------------------------------------------------------------------- #
+
+
+def test_handshake_timeout_derives_from_recovery_policy(tmp_path):
+    with served_engine(tmp_path, PowerSensorServer, duration=0.05) as server:
+        policy = RecoveryPolicy(max_retries=3, backoff_factor=2.0, max_retry_seconds=0.1)
+        link = RemoteLink(server.address, recovery=policy, connect_timeout=2.0)
+        expected = 2.0 + sum(policy.backoff_delays(CONNECT_BACKOFF))
+        assert link.handshake_timeout == pytest.approx(expected)
+        link.close()
+        bare = RemoteLink(server.address, recovery=None, connect_timeout=1.25)
+        assert bare.handshake_timeout == pytest.approx(1.25)
+        bare.close()
+        explicit = RemoteLink(server.address, handshake_timeout=7.5)
+        assert explicit.handshake_timeout == pytest.approx(7.5)
+        explicit.close()
+
+
+class _StallingStream:
+    """A stream that never produces a HELLO frame (only framing noise)."""
+
+    def __init__(self):
+        self.closed = False
+
+    def read(self, n=None):
+        time.sleep(0.02)
+        return b"\x00" * 64
+
+    def write(self, data):
+        pass
+
+    def close(self):
+        self.closed = True
+
+
+def test_handshake_deadline_exhaustion_respects_configured_budget():
+    stream = _StallingStream()
+    t0 = time.monotonic()
+    with pytest.raises(ServerError, match="handshake timed out"):
+        RemoteLink(
+            "unix:/nonexistent.sock",
+            recovery=None,
+            handshake_timeout=0.2,
+            stream_factory=lambda spec: stream,
+        )
+    elapsed = time.monotonic() - t0
+    # Before the fix this took the hardcoded 30 s regardless of config.
+    assert elapsed < 5.0
+    assert stream.closed
+
+
+def test_handshake_succeeds_after_connect_retries(tmp_path):
+    from repro.server.client import connect_stream
+
+    with served_engine(tmp_path, PowerSensorServer, duration=0.05) as server:
+        attempts = {"n": 0}
+
+        def flaky_factory(spec):
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise TransportError("transient connect failure")
+            return connect_stream(spec)
+
+        link = RemoteLink(server.address, stream_factory=flaky_factory)
+        assert attempts["n"] == 3
+        assert link.hello.get("server") == "psserve"
+        link.close()
+
+
+# --------------------------------------------------------------------- #
+# Bugfix regression: no thread/socket leak on client churn              #
+# --------------------------------------------------------------------- #
+
+
+def _expect_type(sock, decoder, ftype, deadline=10.0):
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        data = sock.recv(65536)
+        if not data:
+            raise AssertionError(f"connection closed awaiting {ftype!r}")
+        for frame in decoder.feed(data):
+            if frame.type == ftype:
+                return frame
+    raise AssertionError(f"no {ftype!r} frame within {deadline}s")
+
+
+@pytest.mark.parametrize("cls", ENGINES, ids=ENGINE_IDS)
+def test_client_churn_leaves_no_thread_or_socket_leak(tmp_path, cls):
+    """100 connect/kill cycles; registrations and threads return to baseline.
+
+    Before the fix a reader/sender death could leave the threaded client
+    registered with an open socket and a live peer thread.
+    """
+    setup = make_loaded_setup(amps=8.0, direct=False, seed=5, calibration_samples=1024)
+    setup.source.start()
+    sock_path = str(tmp_path / "churn.sock")
+    server = cls(
+        setup.source,
+        f"unix:{sock_path}",
+        policy="block",
+        client_timeout=2.0,
+        max_clients=32,
+        time_scale=1.0,
+    )
+    server.start()
+    pump = threading.Thread(target=lambda: server.serve(None), daemon=True)
+    pump.start()
+    try:
+        time.sleep(0.1)
+        baseline = threading.active_count()
+        for i in range(100):
+            s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            s.settimeout(10.0)
+            s.connect(sock_path)
+            decoder = FrameDecoder()
+            _expect_type(s, decoder, FrameType.HELLO)
+            s.sendall(encode_control(FrameType.SUBSCRIBE, 0, {"mode": "raw"}))
+            _expect_type(s, decoder, FrameType.SUBACK)
+            if i % 2:
+                # Half the clients die mid-stream, not just mid-idle.
+                s.sendall(encode_frame(FrameType.START, 0))
+            if i % 3 == 0:
+                s.sendall(encode_frame(FrameType.BYE, 0))
+            s.close()  # abrupt for the non-BYE cases
+        end = time.monotonic() + 20.0
+        while time.monotonic() < end:
+            if (
+                server.registry.value("server_clients_connected") == 0
+                and threading.active_count() <= baseline
+            ):
+                break
+            time.sleep(0.05)
+        assert server.registry.value("server_clients_connected") == 0
+        assert threading.active_count() <= baseline
+        assert server.registry.value("server_clients_total") == 100
+    finally:
+        server.close()
+        pump.join(timeout=15)
+        setup.close()
+
+
+@pytest.mark.parametrize("cls", ENGINES, ids=ENGINE_IDS)
+def test_wait_clients_rendezvous_survives_a_crashed_starter(tmp_path, cls):
+    """A subscriber that STARTs and dies still counts toward wait_clients.
+
+    Before the fix the rendezvous counted *live* started clients, so one
+    subscriber crashing between START and the pump kick-off deadlocked
+    the server forever (the survivors then never saw a single frame).
+    """
+    sock_path = str(tmp_path / "engine.sock")
+    with served_engine(tmp_path, cls, duration=0.1, wait_clients=2) as server:
+        # Client A: full handshake, START, then die abruptly.
+        a = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        a.settimeout(10.0)
+        a.connect(sock_path)
+        dec_a = FrameDecoder()
+        _expect_type(a, dec_a, FrameType.HELLO)
+        a.sendall(encode_control(FrameType.SUBSCRIBE, 0, {"mode": "raw"}))
+        _expect_type(a, dec_a, FrameType.SUBACK)
+        a.sendall(encode_frame(FrameType.START, 0))
+        a.close()
+
+        # Client B: starts second and must still reach EOS.
+        b = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        b.settimeout(10.0)
+        b.connect(sock_path)
+        dec_b = FrameDecoder()
+        _expect_type(b, dec_b, FrameType.HELLO)
+        b.sendall(encode_control(FrameType.SUBSCRIBE, 0, {"mode": "raw"}))
+        _expect_type(b, dec_b, FrameType.SUBACK)
+        b.sendall(encode_frame(FrameType.START, 0))
+        data_frames = 0
+        eos = None
+        end = time.monotonic() + 10.0
+        while eos is None and time.monotonic() < end:
+            data = b.recv(65536)
+            if not data:
+                break
+            for frame in dec_b.feed(data):
+                if frame.type == FrameType.DATA:
+                    data_frames += 1
+                elif frame.type == FrameType.EOS:
+                    eos = frame.json()
+        b.close()
+        assert eos is not None, "pump deadlocked on the dead starter"
+        assert data_frames > 0
+        assert server.registry.value("server_clients_total") == 2
+
+
+# --------------------------------------------------------------------- #
+# Fan-out: encode-once and gap accounting (small, always-on)            #
+# --------------------------------------------------------------------- #
+
+
+def test_fanout_encodes_each_frame_exactly_once(tmp_path):
+    n_clients = 16
+    with served_engine(
+        tmp_path,
+        PowerSensorServer,
+        duration=0.2,
+        wait_clients=n_clients,
+        max_clients=n_clients + 4,
+    ) as server:
+        swarm = run_swarm(server.address, n_clients, timeout=60.0)
+    assert len(swarm.completed) == n_clients
+    encodes = encoded_frames(server)
+    assert encodes == 10  # 0.2 s at chunk=400 over a 20 kHz stream
+    for client in swarm.clients:
+        assert client.seq_gaps == 0
+        assert client.first_seq == 1
+        assert client.frames == encodes
+    # N clients saw N*encodes frames while only `encodes` were encoded.
+    assert swarm.total_frames == n_clients * encodes
+
+
+def test_drop_oldest_cursor_gap_accounting_stays_truthful(tmp_path):
+    """Stalled readers lose frames; every loss is accounted exactly once.
+
+    The stream (300 frames, ~720 KB) must outgrow the kernel-socket +
+    transport write slack so a stalled subscriber's cursor is really
+    lapped; losses are then guaranteed, not timing-dependent.
+    """
+    n_clients = 4
+    with served_engine(
+        tmp_path,
+        PowerSensorServer,
+        duration=6.0,
+        wait_clients=n_clients,
+        policy="drop-oldest",
+        buffer_frames=4,
+        client_timeout=30.0,
+    ) as server:
+        swarm = run_swarm(
+            server.address,
+            n_clients,
+            stall=3.0,
+            slow_fraction=0.5,
+            timeout=120.0,
+        )
+    assert len(swarm.completed) == n_clients
+    encodes = encoded_frames(server)
+    total_lost = 0
+    for client in swarm.clients:
+        eos = client.eos
+        assert eos is not None
+        # Server-side: sent + dropped covers every encoded frame.
+        assert eos["frames_sent"] + eos["frames_dropped"] == encodes
+        # Client-side: received + observed gaps + pre-first-frame hole
+        # reconciles to the same total — remote loss stays truthful.
+        lost = client.seq_gaps + (client.first_seq - 1)
+        assert client.frames + lost == encodes
+        assert eos["frames_dropped"] == lost
+        assert client.frames == eos["frames_sent"]
+        total_lost += lost
+    assert total_lost > 0  # the slow readers really were pressured
+    # The per-client drop metric (kind=evicted) mirrors the cursors.
+    snapshot = server.registry.snapshot()
+    evicted = sum(
+        m.get("value", 0)
+        for m in snapshot["metrics"]
+        if m["name"] == "server_frames_dropped_total"
+        and m.get("labels", {}).get("kind") == "evicted"
+    )
+    assert evicted == total_lost
+
+
+# --------------------------------------------------------------------- #
+# 256-subscriber scaling tests (CI server-smoke job; PS_SCALING=1)      #
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.scaling
+@scaling
+def test_scaling_256_subscribers_block_is_lossless(tmp_path):
+    n_clients = 256
+    with served_engine(
+        tmp_path,
+        PowerSensorServer,
+        duration=0.5,
+        wait_clients=n_clients,
+        policy="block",
+        max_clients=n_clients + 8,
+        client_timeout=30.0,
+    ) as server:
+        swarm = run_swarm(
+            server.address, n_clients, connect_concurrency=128, timeout=300.0
+        )
+    assert len(swarm.completed) == n_clients
+    encodes = encoded_frames(server)
+    assert encodes > 0
+    for client in swarm.clients:
+        assert client.first_seq == 1
+        assert client.seq_gaps == 0
+        assert client.frames == encodes
+        assert client.eos is not None and client.eos["frames_dropped"] == 0
+    assert swarm.total_frames == n_clients * encodes
+    assert server.registry.value("server_clients_evicted_total") == 0
+
+
+@pytest.mark.scaling
+@scaling
+def test_scaling_256_subscribers_drop_oldest_gap_accounting(tmp_path):
+    n_clients = 256
+    with served_engine(
+        tmp_path,
+        PowerSensorServer,
+        duration=6.0,
+        wait_clients=n_clients,
+        policy="drop-oldest",
+        buffer_frames=8,
+        max_clients=n_clients + 8,
+        client_timeout=30.0,
+    ) as server:
+        swarm = run_swarm(
+            server.address,
+            n_clients,
+            connect_concurrency=128,
+            stall=10.0,
+            slow_fraction=0.25,
+            timeout=300.0,
+        )
+    assert len(swarm.completed) == n_clients
+    encodes = encoded_frames(server)
+    total_lost = 0
+    for client in swarm.clients:
+        eos = client.eos
+        assert eos is not None
+        assert eos["frames_sent"] + eos["frames_dropped"] == encodes
+        lost = client.seq_gaps + (client.first_seq - 1)
+        assert client.frames + lost == encodes
+        assert eos["frames_dropped"] == lost
+        total_lost += lost
+    assert total_lost > 0
