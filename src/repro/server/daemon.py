@@ -78,6 +78,10 @@ from repro.server.wire import (
 DEFAULT_CHUNK = 400
 #: Frames a writer drains per wake-up before yielding to its peers.
 WRITER_BATCH = 64
+#: ``asyncio.wait_for`` raises ``asyncio.TimeoutError``, which is only an
+#: alias of the builtin ``TimeoutError`` from Python 3.11 on; catch both
+#: so timeouts are handled on 3.10 too.
+_TIMEOUTS = (TimeoutError, asyncio.TimeoutError)
 
 
 def _raw_capable(source) -> bool:
@@ -249,7 +253,7 @@ class _AsyncClient:
         self.finishing = False
         self.evicted = False
         self.torn = False
-        self.eos_frame: bytes | None = None
+        self.eos_reason: str | None = None
         self.seq = 0  # per-client sequence for control frames
         self.frames_sent = 0
         self.samples_sent = 0
@@ -505,6 +509,7 @@ class PowerSensorServer:
                     )
             except (
                 TimeoutError,
+                asyncio.TimeoutError,
                 TransportError,
                 ServerError,
                 ConfigurationError,
@@ -606,6 +611,10 @@ class PowerSensorServer:
         client = _AsyncClient(
             cid, reader, writer, device, RingCursor(ring, policy=self.policy)
         )
+        # Adopt the handshake decoder: partial bytes of a pipelined
+        # control frame split across the SUBSCRIBE read boundary must
+        # carry over into the control loop, not be silently dropped.
+        client.decoder = decoder
         client.mode = mode
         client.window = window
         self._clients[cid] = client
@@ -631,21 +640,29 @@ class PowerSensorServer:
             client=str(cid),
             device=device.name,
         )
-        writer.write(
-            encode_control(
-                FrameType.SUBACK,
-                0,
-                {
-                    "client": cid,
-                    "mode": mode,
-                    "window": window,
-                    "device": device.name,
-                    "version": device.source.version,
-                    "sample_rate": device.source.sample_rate,
-                },
+        try:
+            writer.write(
+                encode_control(
+                    FrameType.SUBACK,
+                    0,
+                    {
+                        "client": cid,
+                        "mode": mode,
+                        "window": window,
+                        "device": device.name,
+                        "version": device.source.version,
+                        "sample_rate": device.source.sample_rate,
+                    },
+                )
             )
-        )
-        await writer.drain()
+            await writer.drain()
+        except BaseException:
+            # The peer vanished mid-drain, or client_timeout cancelled
+            # the handshake: the client is already registered, so undo
+            # it — otherwise the slot, connected gauge and ring cursor
+            # leak, and repeated aborted handshakes read "server full".
+            self._teardown(client)
+            raise
         return client, leftovers
 
     async def _control_loop(self, client: _AsyncClient) -> None:
@@ -725,15 +742,26 @@ class PowerSensorServer:
                     await writer.drain()
                     continue
                 if client.finishing:
-                    if client.eos_frame is not None:
-                        writer.write(client.eos_frame)
-                        self._bytes_counter.inc(len(client.eos_frame))
-                        client.eos_frame = None
+                    if client.eos_reason is not None:
+                        # Build the EOS only now, with the cursor fully
+                        # drained: its stats then report what was
+                        # actually delivered (downsample may skip
+                        # pending frames, so predicting delivery at
+                        # finish time would double-count a frame as
+                        # both sent and dropped).
+                        stats = self._client_stats(client)
+                        stats["reason"] = client.eos_reason
+                        client.eos_reason = None
+                        frame = encode_control(
+                            FrameType.EOS, client.next_seq(), stats
+                        )
+                        writer.write(frame)
+                        self._bytes_counter.inc(len(frame))
                         await writer.drain()
                     return
                 try:
                     await asyncio.wait_for(client.wake.wait(), timeout=0.25)
-                except TimeoutError:
+                except _TIMEOUTS:
                     pass
         except (TransportError, ConnectionError, OSError):
             self._evict(client, reason="send failed")
@@ -822,7 +850,7 @@ class PowerSensorServer:
             started.clear()
             try:
                 await asyncio.wait_for(started.wait(), timeout=0.25)
-            except TimeoutError:
+            except _TIMEOUTS:
                 pass
 
     async def _pump_device(self, device: _Device, n: int) -> int:
@@ -901,7 +929,7 @@ class PowerSensorServer:
             drained.clear()
             try:
                 await asyncio.wait_for(drained.wait(), timeout=min(remaining, 0.25))
-            except TimeoutError:
+            except _TIMEOUTS:
                 pass
 
     # ------------------------------------------------------------------ #
@@ -909,18 +937,15 @@ class PowerSensorServer:
     # ------------------------------------------------------------------ #
 
     def _client_stats(self, client: _AsyncClient) -> dict:
+        # The writer calls this after draining the cursor, so the taken
+        # counters are exact delivered counts — no pending estimate that
+        # the downsample policy could falsify by skipping frames.
         cursor = client.cursor
-        # Count from the cursor, not the writer's post-drain counters: a
-        # batch in flight inside ``drain()`` is already consumed by the
-        # cursor and will reach the socket before the EOS frame — as
-        # will frames still retained in the ring (``pending``).
-        pending_samples = cursor.pending_samples() if client.started else 0
-        pending_frames = cursor.lag if client.started else 0
         return {
             "client": client.id,
             "device": client.device.name,
-            "samples_sent": cursor.taken_samples + pending_samples,
-            "frames_sent": cursor.taken_frames + pending_frames,
+            "samples_sent": cursor.taken_samples,
+            "frames_sent": cursor.taken_frames,
             "frames_dropped": cursor.dropped,
         }
 
@@ -941,11 +966,9 @@ class PowerSensorServer:
         for client in clients:
             if client.finishing:
                 continue
-            stats = self._client_stats(client)
-            stats["reason"] = reason
-            client.eos_frame = encode_control(
-                FrameType.EOS, client.next_seq(), stats
-            )
+            # The writer builds the EOS itself once its cursor runs dry,
+            # so the stats reflect the frames that actually went out.
+            client.eos_reason = reason
             client.finishing = True
             client.wake.set()
         tasks = {c.writer_task for c in clients if c.writer_task is not None}
@@ -985,6 +1008,16 @@ class PowerSensorServer:
         client.torn = True
         self._clients.pop(client.id, None)
         client.device.clients.discard(client)
+        if client.mode == "window":
+            stream = client.device.window_streams.get(client.window)
+            if stream is not None and not any(
+                c.cursor.ring is stream.ring for c in client.device.clients
+            ):
+                # Last subscriber gone: drop the partial fold so a later
+                # subscriber's first window doesn't average samples from
+                # both sides of an arbitrarily long unsubscribed gap.
+                stream.acc.clear()
+                stream.acc_count = 0
         self._connected_gauge.set(len(self._clients))
         self._mirror_drops(client)
         task = client.writer_task

@@ -10,6 +10,7 @@ behind ``PS_SCALING=1`` (they run in the CI server-smoke job).
 
 from __future__ import annotations
 
+import asyncio
 import os
 import socket
 import threading
@@ -582,6 +583,178 @@ def test_drop_oldest_cursor_gap_accounting_stays_truthful(tmp_path):
         and m.get("labels", {}).get("kind") == "evicted"
     )
     assert evicted == total_lost
+
+
+# --------------------------------------------------------------------- #
+# Handshake, window-fold and EOS-accounting regressions                 #
+# --------------------------------------------------------------------- #
+
+
+class _ScriptedReader:
+    """A duck-typed StreamReader fed from a fixed list of byte chunks."""
+
+    def __init__(self, chunks):
+        self.chunks = list(chunks)
+
+    async def read(self, n):
+        return self.chunks.pop(0) if self.chunks else b""
+
+
+class _FailingDrainWriter:
+    """A duck-typed StreamWriter that survives the HELLO drain, then dies."""
+
+    def __init__(self, fail_on_drain=2):
+        self.drains = 0
+        self.fail_on_drain = fail_on_drain
+        self.closed = False
+
+    def write(self, data):
+        pass
+
+    async def drain(self):
+        self.drains += 1
+        if self.drains >= self.fail_on_drain:
+            raise ConnectionResetError("peer vanished during SUBACK drain")
+
+    def close(self):
+        self.closed = True
+
+
+def test_aborted_handshake_releases_registered_slot(tmp_path):
+    """A handshake that dies after registration must not leak the slot.
+
+    The SUBACK drain can fail (peer gone) or be cancelled by the
+    handshake timeout *after* the client is registered.  Before the fix
+    the slot, connected gauge and ring cursor leaked until the next
+    finish, so repeated aborted handshakes read "server full".
+    """
+    setup = make_loaded_setup(amps=8.0, direct=False, seed=9, calibration_samples=1024)
+    setup.source.start()
+    server = PowerSensorServer(setup.source, f"unix:{tmp_path / 'abort.sock'}")
+    server.start()
+    try:
+        reader = _ScriptedReader(
+            [encode_control(FrameType.SUBSCRIBE, 0, {"mode": "raw"})]
+        )
+        writer = _FailingDrainWriter()
+        future = asyncio.run_coroutine_threadsafe(
+            server._handshake(reader, writer), server._loop
+        )
+        with pytest.raises(ConnectionResetError):
+            future.result(timeout=10)
+        assert server._clients == {}
+        assert server.registry.value("server_clients_connected") == 0
+        assert writer.closed
+    finally:
+        server.close()
+        setup.close()
+
+
+def test_pipelined_start_split_across_subscribe_read_survives(tmp_path):
+    """Partial control bytes buffered during the handshake carry over.
+
+    A client may pipeline START right behind SUBSCRIBE; when the frame
+    straddles the server's read boundary the leftover bytes sit in the
+    handshake decoder.  Before the fix the server switched to a fresh
+    per-client decoder and silently dropped them — the client never
+    started.
+    """
+    sock_path = str(tmp_path / "engine.sock")
+    with served_engine(tmp_path, PowerSensorServer, duration=0.05):
+        s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        s.settimeout(10.0)
+        s.connect(sock_path)
+        decoder = FrameDecoder()
+        _expect_type(s, decoder, FrameType.HELLO)
+        start = encode_frame(FrameType.START, 0)
+        s.sendall(
+            encode_control(FrameType.SUBSCRIBE, 0, {"mode": "raw"})
+            + start[: len(start) // 2]
+        )
+        _expect_type(s, decoder, FrameType.SUBACK)
+        s.sendall(start[len(start) // 2 :])
+        data_frames = 0
+        eos = None
+        end = time.monotonic() + 10.0
+        while eos is None and time.monotonic() < end:
+            data = s.recv(65536)
+            if not data:
+                break
+            for frame in decoder.feed(data):
+                if frame.type == FrameType.DATA:
+                    data_frames += 1
+                elif frame.type == FrameType.EOS:
+                    eos = frame.json()
+        s.close()
+    assert eos is not None, "pipelined START was dropped at the decoder switch"
+    assert data_frames > 0
+
+
+def test_window_accumulator_resets_after_last_subscriber_leaves(tmp_path):
+    """The shared window fold must not straddle a subscriber-less gap.
+
+    Chunk 400 with window 7 leaves a partial fold every tick; when the
+    last subscriber goes away that leftover must be discarded, so a
+    future subscriber's first WINDOW never averages samples from both
+    sides of an arbitrarily long gap (the threaded engine's fresh
+    per-client accumulator never could).
+    """
+    with served_engine(
+        tmp_path, PowerSensorServer, duration=30.0, time_scale=1.0
+    ) as server:
+        link = RemoteLink(server.address, mode="window", window=7, recovery=None)
+        link.write(Command.START_STREAMING.value)
+        for _ in range(3):
+            assert link.next_data() is not None
+        stream = server.devices["device0"].window_streams[7]
+        link.close()
+        end = time.monotonic() + 10.0
+        while time.monotonic() < end:
+            if server.registry.value("server_clients_connected") == 0:
+                break
+            time.sleep(0.02)
+        assert server.registry.value("server_clients_connected") == 0
+        assert stream.acc_count == 0 and stream.acc == []
+
+
+def test_downsample_eos_reports_delivered_not_pending(tmp_path):
+    """EOS stats under downsample count what actually went out.
+
+    Before the fix the EOS was built at finish time from taken+pending
+    cursor counts; frames the downsample policy then skipped were
+    counted as both sent and dropped, so ``frames_sent`` could exceed
+    what the subscriber ever received.
+    """
+    n_clients = 4
+    with served_engine(
+        tmp_path,
+        PowerSensorServer,
+        duration=6.0,
+        wait_clients=n_clients,
+        policy="downsample",
+        buffer_frames=8,
+        client_timeout=30.0,
+    ) as server:
+        swarm = run_swarm(
+            server.address,
+            n_clients,
+            stall=3.0,
+            slow_fraction=0.5,
+            timeout=120.0,
+        )
+    assert len(swarm.completed) == n_clients
+    encodes = encoded_frames(server)
+    for client in swarm.clients:
+        eos = client.eos
+        assert eos is not None
+        # The EOS claim matches exactly what the subscriber received.
+        assert client.frames == eos["frames_sent"]
+        # Sent + dropped (evicted + skipped) still covers every frame...
+        assert eos["frames_sent"] + eos["frames_dropped"] == encodes
+        # ...and the drop count reconciles with the client-side gaps.
+        lost = client.seq_gaps + (client.first_seq - 1)
+        assert eos["frames_dropped"] == lost
+    assert swarm.eos_total("frames_dropped") > 0  # the stall really pressured
 
 
 # --------------------------------------------------------------------- #
