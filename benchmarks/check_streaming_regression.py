@@ -17,7 +17,10 @@ Compares the ``server.scaling`` section of a freshly generated report
   frame exactly once regardless of subscriber count);
 * the 1024-subscriber ``drop-oldest`` point (when present) falls below
   20 kHz aggregate delivery — the paper-level floor for a fan-out that
-  is still "real time" for at least one subscriber's worth of stream.
+  is still "real time" for at least one subscriber's worth of stream;
+* the producer-ring end-to-end ``read_block`` rate (the hot-ring
+  consumer path in the ``producer`` section) regresses by more than
+  ``--max-regression`` percent against the committed baseline.
 
 Exit status 0 on pass, 1 on any failure, with one line per check.
 """
@@ -83,6 +86,21 @@ def check(baseline: dict, current: dict, max_regression: float) -> list[str]:
                     f"(encoded={point.get('frames_encoded')}, "
                     f"expected={point.get('frames_expected')})"
                 )
+
+    base_rb = baseline.get("producer", {}).get("read_block_samples_per_s")
+    cur_rb = current.get("producer", {}).get("read_block_samples_per_s")
+    if cur_rb is not None and base_rb is not None:
+        floor = base_rb * (1.0 - max_regression / 100.0)
+        line = (
+            f"producer-ring read_block rate: {cur_rb}/s "
+            f"(baseline {base_rb}/s, floor {floor:.0f}/s)"
+        )
+        if cur_rb < floor:
+            failures.append(f"REGRESSION {line}")
+        else:
+            print(f"ok: {line}")
+    elif base_rb is not None:
+        failures.append("current report has no producer.read_block_samples_per_s")
 
     cur_1024 = _point(_scaling_points(current, "drop_oldest"), 1024)
     if cur_1024 is not None:

@@ -61,6 +61,14 @@ def main(argv: list[str] | None = None) -> int:
         help="samples pumped (and framed) per fan-out iteration",
     )
     parser.add_argument(
+        "--pump-batch",
+        type=int,
+        default=1,
+        metavar="N",
+        help="chunks of stream time read from the device per pump tick "
+        "(one large read, re-framed chunk-sized; async engine only)",
+    )
+    parser.add_argument(
         "--duration",
         type=float,
         default=None,
@@ -130,15 +138,23 @@ def _serve(args: argparse.Namespace, registry: MetricsRegistry, tracer: Tracer) 
     try:
         fleet = setup_fleet(setup)
         source = fleet.sources() if fleet is not None else setup.source
-        server_cls = (
-            ThreadedPowerSensorServer if args.engine == "threaded" else PowerSensorServer
-        )
+        if args.engine == "threaded":
+            if args.pump_batch != 1:
+                raise ConfigurationError(
+                    "--pump-batch needs the async engine (drop --engine threaded)"
+                )
+            server_cls = ThreadedPowerSensorServer
+            extra = {}
+        else:
+            server_cls = PowerSensorServer
+            extra = {"pump_batch": args.pump_batch}
         server = server_cls(
             source,
             args.listen,
             policy=args.policy,
             buffer_frames=args.buffer_frames,
             chunk=args.chunk,
+            **extra,
             client_timeout=args.client_timeout,
             max_clients=args.max_clients,
             time_scale=0.0 if args.fast else args.time_scale,

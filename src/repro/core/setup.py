@@ -24,6 +24,7 @@ from repro.hardware.modules import SensorModule
 from repro.observability import MetricsRegistry, Tracer
 from repro.transport.faults import FaultModel, FaultySerialLink, parse_fault_spec
 from repro.transport.link import VirtualSerialLink
+from repro.transport.shm import DEFAULT_BATCH, DEFAULT_RING_BYTES, ProducerLink
 
 #: Default calibration length for programmatic setups.  The paper's
 #: procedure uses 128 k samples; 32 k keeps test construction fast while
@@ -51,6 +52,12 @@ class SimulatedSetup:
         registry: metrics registry shared by every layer of the bench
             (fault layer, sample source, PowerSensor); a fresh one is
             created if not given.
+        producer: run device simulation in a batching producer feeding a
+            shared SPSC ring (``"thread"``, ``"process"``, ``"inline"``
+            or ``"auto"``; see :mod:`repro.transport.shm`).  ``None``
+            (default) keeps the classic interleaved pump, byte-for-byte.
+        producer_batch: samples per producer batch.
+        ring_bytes: producer ring capacity in bytes.
 
     Attributes:
         baseboard, eeprom, firmware (None on the direct path), link (None
@@ -75,6 +82,9 @@ class SimulatedSetup:
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         device: str | None = None,
+        producer: str | None = None,
+        producer_batch: int = DEFAULT_BATCH,
+        ring_bytes: int = DEFAULT_RING_BYTES,
     ) -> None:
         if len(module_keys) > 4:
             raise ValueError("a baseboard has at most four slots")
@@ -117,6 +127,9 @@ class SimulatedSetup:
                     registry=self.registry,
                     tracer=self.tracer,
                     device=device,
+                    producer=producer,
+                    producer_batch=producer_batch,
+                    ring_bytes=ring_bytes,
                 )
             )
         else:
@@ -129,6 +142,13 @@ class SimulatedSetup:
                     seed=seed if fault_seed is None else fault_seed,
                     registry=self.registry,
                     device=device,
+                )
+            if producer:
+                self.link = ProducerLink(
+                    self.link,
+                    producer=producer,
+                    batch=producer_batch,
+                    ring_bytes=ring_bytes,
                 )
             self.source = ProtocolSampleSource(
                 self.link,
@@ -177,6 +197,9 @@ def simulated_source(
     calibration_samples: int = SETUP_CALIBRATION_SAMPLES,
     vectorized: bool = True,
     device: str | None = None,
+    producer: str | None = None,
+    producer_batch: int = DEFAULT_BATCH,
+    ring_bytes: int = DEFAULT_RING_BYTES,
     registry: MetricsRegistry | None = None,
     tracer: Tracer | None = None,
 ):
@@ -199,6 +222,9 @@ def simulated_source(
         registry=registry,
         tracer=tracer,
         device=device,
+        producer=producer,
+        producer_batch=producer_batch,
+        ring_bytes=ring_bytes,
     )
     rail = build_rail(dut, seed)
     if rail is not None:

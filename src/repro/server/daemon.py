@@ -284,6 +284,7 @@ class PowerSensorServer:
         policy: str = "block",
         buffer_frames: int = 256,
         chunk: int = DEFAULT_CHUNK,
+        pump_batch: int = 1,
         client_timeout: float = 5.0,
         max_clients: int = 64,
         time_scale: float = 0.0,
@@ -297,10 +298,13 @@ class PowerSensorServer:
             )
         if chunk < 1:
             raise ConfigurationError(f"chunk must be >= 1, got {chunk}")
+        if pump_batch < 1:
+            raise ConfigurationError(f"pump_batch must be >= 1, got {pump_batch}")
         self.endpoint = parse_endpoint(listen)
         self.policy = policy
         self.buffer_frames = int(buffer_frames)
         self.chunk = int(chunk)
+        self.pump_batch = int(pump_batch)
         self.client_timeout = float(client_timeout)
         self.max_clients = int(max_clients)
         self.time_scale = float(time_scale)
@@ -807,10 +811,13 @@ class PowerSensorServer:
                 if not live:
                     break
                 for device in live:
-                    n = chunks[device.name]
+                    # One read covers pump_batch chunks of stream time;
+                    # the raw bytes are re-framed chunk-sized below so
+                    # ring/backpressure granularity doesn't change.
+                    n = chunks[device.name] * self.pump_batch
                     if totals is not None:
                         n = min(n, totals[device.name] - device.samples_produced)
-                    if await self._pump_device(device, n) == 0:
+                    if await self._pump_device(device, n, chunks[device.name]) == 0:
                         dry.add(device.name)
                 if self.time_scale > 0:
                     # Pace from the furthest-ahead device still
@@ -853,9 +860,14 @@ class PowerSensorServer:
             except _TIMEOUTS:
                 pass
 
-    async def _pump_device(self, device: _Device, n: int) -> int:
+    async def _pump_device(self, device: _Device, n: int, chunk: int | None = None) -> int:
         """Pump ``n`` samples from one device into its broadcast rings.
 
+        ``chunk`` is the per-frame sample granularity: with
+        ``pump_batch > 1`` one read covers several chunks of stream time
+        and the raw bytes are re-framed into chunk-sized DATA frames, so
+        subscribers and backpressure see the same frame cadence while
+        the device-simulation/decode cost is paid once per batch.
         Returns the number of samples actually produced (a finite replay
         tape may run dry and return 0).
         """
@@ -876,12 +888,13 @@ class PowerSensorServer:
         device.samples_produced += produced
         device.samples_counter.inc(produced)
         self._samples_counter.inc(produced)
-        # Encode the DATA frame exactly once, into the shared ring.
+        # Encode each DATA frame exactly once, into the shared ring.
         if raw is not None and any(c.mode == "raw" for c in device.clients):
             ring = device.ensure_raw_ring(self.buffer_frames)
-            frame = encode_frame(FrameType.DATA, ring.next_seq(), raw)
-            await self._append(device, ring, frame, produced)
-            device.encode_counter.inc()
+            for payload, samples in self._split_raw(raw, produced, chunk):
+                frame = encode_frame(FrameType.DATA, ring.next_seq(), payload)
+                await self._append(device, ring, frame, samples)
+                device.encode_counter.inc()
             device.ring_gauge.set(ring.occupancy)
         # One vectorised fold + one encode per (device, window) stream.
         for stream in device.window_streams.values():
@@ -891,6 +904,30 @@ class PowerSensorServer:
                 await self._append(device, stream.ring, frame, samples)
                 device.encode_counter.inc()
         return produced
+
+    @staticmethod
+    def _split_raw(
+        raw: bytes, produced: int, chunk: int | None
+    ) -> list[tuple[bytes, int]]:
+        """Split one batched raw read back into chunk-sized DATA payloads.
+
+        Only possible when the byte count maps cleanly onto the sample
+        count (the normal case; fault-mangled streams are relayed as one
+        frame — the client-side decoder is chunking-invariant either
+        way, so only the frame cadence differs).
+        """
+        if (
+            chunk is None
+            or produced <= chunk
+            or not raw
+            or len(raw) % produced != 0
+        ):
+            return [(raw, produced)]
+        bps = len(raw) // produced
+        return [
+            (raw[s * bps : min(s + chunk, produced) * bps], min(chunk, produced - s))
+            for s in range(0, produced, chunk)
+        ]
 
     async def _append(
         self, device: _Device, ring: BroadcastRing, frame: bytes, samples: int

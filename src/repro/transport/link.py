@@ -31,6 +31,7 @@ class VirtualSerialLink:
     ) -> None:
         self.firmware = firmware
         self.bandwidth_bps = float(bandwidth_bps)
+        self._seconds_per_byte = 8.0 / self.bandwidth_bps
         self.buffer_limit = int(buffer_limit)
         self._rx = bytearray()  # device -> host bytes not yet read
         self._pump_residual = 0.0  # fractional samples carried across pump_seconds
@@ -47,7 +48,7 @@ class VirtualSerialLink:
         """Host -> device."""
         self._check_open()
         self.bytes_to_device += len(data)
-        self.busy_seconds += len(data) * 8 / self.bandwidth_bps
+        self.busy_seconds += len(data) * self._seconds_per_byte
         self.firmware.handle_input(data)
         self._buffer(self.firmware.flush_responses())
 
@@ -60,7 +61,7 @@ class VirtualSerialLink:
             )
         self._rx.extend(data)
         self.bytes_to_host += len(data)
-        self.busy_seconds += len(data) * 8 / self.bandwidth_bps
+        self.busy_seconds += len(data) * self._seconds_per_byte
 
     @property
     def in_waiting(self) -> int:
@@ -84,6 +85,11 @@ class VirtualSerialLink:
         This is the simulation analogue of a blocking read: the device
         produces the bytes covering that much simulated time and they are
         returned (after passing through the buffer accounting).
+
+        This is also the producer-side hot call of
+        :class:`repro.transport.shm.ProducerLink`, which runs it in large
+        batches off the consumer's read path and hands the returned
+        buffer straight to the shared ring.
         """
         self._check_open()
         data = self.firmware.produce(n_samples)
@@ -94,7 +100,7 @@ class VirtualSerialLink:
             if len(data) > self.buffer_limit:
                 raise TransportError(f"device buffer overflow ({len(data)} bytes)")
             self.bytes_to_host += len(data)
-            self.busy_seconds += len(data) * 8 / self.bandwidth_bps
+            self.busy_seconds += len(data) * self._seconds_per_byte
             return data
         self._buffer(data)
         return self.read()

@@ -1,0 +1,819 @@
+"""Shared-memory producer ring: device simulation off the consumer's read path.
+
+End-to-end ``read_block`` used to interleave three stages in one Python
+loop: device simulation (sensor physics + firmware packetisation), the
+serial-link pump, and decoding.  Decode alone runs at ~4 M samples/s but
+the interleaved loop delivers ~365 k, because every ``read_block(n)``
+pays the full production cost inline.
+
+This module splits the pipeline at the transport layer:
+
+* :class:`SpscByteRing` — a lock-light single-producer/single-consumer
+  byte ring with cached head/tail indices, laid out over either a plain
+  ``bytearray`` (thread/inline producers) or a
+  ``multiprocessing.shared_memory`` segment (process producer).  Records
+  are framed ``(n_samples, n_bytes, payload)`` and never wrap the ring
+  edge, so every payload the consumer sees is one contiguous view that
+  feeds ``np.frombuffer``/``decode_block`` zero-copy.
+* :class:`ProducerLink` — wraps a :class:`VirtualSerialLink` (or
+  :class:`~repro.transport.faults.FaultySerialLink`) and runs
+  ``pump_samples`` in large batches from a producer *thread* or forked
+  *process* into the ring; the consumer's ``pump_samples(n)`` only
+  assembles ring views.  An *inline* producer runs the same batched code
+  path synchronously — one deterministic reference the concurrent modes
+  are pinned byte-identical against.
+* :class:`CodeRingProducer` — the same treatment for
+  :class:`~repro.core.sources.DirectSampleSource`: raw averaged ADC code
+  batches through the ring instead of wire bytes.
+
+Determinism note: sensor noise is a stateful AR(1) process whose RNG
+consumption depends on call granularity, so a batched producer stream is
+*not* bitwise-equal to an unbatched one — it is bitwise-equal to any
+other producer mode using the same ``batch``.  Producer mode is therefore
+opt-in (``sim://...?producer=thread``); the default path is untouched.
+
+Lifecycle: a producer that crashes or is stopped mid-stream marks the
+ring end-of-stream, so the consumer's next read returns empty and the
+existing :class:`~repro.common.retry.RecoveryPolicy` /
+``StreamStalledError`` machinery takes over — no hangs.  ``close()``
+always joins the worker and unlinks the shared segment.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+from repro.common.errors import ConfigurationError, DeviceError, TransportError
+from repro.firmware.commands import Command
+
+#: Samples per producer batch.  Large enough that per-batch Python
+#: overhead amortises to noise; small enough that a marker forwarded to
+#: the producer lands within a few hundred milliseconds of stream time.
+DEFAULT_BATCH = 8192
+
+#: Default ring capacity in bytes (~29 batches of 4-pair wire data).
+DEFAULT_RING_BYTES = 1 << 22
+
+#: Producer modes.  ``auto`` resolves to ``process`` on multi-core hosts
+#: with ``fork`` available, else ``thread``.
+PRODUCER_MODES = ("inline", "thread", "process", "auto")
+
+_HEADER = 64  # head u64 | tail u64 | samples u64 | state u8, padded
+_PAD = 0xFFFFFFFF  # n_samples sentinel: skip to the ring edge
+_CMD_STOP = "stop"
+_CMD_MARK = "mark"
+_POLL_S = 25e-6  # consumer/producer poll sleep while waiting on the ring
+_JOIN_S = 10.0  # worker join timeout before escalating
+
+
+def _align8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+def resolve_producer_mode(mode: str) -> str:
+    """Resolve a ``producer=`` option to a concrete mode."""
+    mode = str(mode).strip().lower()
+    if mode not in PRODUCER_MODES:
+        raise ConfigurationError(
+            f"unknown producer mode {mode!r} (expected one of {PRODUCER_MODES})"
+        )
+    if mode != "auto":
+        return mode
+    if hasattr(os, "fork") and (os.cpu_count() or 1) > 1:
+        return "process"
+    return "thread"
+
+
+class SpscByteRing:
+    """Single-producer/single-consumer byte ring over a shared buffer.
+
+    The first :data:`_HEADER` bytes hold the published head (producer
+    write index), tail (consumer read index), a cumulative
+    samples-pushed counter and an end-of-stream flag; indices are
+    monotonic byte counts, position = index mod capacity.  Producer and
+    consumer each cache the other side's index and re-load it only when
+    the cached value would block — the "lock-light" part: the common
+    push/pop costs two 8-byte header writes and no locks.
+
+    Records are framed ``u32 n_samples | u32 n_bytes | payload``, start
+    8-byte aligned, and never wrap the edge: a record that would wrap is
+    preceded by a pad sentinel and starts at offset 0, so every payload
+    is one contiguous slice of the data region.
+
+    :meth:`pop` advances a private read position without publishing it;
+    returned views stay valid until :meth:`release`, which publishes the
+    tail in one step.  That lets a consumer decode straight out of the
+    ring and only then let the producer reuse the space.
+    """
+
+    def __init__(self, buf, *, reset: bool = True) -> None:
+        view = memoryview(buf).cast("B")
+        if len(view) <= _HEADER + 64:
+            raise ValueError(f"ring buffer too small ({len(view)} bytes)")
+        self._buf = view
+        self._data = view[_HEADER:]
+        self.capacity = len(view) - _HEADER
+        if reset:
+            view[:_HEADER] = bytes(_HEADER)
+        # Producer-local state (exact; only the producer writes head).
+        self._head_local = self._load(0)
+        self._samples_local = self._load(16)
+        self._cached_tail = self._load(8)
+        # Consumer-local state (exact; only the consumer writes tail).
+        self._read_local = self._load(8)
+        self._cached_head = self._load(0)
+
+    # -- header accessors ---------------------------------------------- #
+
+    def _load(self, offset: int) -> int:
+        return struct.unpack_from("<Q", self._buf, offset)[0]
+
+    def _store(self, offset: int, value: int) -> None:
+        struct.pack_into("<Q", self._buf, offset, value)
+
+    @property
+    def eos(self) -> bool:
+        return self._buf[24] != 0
+
+    def mark_eos(self) -> None:
+        self._buf[24] = 1
+
+    @property
+    def samples_pushed(self) -> int:
+        """Total samples ever pushed (survives a producer crash)."""
+        return self._load(16)
+
+    def occupancy(self) -> int:
+        """Published bytes currently buffered (head - tail)."""
+        return self._load(0) - self._load(8)
+
+    # -- producer side -------------------------------------------------- #
+
+    def try_push(self, payload, n_samples: int) -> bool:
+        """Append one record; False (nothing written) if the ring is full."""
+        nbytes = len(payload)
+        rec = _align8(8 + nbytes)
+        if rec + 8 > self.capacity // 2:
+            raise ValueError(
+                f"record of {nbytes} bytes does not fit a {self.capacity}-byte ring"
+            )
+        head = self._head_local
+        off = head % self.capacity
+        gap = self.capacity - off
+        need = rec if rec <= gap else gap + rec
+        if need > self.capacity - (head - self._cached_tail):
+            self._cached_tail = self._load(8)
+            if need > self.capacity - (head - self._cached_tail):
+                return False
+        if rec > gap:
+            if gap >= 8:  # a sub-header gap is skipped implicitly by pop()
+                struct.pack_into("<II", self._data, off, _PAD, 0)
+            head += gap
+            self._store(0, head)
+            off = 0
+        struct.pack_into("<II", self._data, off, n_samples, nbytes)
+        if nbytes:
+            self._data[off + 8 : off + 8 + nbytes] = payload
+        head += rec
+        self._samples_local += n_samples
+        self._store(16, self._samples_local)
+        self._store(0, head)  # publish last: payload is fully written
+        self._head_local = head
+        return True
+
+    # -- consumer side -------------------------------------------------- #
+
+    def pop(self):
+        """Next record as ``(payload_view, n_samples)``, or None if empty.
+
+        The view stays valid until :meth:`release`; call sites must drop
+        it before the ring is released/detached.
+        """
+        pos = self._read_local
+        while True:
+            if pos == self._cached_head:
+                self._cached_head = self._load(0)
+                if pos == self._cached_head:
+                    return None
+            off = pos % self.capacity
+            gap = self.capacity - off
+            if gap < 8:
+                pos += gap
+                continue
+            n_samples, nbytes = struct.unpack_from("<II", self._data, off)
+            if n_samples == _PAD:
+                pos += gap
+                continue
+            self._read_local = pos + _align8(8 + nbytes)
+            return self._data[off + 8 : off + 8 + nbytes], n_samples
+
+    def release(self) -> None:
+        """Publish the consumer position: popped records become reusable."""
+        self._store(8, self._read_local)
+
+    def detach(self) -> None:
+        """Release the memoryviews (required before closing shared memory)."""
+        self._data.release()
+        self._buf.release()
+
+
+class _Stop(Exception):
+    """Internal: the producer loop was asked to stop."""
+
+
+def _producer_loop(
+    ring: SpscByteRing,
+    pump: Callable[[int], bytes],
+    batch: int,
+    poll_cmd: Callable[[], str | None],
+    handle_cmd: Callable[[str], None],
+) -> str | None:
+    """Shared producer body: pump batches into the ring until stopped.
+
+    Returns an error string if the pump raised (the ring is marked
+    end-of-stream either way, so the consumer never hangs).
+    """
+    error: str | None = None
+    try:
+        while True:
+            cmd = poll_cmd()
+            while cmd is not None:
+                if cmd == _CMD_STOP:
+                    raise _Stop
+                handle_cmd(cmd)
+                cmd = poll_cmd()
+            payload = pump(batch)
+            while not ring.try_push(payload, batch):
+                cmd = poll_cmd()
+                if cmd == _CMD_STOP:
+                    raise _Stop
+                if cmd is not None:
+                    handle_cmd(cmd)
+                time.sleep(_POLL_S)
+    except _Stop:
+        pass
+    except BaseException as exc:  # propagate as stream-end + recorded error
+        error = f"{type(exc).__name__}: {exc}"
+    finally:
+        ring.mark_eos()
+    return error
+
+
+class _RingWorker:
+    """Owns one producer worker (thread or forked process) and its ring."""
+
+    def __init__(
+        self,
+        mode: str,
+        ring_bytes: int,
+        pump: Callable[[int], bytes],
+        batch: int,
+        handle_cmd: Callable[[str], None],
+        collect_state: Callable[[], dict] | None = None,
+    ) -> None:
+        self.mode = mode
+        self.batch = int(batch)
+        self._pump = pump
+        self._handle_cmd = handle_cmd
+        self._collect_state = collect_state
+        self.error: str | None = None
+        self.final_state: dict | None = None
+        self._shm = None
+        self._thread: threading.Thread | None = None
+        self._process = None
+        self._parent_conn = None
+        self._cmds: deque[str] = deque()
+        if mode == "process":
+            from multiprocessing import shared_memory
+
+            self._shm = shared_memory.SharedMemory(create=True, size=_HEADER + ring_bytes)
+            self.ring = SpscByteRing(self._shm.buf)
+        else:
+            self.ring = SpscByteRing(bytearray(_HEADER + ring_bytes))
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def start(self) -> None:
+        if self.mode == "inline":
+            return
+        if self.mode == "thread":
+            self._thread = threading.Thread(
+                target=self._thread_main, name="ps-producer", daemon=True
+            )
+            self._thread.start()
+            return
+        import multiprocessing
+
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-fork platforms
+            raise ConfigurationError(
+                "producer=process requires the fork start method; use producer=thread"
+            ) from exc
+        self._parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self._process = ctx.Process(
+            target=self._process_main, args=(child_conn,), daemon=True
+        )
+        self._process.start()
+        child_conn.close()
+
+    def _thread_main(self) -> None:
+        cmds = self._cmds
+        self.error = _producer_loop(
+            self.ring,
+            self._pump,
+            self.batch,
+            lambda: cmds.popleft() if cmds else None,
+            self._handle_cmd,
+        )
+
+    def _process_main(self, conn) -> None:
+        def poll_cmd() -> str | None:
+            return conn.recv() if conn.poll() else None
+
+        error = _producer_loop(self.ring, self._pump, self.batch, poll_cmd, self._handle_cmd)
+        state = {}
+        if self._collect_state is not None:
+            try:
+                state = self._collect_state()
+            except Exception:  # state sync is best-effort
+                state = {}
+        try:
+            conn.send({"error": error, "state": state})
+            conn.close()
+        except (OSError, ValueError):  # parent already gone
+            pass
+
+    # -- parent-side control -------------------------------------------- #
+
+    def send(self, cmd: str) -> None:
+        if self.mode == "inline":
+            if cmd != _CMD_STOP:
+                self._handle_cmd(cmd)
+        elif self.mode == "thread":
+            self._cmds.append(cmd)
+        elif self._parent_conn is not None:
+            try:
+                self._parent_conn.send(cmd)
+            except (OSError, ValueError, BrokenPipeError):  # worker already dead
+                pass
+
+    def alive(self) -> bool:
+        if self.mode == "inline":
+            return not self.ring.eos
+        if self.mode == "thread":
+            return self._thread is not None and self._thread.is_alive()
+        return self._process is not None and self._process.is_alive()
+
+    def inline_fill(self) -> None:
+        """Inline mode: run one producer batch synchronously."""
+        payload = self._pump(self.batch)
+        if not self.ring.try_push(payload, self.batch):
+            raise TransportError(
+                "producer ring full: ring_bytes too small for the requested read"
+            )
+
+    def drain_state(self) -> None:
+        """Collect the worker's error/final state once it has exited."""
+        if self.mode == "thread" or self.mode == "inline":
+            return
+        if self._parent_conn is None or self.final_state is not None:
+            return
+        try:
+            if self._parent_conn.poll(0.5):
+                result = self._parent_conn.recv()
+                self.final_state = result.get("state") or {}
+                self.error = self.error or result.get("error")
+        except (OSError, ValueError, EOFError):
+            self.final_state = {}
+
+    def stop(self) -> None:
+        """Stop the worker: signal, join, escalate to terminate; never hang."""
+        self.send(_CMD_STOP)
+        if self.mode == "thread" and self._thread is not None:
+            self._thread.join(timeout=_JOIN_S)
+            self._thread = None
+        elif self.mode == "process" and self._process is not None:
+            self._process.join(timeout=_JOIN_S)
+            if self._process.is_alive():  # pragma: no cover - stuck producer
+                self._process.terminate()
+                self._process.join(timeout=_JOIN_S)
+            self.drain_state()
+            self._process = None
+        self.ring.mark_eos()
+
+    def close(self) -> None:
+        """Join the worker and unlink the shared segment (idempotent)."""
+        self.stop()
+        if self._parent_conn is not None:
+            try:
+                self._parent_conn.close()
+            except OSError:
+                pass
+            self._parent_conn = None
+        if self._shm is not None:
+            self.ring.release()
+            try:
+                self.ring.detach()
+            except BufferError:  # a consumer view is still referenced
+                import gc
+
+                gc.collect()
+                self.ring.detach()
+            self._shm.close()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+            self._shm = None
+
+
+class ProducerLink:
+    """A serial link whose device simulation runs in a producer worker.
+
+    Wraps the :class:`~repro.transport.link.VirtualSerialLink` surface.
+    Before streaming starts everything passes through, so the handshake
+    (version, EEPROM reads) is byte-identical to the bare link.
+    ``START_STREAMING`` arms the producer; the worker itself launches at
+    the first read (so a forked child snapshots the fully wired bench,
+    not whatever half-built state existed at START) and then pumps
+    ``batch``-sample blocks into the ring; the consumer's
+    :meth:`pump_samples` assembles
+    whole-record ring views — a read of exactly ``batch`` samples is
+    zero-copy into decode.  ``MARKER`` is forwarded to the producer (it
+    lands at batch granularity); ``STOP_STREAMING`` joins the worker and,
+    for a forked producer, syncs the device clock/marker/fault state back
+    to the parent's firmware.  Any other command while the producer runs
+    raises :class:`DeviceError`, matching the firmware's own
+    cannot-while-streaming rules.
+
+    The buffer returned by :meth:`pump_samples` is valid until the next
+    call (ring space is only released then).
+    """
+
+    def __init__(
+        self,
+        link,
+        producer: str = "auto",
+        batch: int = DEFAULT_BATCH,
+        ring_bytes: int = DEFAULT_RING_BYTES,
+        stall_timeout: float = 5.0,
+    ) -> None:
+        self.link = link
+        self.mode = resolve_producer_mode(producer)
+        self.batch = int(batch)
+        if self.batch <= 0:
+            raise ConfigurationError(f"producer batch must be positive, got {batch}")
+        self.ring_bytes = int(ring_bytes)
+        self.stall_timeout = float(stall_timeout)
+        self._armed = False  # START seen; worker launches on the first read
+        self._worker: _RingWorker | None = None
+        self._carry: tuple[bytes, int] | None = None
+        self._pump_residual = 0.0
+        self.producer_error: str | None = None
+
+    # -- pass-through surface ------------------------------------------- #
+
+    @property
+    def firmware(self):
+        return self.link.firmware
+
+    @property
+    def in_waiting(self) -> int:
+        return self.link.in_waiting
+
+    @property
+    def is_open(self) -> bool:
+        return self.link.is_open
+
+    @property
+    def producing(self) -> bool:
+        """True between START and STOP (the worker itself launches lazily)."""
+        return self._armed or self._worker is not None
+
+    @property
+    def ring(self) -> SpscByteRing | None:
+        return self._worker.ring if self._worker is not None else None
+
+    def utilization(self) -> float:
+        return self.link.utilization()
+
+    def __getattr__(self, name: str):
+        # Unknown attributes (injected(), models, bandwidth_bps, ...)
+        # resolve against the wrapped link, so the wrapper stays a
+        # drop-in for FaultySerialLink-aware callers.
+        if name == "link":
+            raise AttributeError(name)
+        return getattr(self.link, name)
+
+    def read(self, n: int | None = None) -> bytes:
+        if self._worker is not None:
+            raise DeviceError("cannot issue control reads while the producer is running")
+        return self.link.read(n)
+
+    def write(self, data: bytes) -> None:
+        if self._worker is None:
+            # Not launched yet (streaming may be armed, but the first
+            # read hasn't happened): the parent still owns the firmware,
+            # so every command goes straight through — including markers
+            # written between START and the first read, which the worker
+            # inherits with the rest of the device state at launch.
+            self.link.write(data)
+            if data == Command.START_STREAMING.value:
+                self._armed = True
+                self._carry = None
+                self.producer_error = None
+            elif data == Command.STOP_STREAMING.value:
+                self._armed = False
+            return
+        if data == Command.MARKER.value:
+            self._worker.send(_CMD_MARK)
+            return
+        if data == Command.STOP_STREAMING.value:
+            self._stop()
+            self.link.write(data)
+            return
+        if data == Command.START_STREAMING.value:
+            return  # already streaming; a duplicate START is a no-op
+        raise DeviceError(
+            "only marker/stop commands are valid while the producer is running"
+        )
+
+    # -- producer lifecycle --------------------------------------------- #
+
+    def _launch(self) -> _RingWorker:
+        """Create and start the worker (deferred to the first read).
+
+        Launching lazily matters for the forked producer: the bench may
+        keep wiring itself up after START (``simulated_source`` connects
+        the DUT rail after the PowerSensor starts streaming), and a child
+        forked at START would snapshot that half-assembled state.  At the
+        first read the device is in its final shape by definition.
+        """
+        self._carry = None
+        worker = _RingWorker(
+            self.mode,
+            self.ring_bytes,
+            self.link.pump_samples,
+            self.batch,
+            self._apply_command,
+            self._collect_child_state,
+        )
+        self._worker = worker
+        worker.start()
+        return worker
+
+    def _apply_command(self, cmd: str) -> None:
+        # Runs in the producer (thread/forked process/inline): commands
+        # apply between batches, against the producer's firmware.
+        if cmd == _CMD_MARK:
+            self.link.write(Command.MARKER.value)
+
+    def _collect_child_state(self) -> dict:
+        """Runs in the forked child at exit: state to sync to the parent."""
+        state: dict = {}
+        firmware = getattr(self.link, "firmware", None)
+        if firmware is not None:
+            state["samples_produced"] = firmware.samples_produced
+            state["markers_pending"] = firmware._markers_pending
+            state["markers_dropped"] = firmware.markers_dropped
+        models = getattr(self.link, "models", None)
+        if models is not None:
+            state["injected"] = [model.injected for model in models]
+        return state
+
+    def _sync_from_child(self, worker: _RingWorker) -> None:
+        """Fold the forked producer's device state back into the parent.
+
+        The parent's firmware did not run while the child produced: its
+        clock, sample counter, marker queue and fault counters are stale.
+        The child reports them at exit; after a crash the ring's
+        samples-pushed counter still lets the clock advance, so time
+        never goes backwards across a producer restart.
+        """
+        state = worker.final_state or {}
+        firmware = getattr(self.link, "firmware", None)
+        if firmware is not None:
+            produced = state.get("samples_produced")
+            if produced is None:
+                produced = firmware.samples_produced + worker.ring.samples_pushed
+            delta = int(produced) - firmware.samples_produced
+            if delta > 0:
+                firmware.clock.tick(delta)
+                firmware.samples_produced += delta
+            if "markers_pending" in state:
+                firmware._markers_pending = int(state["markers_pending"])
+            if "markers_dropped" in state:
+                firmware.markers_dropped = int(state["markers_dropped"])
+        models = getattr(self.link, "models", None)
+        injected = state.get("injected")
+        if models is not None and injected is not None:
+            for model, count in zip(models, injected):
+                model.injected = max(model.injected, int(count))
+            mirror = getattr(self.link, "_mirror_injected", None)
+            if mirror is not None:
+                mirror()
+
+    def _stop(self) -> None:
+        self._armed = False
+        worker = self._worker
+        if worker is None:
+            return
+        self._worker = None
+        self._carry = None
+        worker.stop()
+        self.producer_error = worker.error
+        if self.mode == "process":
+            # Sync before close(): after a crash the fallback reads the
+            # ring's samples-pushed counter, and close() detaches it.
+            self._sync_from_child(worker)
+        worker.close()
+
+    # -- consumer read path --------------------------------------------- #
+
+    def _clean_bps(self) -> int:
+        firmware = getattr(self.link, "firmware", None)
+        return firmware.bytes_per_sample() if firmware is not None else 0
+
+    def _next_record(self, worker: _RingWorker):
+        ring = worker.ring
+        record = ring.pop()
+        if record is not None:
+            return record
+        if worker.mode == "inline":
+            if ring.eos:
+                return None
+            worker.inline_fill()
+            return ring.pop()
+        deadline = time.monotonic() + self.stall_timeout
+        while True:
+            record = ring.pop()
+            if record is not None:
+                return record
+            if ring.eos or not worker.alive():
+                # Crashed/stopped producer: surface as an empty read so
+                # RecoveryPolicy/StreamStalledError handles it upstream.
+                worker.drain_state()
+                self.producer_error = self.producer_error or worker.error
+                return None
+            if time.monotonic() > deadline:
+                return None
+            time.sleep(_POLL_S)
+
+    def pump_samples(self, n_samples: int):
+        """Assemble ring records covering exactly ``n_samples`` of stream time.
+
+        Records are split at the nominal bytes-per-sample boundary when
+        they cover more than the remaining request; the byte tail and the
+        sample residue are carried (independently — a lossy record can
+        leave sample coverage with no bytes) so every call consumes
+        exactly ``n_samples`` of coverage while the ring has data.
+        Decoding is pinned chunking-invariant, so the reassembled stream
+        is byte-for-byte the producer's regardless of split points.  A
+        read of exactly one whole record returns the ring view zero-copy.
+        """
+        worker = self._worker
+        if worker is None:
+            if not self._armed:
+                return self.link.pump_samples(n_samples)
+            if n_samples <= 0:
+                return b""
+            worker = self._launch()
+        if n_samples <= 0:
+            return b""
+        worker.ring.release()  # views from the previous call die here
+        bps = self._clean_bps()
+        parts: list = []
+        covered = 0
+        record = self._carry
+        self._carry = None
+        while True:
+            if record is None:
+                if covered >= n_samples:
+                    break
+                record = self._next_record(worker)
+                if record is None:
+                    break  # producer gone/stalled: short read, recovery upstream
+            payload, samples = record
+            record = None
+            remaining = n_samples - covered
+            if samples > remaining and bps:
+                take = min(remaining * bps, len(payload))
+                if take:
+                    head = payload[:take]
+                    parts.append(head if isinstance(head, bytes) else bytes(head))
+                self._carry = (bytes(payload[take:]), samples - remaining)
+                covered = n_samples
+            else:
+                if len(payload):
+                    parts.append(payload)
+                covered += samples
+        if len(parts) == 1 and isinstance(parts[0], memoryview):
+            return parts[0]  # zero-copy straight into decode
+        return b"".join(parts)
+
+    def pump_seconds(self, seconds: float):
+        if self._worker is None and not self._armed:
+            return self.link.pump_seconds(seconds)
+        interval = self.link.firmware.baseboard.timing.output_interval_s
+        exact = seconds / interval + self._pump_residual
+        n = max(int(round(exact)), 0)
+        self._pump_residual = exact - n
+        return self.pump_samples(n)
+
+    def close(self) -> None:
+        self._stop()
+        self.link.close()
+
+
+class CodeRingProducer:
+    """Batched ADC-code producer for :class:`DirectSampleSource`.
+
+    The producer owns a private clock snapshotted from the consumer's at
+    start and pushes ``(batch, 8)`` uint16 code blocks through the ring;
+    the consumer reconstructs codes with one ``np.frombuffer`` per record
+    and keeps computing timestamps and markers from its own clock, so the
+    consumer-visible stream is continuous across producer restarts.
+    """
+
+    BYTES_PER_ROW = 16  # 8 sensors x uint16
+
+    def __init__(
+        self,
+        baseboard,
+        start_time: float,
+        producer: str = "auto",
+        batch: int = DEFAULT_BATCH,
+        ring_bytes: int = DEFAULT_RING_BYTES,
+        stall_timeout: float = 5.0,
+    ) -> None:
+        import numpy as np
+
+        from repro.common.clock import VirtualClock
+
+        self.mode = resolve_producer_mode(producer)
+        self.stall_timeout = float(stall_timeout)
+        self._baseboard = baseboard
+        self._clock = VirtualClock(start=start_time)
+        self._clock.configure_ticks(baseboard.timing.output_interval_s)
+        self._np = np
+
+        def pump(n: int) -> bytes:
+            start = self._clock.now
+            codes = baseboard.averaged_codes(start, n)
+            self._clock.tick(n)
+            return np.ascontiguousarray(codes, dtype="<u2").tobytes()
+
+        self._worker = _RingWorker(
+            self.mode, ring_bytes, pump, int(batch), lambda cmd: None
+        )
+        self._worker.start()
+        self.error: str | None = None
+
+    @property
+    def ring(self) -> SpscByteRing:
+        return self._worker.ring
+
+    def next_codes(self):
+        """Next code block as an int64 ``(n, 8)`` array, or None at stream end.
+
+        Copies out of the ring (``astype``) and releases immediately, so
+        callers never hold ring views.
+        """
+        worker = self._worker
+        ring = worker.ring
+        deadline = None
+        while True:
+            record = ring.pop()
+            if record is not None:
+                payload, _ = record
+                codes = (
+                    self._np.frombuffer(payload, dtype="<u2")
+                    .reshape(-1, 8)
+                    .astype(self._np.int64)
+                )
+                ring.release()
+                return codes
+            if worker.mode == "inline":
+                if ring.eos:
+                    return None
+                worker.inline_fill()
+                continue
+            if ring.eos or not worker.alive():
+                worker.drain_state()
+                self.error = self.error or worker.error
+                return None
+            if deadline is None:
+                deadline = time.monotonic() + self.stall_timeout
+            elif time.monotonic() > deadline:
+                return None
+            time.sleep(_POLL_S)
+
+    def close(self) -> None:
+        self._worker.close()
+        self.error = self.error or self._worker.error
