@@ -20,7 +20,12 @@ Compares the ``server.scaling`` section of a freshly generated report
   is still "real time" for at least one subscriber's worth of stream;
 * the producer-ring end-to-end ``read_block`` rate (the hot-ring
   consumer path in the ``producer`` section) regresses by more than
-  ``--max-regression`` percent against the committed baseline.
+  ``--max-regression`` percent against the committed baseline;
+* the telemetry store (``store`` section, when present) breaks one of
+  its structural guarantees — a tiered query returning more than its
+  ``max_points`` budget, or falling under ``--min-tiered-speedup``
+  times the full-scan latency — or its ingest rate regresses by more
+  than ``--max-regression`` percent against the committed baseline.
 
 Exit status 0 on pass, 1 on any failure, with one line per check.
 """
@@ -47,7 +52,12 @@ def _point(points: list[dict], n_clients: int) -> dict | None:
     return None
 
 
-def check(baseline: dict, current: dict, max_regression: float) -> list[str]:
+def check(
+    baseline: dict,
+    current: dict,
+    max_regression: float,
+    min_tiered_speedup: float = 2.0,
+) -> list[str]:
     failures: list[str] = []
 
     base_64 = _point(_scaling_points(baseline, "drop_oldest"), 64)
@@ -102,6 +112,44 @@ def check(baseline: dict, current: dict, max_regression: float) -> list[str]:
     elif base_rb is not None:
         failures.append("current report has no producer.read_block_samples_per_s")
 
+    cur_store = current.get("store")
+    base_store = baseline.get("store", {})
+    if cur_store is not None:
+        if not cur_store.get("max_points_respected"):
+            failures.append(
+                f"store tiered query returned {cur_store.get('tiered_query_rows')} "
+                "rows, over its max_points budget"
+            )
+        else:
+            print(
+                f"ok: store tiered query bounded "
+                f"({cur_store.get('tiered_query_rows')} rows)"
+            )
+        speedup = cur_store.get("tiered_speedup", 0.0)
+        if speedup < min_tiered_speedup:
+            failures.append(
+                f"store tiered query speedup {speedup}x is below the "
+                f"{min_tiered_speedup}x floor (tiered "
+                f"{cur_store.get('tiered_query_ms')} ms vs full scan "
+                f"{cur_store.get('full_scan_ms')} ms)"
+            )
+        else:
+            print(f"ok: store tiered query speedup {speedup}x over a full scan")
+        base_ingest = base_store.get("ingest_samples_per_s")
+        cur_ingest = cur_store.get("ingest_samples_per_s")
+        if base_ingest is not None and cur_ingest is not None:
+            floor = base_ingest * (1.0 - max_regression / 100.0)
+            line = (
+                f"store ingest rate: {cur_ingest}/s "
+                f"(baseline {base_ingest}/s, floor {floor:.0f}/s)"
+            )
+            if cur_ingest < floor:
+                failures.append(f"REGRESSION {line}")
+            else:
+                print(f"ok: {line}")
+    elif base_store:
+        failures.append("current report has no store section")
+
     cur_1024 = _point(_scaling_points(current, "drop_oldest"), 1024)
     if cur_1024 is not None:
         rate = cur_1024["aggregate_samples_per_s"]
@@ -127,11 +175,20 @@ def main() -> int:
         metavar="PCT",
         help="allowed drop in the 64-subscriber per-client rate",
     )
+    parser.add_argument(
+        "--min-tiered-speedup",
+        type=float,
+        default=2.0,
+        metavar="X",
+        help="floor on the store's tiered-query speedup over a full scan",
+    )
     args = parser.parse_args()
 
     baseline = json.loads(args.baseline.read_text())
     current = json.loads(args.current.read_text())
-    failures = check(baseline, current, args.max_regression)
+    failures = check(
+        baseline, current, args.max_regression, args.min_tiered_speedup
+    )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

@@ -44,6 +44,11 @@ The report compares three stages of the receive/persist pipeline:
   tape, a re-served remote member) behind one psserve endpoint with one
   subscriber per device: every device must sustain its full 20 kHz with
   zero dropped frames.
+* **store** — the columnar telemetry store on a 10M-row recording
+  (``10 * --samples``): append-path ingest rate, a cold tiered
+  time-range query (``max_points=1000``, which must answer in
+  milliseconds from the seal-time min/mean/max tiers), and the
+  equivalent full-resolution scan it replaces (``tiered_speedup``).
 
 Timings are best-of-``--repeat`` wall-clock; the JSON lands at the repo
 root so the numbers ride along with the code that produced them.
@@ -283,6 +288,81 @@ def bench_dump(n_rows: int, repeat: int) -> dict:
         "write_speedup": round(write_rate / base["dump_write_samples_per_s"], 1),
         "read_speedup": round(read_rate / base["dump_read_samples_per_s"], 1),
         "roundtrip_speedup": round(rt_rate / base["dump_roundtrip_samples_per_s"], 1),
+    }
+
+
+def bench_store(n_samples: int, repeat: int) -> dict:
+    """The columnar telemetry store: ingest, tiered query, full scan.
+
+    The workload is 10x the ``--samples`` setting (10M rows by default):
+    the store exists precisely so windows over tens of millions of rows
+    stay interactive, so that is the regime measured.  The tiered query
+    (``max_points=1000``) must come back from a *cold* reopened store in
+    a few milliseconds while the equivalent full-resolution scan pays
+    for every raw row it touches.
+    """
+    from repro.core.sources import SampleBlock
+    from repro.hardware.eeprom import SENSORS
+    from repro.store import TelemetryStore
+
+    n_rows = n_samples * 10
+    rng = np.random.default_rng(0)
+    block_rows = 65_536
+    enabled = np.zeros(SENSORS, dtype=bool)
+    enabled[:2] = True
+
+    tmpdir = "/dev/shm" if os.access("/dev/shm", os.W_OK) else None
+    with tempfile.TemporaryDirectory(dir=tmpdir) as d:
+        path = Path(d) / "store"
+
+        t0 = time.perf_counter()
+        with TelemetryStore(path, roll_samples=1_000_000) as store:
+            for start in range(0, n_rows, block_rows):
+                n = min(block_rows, n_rows - start)
+                times = (start + np.arange(n) + 1) * 5e-5
+                values = np.zeros((n, SENSORS))
+                values[:, :2] = rng.normal(12.0, 1.0, size=(n, 2))
+                store.append(
+                    SampleBlock(
+                        times=times,
+                        values=values,
+                        markers=np.zeros(n, dtype=bool),
+                        enabled=enabled,
+                    )
+                )
+        ingest_t = time.perf_counter() - t0
+        store_bytes = sum(p.stat().st_size for p in path.glob("*.seg"))
+
+        span = n_rows * 5e-5
+
+        def tiered():
+            # A cold open every time: mmap + meta parse + tier read.
+            with TelemetryStore(path) as store:
+                return store.query(0.1 * span, 0.9 * span, 1000)
+
+        def full_scan():
+            with TelemetryStore(path) as store:
+                return store.query(0.1 * span, 0.9 * span, None)
+
+        tiered_t = best_of(tiered, repeat)
+        full_t = best_of(full_scan, repeat)
+        result = tiered()
+        scanned = full_scan()
+
+    return {
+        "n_rows": n_rows,
+        "n_columns": 2,
+        "store_bytes": store_bytes,
+        "tmpfs": tmpdir is not None,
+        "ingest_samples_per_s": round(n_rows / ingest_t),
+        "tiered_query_ms": round(tiered_t * 1e3, 3),
+        "tiered_query_rows": len(result),
+        "tiered_query_factor": result.factor,
+        "tiered_query_n_source": result.n_source,
+        "full_scan_ms": round(full_t * 1e3, 3),
+        "full_scan_rows": len(scanned),
+        "tiered_speedup": round(full_t / tiered_t, 1),
+        "max_points_respected": len(result) <= 1000,
     }
 
 
@@ -648,6 +728,7 @@ SECTIONS = {
     "observability": lambda a: bench_observability(a.samples, a.repeat),
     "server": lambda a: bench_server(a.repeat),
     "fleet": lambda a: bench_fleet(a.repeat),
+    "store": lambda a: bench_store(a.samples, a.repeat),
 }
 
 

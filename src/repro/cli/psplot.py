@@ -13,6 +13,7 @@ chart per fleet device.
 from __future__ import annotations
 
 import argparse
+from pathlib import Path
 
 import numpy as np
 
@@ -22,6 +23,7 @@ from repro.cli.common import (
     run_with_diagnostics,
     setup_fleet,
 )
+from repro.common.errors import ConfigurationError
 from repro.core.dump import DumpReader
 from repro.observability import MetricsRegistry, Tracer
 
@@ -93,7 +95,8 @@ def main(argv: list[str] | None = None) -> int:
         "dump",
         nargs="?",
         default=None,
-        help="dump file written by continuous mode (omit to capture live)",
+        help="dump file written by continuous mode, or a telemetry store "
+        "(store://DIR or a store directory); omit to capture live",
     )
     add_device_arguments(parser)
     parser.add_argument("--width", type=int, default=72)
@@ -106,6 +109,33 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=1.0,
         help="live capture length in stream seconds (no dump file given)",
+    )
+    parser.add_argument(
+        "--t0",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="window start for store / --history queries",
+    )
+    parser.add_argument(
+        "--t1",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="window end for store / --history queries",
+    )
+    parser.add_argument(
+        "--max-points",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="tiered point budget for store / --history queries",
+    )
+    parser.add_argument(
+        "--history",
+        action="store_true",
+        help="with --remote: plot the server's recorded history "
+        "(needs psserve --record-store) instead of capturing live",
     )
     args = parser.parse_args(argv)
     registry = MetricsRegistry()
@@ -127,6 +157,8 @@ def _plot(
 ) -> int:
     if args.dump is None:
         return _plot_live(args, registry, tracer)
+    if args.dump.startswith("store://") or Path(args.dump).is_dir():
+        return _plot_store(args, parser, registry, tracer)
     with tracer.span("read_dump"):
         data = DumpReader.read(args.dump)
     registry.gauge(
@@ -150,6 +182,50 @@ def _plot(
     return 0
 
 
+def _plot_store(
+    args: argparse.Namespace,
+    parser: argparse.ArgumentParser,
+    registry: MetricsRegistry,
+    tracer: Tracer,
+) -> int:
+    """Plot a time-range query against a local telemetry store."""
+    from repro.store import TelemetryStore
+
+    path = args.dump
+    if path.startswith("store://"):
+        path = path[len("store://") :].split("?", 1)[0]
+    with tracer.span("read_store"):
+        with TelemetryStore(path, registry=registry, tracer=tracer) as store:
+            result = store.query(args.t0, args.t1, max(args.max_points, 1))
+    _plot_result(args, tracer, result, label=f"store {path}")
+    return 0
+
+
+def _plot_result(
+    args: argparse.Namespace, tracer: Tracer, result, label: str
+) -> None:
+    """Plot one StoreQueryResult (local store query or remote --history)."""
+    if args.pair == -1:
+        watts = result.total_power()
+    else:
+        if not 0 <= 2 * args.pair + 1 < result.values.shape[1]:
+            raise ConfigurationError(f"pair {args.pair} out of range")
+        watts = result.values[:, 2 * args.pair] * result.values[:, 2 * args.pair + 1]
+        label = f"{label} pair {args.pair}"
+    tier = "" if result.factor <= 1 else f" (tier 1/{result.factor}, bucket means)"
+    mean = float(watts.mean()) if len(result) else 0.0
+    print(
+        f"{label}: {len(result)} rows covering {result.n_source} samples"
+        f"{tier}, mean {mean:.2f} W"
+    )
+    marker_times = [(float(t), "M") for t in result.times[result.markers]]
+    with tracer.span("render"):
+        chart = render_chart(
+            result.times, watts, args.width, args.height, marker_times
+        )
+    print(chart)
+
+
 def _plot_live(
     args: argparse.Namespace, registry: MetricsRegistry, tracer: Tracer
 ) -> int:
@@ -157,6 +233,16 @@ def _plot_live(
     setup = build_setup(args, registry, tracer)
     try:
         fleet = setup_fleet(setup)
+        if args.history:
+            link = getattr(setup, "link", None)
+            if link is None or not hasattr(link, "query_history"):
+                raise ConfigurationError(
+                    "--history queries a serving daemon's recorded store; "
+                    "point psplot at one with --remote"
+                )
+            result = link.query_history(args.t0, args.t1, max(args.max_points, 1))
+            _plot_result(args, tracer, result, label="history")
+            return 0
         if fleet is not None:
             blocks = fleet.read_all(args.seconds)
             for name, block in blocks.items():

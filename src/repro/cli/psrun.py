@@ -57,6 +57,12 @@ def main(argv: list[str] | None = None) -> int:
         "--dump", metavar="FILE", help="also record all samples to a dump file"
     )
     parser.add_argument(
+        "--record-store",
+        metavar="DIR",
+        help="also record all samples into a binary telemetry store at "
+        "DIR (queryable, and replayable via store://DIR)",
+    )
+    parser.add_argument(
         "--time-scale",
         type=float,
         default=1.0,
@@ -92,6 +98,8 @@ def _measure(
         ps = setup.ps
         if args.dump:
             ps.dump(args.dump)
+        if args.record_store:
+            ps.record(args.record_store)
         with RealtimeDriver(ps, time_scale=args.time_scale) as driver:
             before = driver.read()
             try:
@@ -123,6 +131,12 @@ def _measure_fleet(
         base = Path(args.dump)
         for name, member in fleet.members.items():
             member.ps.dump(str(base.with_suffix(f".{name}{base.suffix}")))
+    if args.record_store:
+        # One store per device: "dir" -> "dir/<device>".
+        from pathlib import Path
+
+        for name, member in fleet.members.items():
+            member.ps.record(str(Path(args.record_store) / name))
     drivers = {
         name: RealtimeDriver(member.ps, time_scale=args.time_scale)
         for name, member in fleet.members.items()

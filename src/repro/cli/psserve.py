@@ -116,6 +116,21 @@ def main(argv: list[str] | None = None) -> int:
         help="server core: the asyncio broadcast-ring event loop "
         "(default) or the legacy thread-per-client engine",
     )
+    parser.add_argument(
+        "--record-store",
+        metavar="DIR",
+        default=None,
+        help="record every pumped sample into a telemetry store under "
+        "DIR (one per-device subdirectory) and serve HISTORY queries "
+        "from it (async engine only)",
+    )
+    parser.add_argument(
+        "--store-roll",
+        type=int,
+        default=1_000_000,
+        metavar="N",
+        help="seal a store segment every N samples (with --record-store)",
+    )
     args = parser.parse_args(argv)
     registry = MetricsRegistry()
     tracer = Tracer(registry)
@@ -143,11 +158,18 @@ def _serve(args: argparse.Namespace, registry: MetricsRegistry, tracer: Tracer) 
                 raise ConfigurationError(
                     "--pump-batch needs the async engine (drop --engine threaded)"
                 )
+            if args.record_store is not None:
+                raise ConfigurationError(
+                    "--record-store needs the async engine (drop --engine threaded)"
+                )
             server_cls = ThreadedPowerSensorServer
             extra = {}
         else:
             server_cls = PowerSensorServer
             extra = {"pump_batch": args.pump_batch}
+            if args.record_store is not None:
+                extra["record_store"] = args.record_store
+                extra["store_roll"] = args.store_roll
         server = server_cls(
             source,
             args.listen,

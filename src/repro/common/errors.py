@@ -44,6 +44,17 @@ class ServerError(ReproError):
     """
 
 
+class StoreError(ReproError):
+    """A telemetry-store file could not be read, written or trusted.
+
+    Raised when a sealed segment or journal fails its integrity checks
+    (bad magic, CRC mismatch, truncated footer, out-of-range offsets).
+    The store itself never propagates this for damage it can contain —
+    it quarantines the bad file and keeps serving the intact ones — so
+    seeing it means a caller addressed a corrupt file directly.
+    """
+
+
 class StreamStalledError(MeasurementError):
     """The sample stream stopped producing data.
 

@@ -321,7 +321,7 @@ class DumpReader:
         pair_names: list[str] = []
         markers: list[tuple[float, str]] = []
 
-        def handle_special(line: str) -> None:
+        def handle_special(line: str, lineno: int, offset: int) -> None:
             nonlocal sample_rate, pair_names
             if line.startswith("#"):
                 if "sample_rate_hz:" in line:
@@ -330,7 +330,10 @@ class DumpReader:
                     pair_names = line.split(":", 1)[1].split()
             else:
                 if not line.startswith("M "):
-                    raise ValueError(f"could not parse dump line: {line!r}")
+                    raise ValueError(
+                        f"could not parse dump line {lineno} "
+                        f"(byte offset {offset}): {line!r}"
+                    )
                 _, t, char = line.split(maxsplit=2)
                 markers.append((float(t), char))
 
@@ -341,8 +344,8 @@ class DumpReader:
             # equal-width data lines — indexed without the full newline
             # scan and per-line masks.
             special_lines, data_off, width, n_rows = grid
-            for line in special_lines:
-                handle_special(line)
+            for line, lineno, offset in special_lines:
+                handle_special(line, lineno, offset)
             data_starts = data_off + (width + 1) * np.arange(n_rows, dtype=np.int64)
             data_lens = np.full(n_rows, width, dtype=np.int64)
         else:
@@ -358,7 +361,11 @@ class DumpReader:
             first[nonblank] = arr[starts[nonblank]]
             special = nonblank & ((first == ord("#")) | (first == ord("M")))
             for i in np.flatnonzero(special):
-                handle_special(raw[starts[i] : starts[i] + lens[i]].decode("utf-8").strip())
+                handle_special(
+                    raw[starts[i] : starts[i] + lens[i]].decode("utf-8").strip(),
+                    int(i) + 1,
+                    int(starts[i]),
+                )
 
             data_mask = nonblank & ~special
             data_starts = starts[data_mask]
@@ -402,28 +409,30 @@ class DumpReader:
     @staticmethod
     def _regular_grid(
         raw: bytes, arr: np.ndarray
-    ) -> tuple[list[str], int, int, int] | None:
+    ) -> tuple[list[tuple[str, int, int]], int, int, int] | None:
         """Detect a header prefix followed by one uniform data block.
 
         Walks the leading ``#``/``M``/blank lines with ``bytes.find``,
         then verifies the rest of the file is a grid of equal-width
         lines with no interleaved special lines — two strided column
         checks instead of scanning every byte for newlines.  Returns
-        (special_lines, data_offset, width, n_rows), or None to use the
-        general line scan.
+        (special (line, lineno, offset) triples, data_offset, width,
+        n_rows), or None to use the general line scan.
         """
         size = len(raw)
-        specials: list[str] = []
+        specials: list[tuple[str, int, int]] = []
         off = 0
+        lineno = 0
         while off < size:
             nl = raw.find(b"\n", off)
             if nl < 0:
                 return None
+            lineno += 1
             if nl == off:
                 off = nl + 1  # blank line
                 continue
             if raw[off] in (0x23, 0x4D):  # '#' / 'M'
-                specials.append(raw[off:nl].decode("utf-8").strip())
+                specials.append((raw[off:nl].decode("utf-8").strip(), lineno, off))
                 off = nl + 1
                 continue
             break

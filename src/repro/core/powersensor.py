@@ -89,6 +89,8 @@ class PowerSensor:
         self._marker_chars: deque[str] = deque()
         self.marker_log: list[tuple[float, str]] = []
         self._dump: DumpWriter | None = None
+        self._store = None  # TelemetryStore while record() is active
+        self._owns_store = False
         self.samples_seen = 0
         self.source.start()
 
@@ -228,6 +230,8 @@ class PowerSensor:
             self._dump.write_samples(
                 block.times, volts[:, pair_mask], currents[:, pair_mask]
             )
+        if self._store is not None:
+            self._store.append(block)
 
     def _enabled_pairs(self) -> np.ndarray:
         configs = self.source.configs
@@ -276,6 +280,43 @@ class PowerSensor:
         ]
         self._dump = DumpWriter(path, pair_names, self.sample_rate)
 
+    def record(self, store) -> None:
+        """Start recording all samples to a telemetry store; ``None`` stops.
+
+        ``store`` may be a directory path (a
+        :class:`~repro.store.store.TelemetryStore` is created there and
+        owned — sealed and closed — by this sensor) or an already-open
+        store the caller owns.  The binary twin of :meth:`dump`: every
+        pumped block is appended, markers and all, and can be queried or
+        re-streamed through ``store://`` afterwards.
+        """
+        if self._store is not None:
+            if self._owns_store:
+                self._store.close()
+            else:
+                self._store.seal()
+            self._store = None
+            self._owns_store = False
+        if store is None:
+            return
+        if isinstance(store, (str, Path)):
+            from repro.store import TelemetryStore
+
+            configs = self.source.configs
+            pair_names = [
+                configs[2 * p].pair_name or f"pair{p}"
+                for p in range(PAIRS)
+                if configs[2 * p].enabled and configs[2 * p + 1].enabled
+            ]
+            store = TelemetryStore(
+                store,
+                device=getattr(self.source, "device", None),
+                sample_rate=float(self.sample_rate),
+                pair_names=pair_names,
+            )
+            self._owns_store = True
+        self._store = store
+
     def mark(self, char: str = "M") -> None:
         """Place a marker, time-synced with the device, in the stream."""
         if len(char) != 1:
@@ -311,6 +352,7 @@ class PowerSensor:
 
     def close(self) -> None:
         self.dump(None)
+        self.record(None)
         self.source.close()
 
     def __enter__(self) -> "PowerSensor":

@@ -7,6 +7,12 @@ samples — times, values, markers — through exactly the
 plugs into :class:`~repro.core.powersensor.PowerSensor`, the fleet
 layer, psserve and the CLI tools anywhere a live bench would.
 
+The re-streaming machinery itself lives in :class:`TapeSampleSource`,
+shared with the telemetry store's ``store://`` source
+(:mod:`repro.store.source`): any finite recorded tape — whatever its
+on-disk format — replays with identical timeline, marker, loop and
+health semantics.
+
 ``speed`` plays the tape faster: the source advertises ``speed`` times
 the recorded sample rate and compresses the emitted timeline to match,
 so the stream stays self-consistent (inter-sample gaps equal the
@@ -50,21 +56,38 @@ def _configs_from_dump(data: DumpData) -> list[SensorConfig]:
     return configs
 
 
-class ReplaySampleSource(SampleSource):
-    """Re-stream a recorded dump through the SampleSource contract."""
+class TapeSampleSource(SampleSource):
+    """Re-stream a finite recorded tape through the SampleSource contract.
+
+    Subclasses load their recording (a text dump, a telemetry store,
+    ...) and hand the raw arrays to this constructor; everything
+    observable — timeline compression for ``speed``, monotonic loop
+    continuation, marker mapping, health accounting — is shared, so two
+    recordings of the same capture replay bit-identically regardless of
+    the format they travelled through.
+
+    ``label`` names the recording in error messages (e.g. ``"dump
+    'run.txt'"``); ``kind`` names the source kind (``"replay"``).
+    """
 
     def __init__(
         self,
-        path: str | Path,
+        *,
+        times: np.ndarray,
+        values: np.ndarray,
+        markers: np.ndarray,
+        configs: list[SensorConfig],
+        native_rate: float,
         speed: float = 1.0,
         loop: bool = False,
         device: str | None = None,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        label: str = "tape",
+        kind: str = "tape",
     ) -> None:
         if speed <= 0:
             raise ConfigurationError(f"replay speed must be positive, got {speed}")
-        self.path = str(path)
         self.speed = float(speed)
         self.loop = bool(loop)
         self.device = device
@@ -73,45 +96,26 @@ class ReplaySampleSource(SampleSource):
         self.health = StreamHealth(self.registry, device=device)
         self.version = f"Replay of {FIRMWARE_VERSION}"
         self.streaming = False
+        self._label = label
+        self._kind = kind
 
-        self.data = DumpReader.read(path)
-        n = self.data.times.size
+        n = times.size
         if n == 0:
-            raise MeasurementError(f"dump {self.path!r} holds no samples")
-        n_pairs = len(self.data.pair_names)
-        if self.data.sample_rate_hz > 0:
-            native_rate = float(self.data.sample_rate_hz)
-        elif n >= 2:
-            native_rate = 1.0 / float(np.median(np.diff(self.data.times)))
-        else:
-            raise MeasurementError(
-                f"dump {self.path!r} has no sample_rate_hz header and too few "
-                "samples to infer a rate"
-            )
-        self._native_rate = native_rate
-        self.configs = _configs_from_dump(self.data)
-
-        # The recorded pairs map to sensors 0..2*n_pairs-1 (even: current,
-        # odd: voltage) — the same layout PowerSensor dumped them from.
-        self._values = np.zeros((n, SENSORS))
-        self._values[:, 0 : 2 * n_pairs : 2] = self.data.amps
-        self._values[:, 1 : 2 * n_pairs : 2] = self.data.volts
-        self._enabled = np.array([c.enabled for c in self.configs])
+            raise MeasurementError(f"{label} holds no samples")
+        self._native_rate = float(native_rate)
+        self.configs = configs
+        self._values = values
+        self._enabled = np.array([c.enabled for c in configs])
 
         # Timeline compression for accelerated replay: times are re-based
         # at the recording start and divided by speed, so the emitted
         # stream's inter-sample spacing equals 1/sample_rate.
-        t0 = float(self.data.times[0])
-        self._times = t0 + (self.data.times - t0) / self.speed
+        t0 = float(times[0])
+        self._times = t0 + (times - t0) / self.speed
         self._duration = float(self._times[-1] - self._times[0]) + 1.0 / (
-            native_rate * self.speed
+            self._native_rate * self.speed
         )
-
-        # Recorded markers map to the nearest sample at or after their time.
-        self._markers = np.zeros(n, dtype=bool)
-        for time, _char in self.data.markers:
-            idx = int(np.searchsorted(self.data.times, time))
-            self._markers[min(idx, n - 1)] = True
+        self._markers = np.asarray(markers, dtype=bool)
 
         self._cursor = 0
         self._pass = 0  # completed loop passes
@@ -145,7 +149,7 @@ class ReplaySampleSource(SampleSource):
 
     def write_configs(self, configs: list[SensorConfig]) -> None:
         raise ServerError(
-            f"replay source {self.path!r} is read-only: configs are part of "
+            f"{self._kind} source {self._label} is read-only: configs are part of "
             "the recording"
         )
 
@@ -194,6 +198,66 @@ class ReplaySampleSource(SampleSource):
             self._marker_pending -= flag
         self.health.samples_decoded += len(block)
         return block
+
+
+def map_markers(times: np.ndarray, marks: list[tuple[float, str]]) -> np.ndarray:
+    """Map recorded ``(time, char)`` markers to the sample at/after each time."""
+    n = times.size
+    flags = np.zeros(n, dtype=bool)
+    for time, _char in marks:
+        idx = int(np.searchsorted(times, time))
+        flags[min(idx, n - 1)] = True
+    return flags
+
+
+class ReplaySampleSource(TapeSampleSource):
+    """Re-stream a recorded dump through the SampleSource contract."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        speed: float = 1.0,
+        loop: bool = False,
+        device: str | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.path = str(path)
+        self.data = DumpReader.read(path)
+        n = self.data.times.size
+        if n == 0:
+            raise MeasurementError(f"dump {self.path!r} holds no samples")
+        n_pairs = len(self.data.pair_names)
+        if self.data.sample_rate_hz > 0:
+            native_rate = float(self.data.sample_rate_hz)
+        elif n >= 2:
+            native_rate = 1.0 / float(np.median(np.diff(self.data.times)))
+        else:
+            raise MeasurementError(
+                f"dump {self.path!r} has no sample_rate_hz header and too few "
+                "samples to infer a rate"
+            )
+
+        # The recorded pairs map to sensors 0..2*n_pairs-1 (even: current,
+        # odd: voltage) — the same layout PowerSensor dumped them from.
+        values = np.zeros((n, SENSORS))
+        values[:, 0 : 2 * n_pairs : 2] = self.data.amps
+        values[:, 1 : 2 * n_pairs : 2] = self.data.volts
+
+        super().__init__(
+            times=self.data.times,
+            values=values,
+            markers=map_markers(self.data.times, self.data.markers),
+            configs=_configs_from_dump(self.data),
+            native_rate=native_rate,
+            speed=speed,
+            loop=loop,
+            device=device,
+            registry=registry,
+            tracer=tracer,
+            label=f"{self.path!r}",
+            kind="replay",
+        )
 
 
 class ReplaySetup:

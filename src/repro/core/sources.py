@@ -830,13 +830,14 @@ _LAZY_SOURCES: dict[str, str] = {
     "remote": "repro.server.client",
     "replay": "repro.core.replay",
     "sim": "repro.core.setup",
+    "store": "repro.store.source",
 }
 
 #: Typed coercion for URI query options (everything else stays a string).
 _SPEC_INT_KEYS = frozenset(
     {"seed", "fault_seed", "window", "calibration_samples", "producer_batch", "ring_bytes"}
 )
-_SPEC_FLOAT_KEYS = frozenset({"speed", "connect_timeout"})
+_SPEC_FLOAT_KEYS = frozenset({"speed", "connect_timeout", "t0", "t1"})
 _SPEC_BOOL_KEYS = frozenset({"direct", "loop", "vectorized", "calibrate"})
 _SPEC_TRUE = frozenset({"1", "true", "yes", "on", ""})
 _SPEC_FALSE = frozenset({"0", "false", "no", "off"})

@@ -40,12 +40,14 @@ from repro.core.sources import ProtocolSampleSource, SampleBlock, register_sourc
 from repro.firmware.commands import Command
 from repro.observability import MetricsRegistry, Tracer
 from repro.server.wire import (
+    HISTORY_OK,
     Frame,
     FrameDecoder,
     FrameType,
     encode_control,
     encode_frame,
     parse_endpoint,
+    unpack_history,
     unpack_window,
 )
 from repro.transport.bytestream import ByteStream, SocketByteStream
@@ -131,6 +133,7 @@ class RemoteLink:
         self._last_seq: int | None = None
         self._response = bytearray()
         self._frames: deque[Frame] = deque()
+        self._history: deque[bytes] = deque()
         self._stream: ByteStream | None = None
         self._decoder = FrameDecoder()
         self._mirrored = (0, 0, 0)
@@ -322,6 +325,55 @@ class RemoteLink:
             if not self._pump_once():
                 raise ServerError("connection closed while awaiting a response")
 
+    def query_history(
+        self,
+        t0: float | None = None,
+        t1: float | None = None,
+        max_points: int | None = None,
+    ):
+        """Query the server's recorded history for the subscribed device.
+
+        Returns a :class:`~repro.store.store.StoreQueryResult` (possibly
+        tier-reduced to at most the server's point cap); raises
+        :class:`ServerError` if the server records no history or the
+        query fails.  Requires a server started with ``--record-store``.
+        """
+        from repro.store.store import StoreQueryResult
+
+        req: dict = {}
+        if t0 is not None:
+            req["t0"] = float(t0)
+        if t1 is not None:
+            req["t1"] = float(t1)
+        if max_points is not None:
+            req["max_points"] = int(max_points)
+        self._send(encode_control(FrameType.HISTORY, 0, req))
+        while not self._history:
+            if not self._pump_once():
+                raise ServerError("connection closed while awaiting history")
+        status, factor, n_source, window, vmin, vmax = unpack_history(
+            self._history.popleft()
+        )
+        if status != HISTORY_OK:
+            message = window.decode("utf-8", "replace") or "history query failed"
+            raise ServerError(message)
+        times, values, markers, enabled = unpack_window(window)
+        if vmin is None or vmax is None:
+            vmin = vmax = values
+        else:
+            vmin = vmin.reshape(values.shape)
+            vmax = vmax.reshape(values.shape)
+        return StoreQueryResult(
+            times=times,
+            values=values,
+            vmin=vmin,
+            vmax=vmax,
+            markers=markers,
+            enabled=enabled,
+            factor=int(factor),
+            n_source=int(n_source),
+        )
+
     def next_data(self) -> Frame | None:
         """Block for the next DATA/WINDOW frame; ``None`` at end of stream."""
         while True:
@@ -373,6 +425,8 @@ class RemoteLink:
             self._frames.append(frame)
         elif frame.type == FrameType.CONFIG:
             self._response += frame.payload
+        elif frame.type == FrameType.HISTORY_DATA:
+            self._history.append(frame.payload)
         elif frame.type == FrameType.EOS:
             self.eos = frame.json()
         elif frame.type == FrameType.ERROR:
@@ -453,6 +507,15 @@ class RemoteSampleSource(ProtocolSampleSource):
             "remote sample sources are read-only: the device is shared; "
             "write configuration on the serving host"
         )
+
+    def query_history(
+        self,
+        t0: float | None = None,
+        t1: float | None = None,
+        max_points: int | None = None,
+    ):
+        """Query the server's recorded history (see :meth:`RemoteLink.query_history`)."""
+        return self.link.query_history(t0, t1, max_points)
 
     def read_block(self, n_samples: int) -> SampleBlock:
         """Return exactly ``n_samples`` samples (less only at end of stream)."""

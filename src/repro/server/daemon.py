@@ -65,17 +65,24 @@ from repro.observability import MetricsRegistry, Tracer
 from repro.server.backpressure import POLICIES
 from repro.server.ring import BroadcastRing, RingCursor
 from repro.server.wire import (
+    HISTORY_FAILED,
+    HISTORY_NO_STORE,
+    HISTORY_OK,
     Frame,
     FrameDecoder,
     FrameType,
     encode_control,
     encode_frame,
+    pack_history,
     pack_window,
     parse_endpoint,
 )
 
 #: Default pump chunk: 400 samples = 20 ms of stream at 20 kHz.
 DEFAULT_CHUNK = 400
+#: Cap on rows in one HISTORY_DATA reply (bounds the payload well under
+#: MAX_PAYLOAD even with both min/max envelopes attached).
+HISTORY_MAX_POINTS = 4096
 #: Frames a writer drains per wake-up before yielding to its peers.
 WRITER_BATCH = 64
 #: ``asyncio.wait_for`` raises ``asyncio.TimeoutError``, which is only an
@@ -124,12 +131,23 @@ def _unlink_unix(endpoint: tuple[str, object]) -> None:
             pass
 
 
+def _source_pair_names(source) -> list[str]:
+    """Recorded pair names for a source, the way ``PowerSensor.dump`` picks them."""
+    configs = list(source.configs)
+    names = []
+    for pair in range(len(configs) // 2):
+        if configs[2 * pair].enabled and configs[2 * pair + 1].enabled:
+            names.append(configs[2 * pair].pair_name or f"pair{pair}")
+    return names
+
+
 class _Device:
     """Server-side state for one served device (shared by both engines)."""
 
     def __init__(self, name: str, source, registry: MetricsRegistry) -> None:
         self.name = name
         self.source = source
+        self.store = None  # TelemetryStore when the server records history
         self.raw_capable = _raw_capable(source)
         self.seq = 0  # DATA sequence for the threaded engine
         self.samples_produced = 0
@@ -166,6 +184,7 @@ class _Device:
         return {
             "version": self.source.version,
             "sample_rate": self.source.sample_rate,
+            "history": self.store is not None,
         }
 
     def config_image(self) -> bytes:
@@ -289,6 +308,8 @@ class PowerSensorServer:
         max_clients: int = 64,
         time_scale: float = 0.0,
         wait_clients: int = 0,
+        record_store: str | None = None,
+        store_roll: int = 1_000_000,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
     ) -> None:
@@ -321,6 +342,23 @@ class PowerSensorServer:
         }
         self.default_device = next(iter(self.devices.values()))
         self.source = self.default_device.source  # single-device back-compat
+
+        self.record_store = record_store
+        if record_store is not None:
+            # One store per served device: everything the pump produces
+            # is also appended here, and HISTORY requests query it.
+            from repro.store import TelemetryStore
+
+            for device in self.devices.values():
+                device.store = TelemetryStore(
+                    os.path.join(record_store, device.name),
+                    roll_samples=int(store_roll),
+                    device=device.name,
+                    sample_rate=float(device.source.sample_rate),
+                    pair_names=_source_pair_names(device.source),
+                    registry=self.registry,
+                    tracer=self.tracer,
+                )
 
         self._clients: dict[int, _AsyncClient] = {}
         self._next_cid = 0
@@ -441,6 +479,7 @@ class PowerSensorServer:
         """Stop accepting, end the stream, disconnect everyone."""
         loop = self._loop
         if loop is None:
+            self._close_stores()
             _unlink_unix(self.endpoint)
             return
         try:
@@ -455,7 +494,14 @@ class PowerSensorServer:
             loop.close()
             self._loop = None
             self._listener = None
+            self._close_stores()
             _unlink_unix(self.endpoint)
+
+    def _close_stores(self) -> None:
+        """Seal and close every device's telemetry store (idempotent)."""
+        for device in self.devices.values():
+            if device.store is not None:
+                device.store.close()
 
     def __enter__(self) -> "PowerSensorServer":
         self.start()
@@ -710,9 +756,56 @@ class PowerSensorServer:
                     )
                 )
                 client.wake.set()
+            elif frame.type == FrameType.HISTORY:
+                client.control.append(self._history_reply(client, frame))
+                client.wake.set()
             elif frame.type == FrameType.BYE:
                 return False
         return True
+
+    def _history_reply(self, client: _AsyncClient, frame: Frame) -> bytes:
+        """Answer one HISTORY request against the device's telemetry store."""
+        seq = client.next_seq()
+        store = client.device.store
+        if store is None:
+            payload = pack_history(
+                HISTORY_NO_STORE,
+                window=b"server is not recording history (start with --record-store)",
+            )
+            return encode_frame(FrameType.HISTORY_DATA, seq, payload)
+        try:
+            req = frame.json()
+            t0 = req.get("t0")
+            t1 = req.get("t1")
+            max_points = req.get("max_points")
+            max_points = (
+                HISTORY_MAX_POINTS
+                if max_points is None
+                else max(1, min(int(max_points), HISTORY_MAX_POINTS))
+            )
+            result = client.device.store.query(
+                None if t0 is None else float(t0),
+                None if t1 is None else float(t1),
+                max_points,
+            )
+        except Exception as error:  # noqa: BLE001 - reported to the peer
+            payload = pack_history(HISTORY_FAILED, window=str(error).encode())
+            return encode_frame(FrameType.HISTORY_DATA, seq, payload)
+        window = pack_window(
+            result.times, result.values, result.markers, result.enabled
+        )
+        if result.factor > 1:
+            payload = pack_history(
+                HISTORY_OK,
+                result.factor,
+                result.n_source,
+                window,
+                result.vmin,
+                result.vmax,
+            )
+        else:
+            payload = pack_history(HISTORY_OK, result.factor, result.n_source, window)
+        return encode_frame(FrameType.HISTORY_DATA, seq, payload)
 
     async def _writer_loop(self, client: _AsyncClient) -> None:
         """Drain one subscriber's cursor (and control queue) onto its socket."""
@@ -888,6 +981,8 @@ class PowerSensorServer:
         device.samples_produced += produced
         device.samples_counter.inc(produced)
         self._samples_counter.inc(produced)
+        if device.store is not None and len(block):
+            device.store.append(block)
         # Encode each DATA frame exactly once, into the shared ring.
         if raw is not None and any(c.mode == "raw" for c in device.clients):
             ring = device.ensure_raw_ring(self.buffer_frames)

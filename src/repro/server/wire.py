@@ -59,6 +59,8 @@ class FrameType(enum.IntEnum):
     EOS = 11  # server -> client: end of stream + per-client stats
     ERROR = 12  # server -> client: fatal error message
     BYE = 13  # client -> server: clean disconnect
+    HISTORY = 14  # client -> server: query recorded samples {t0, t1, max_points}
+    HISTORY_DATA = 15  # server -> client: packed historical rows (pack_history)
 
 
 @dataclass(frozen=True)
@@ -214,6 +216,76 @@ def unpack_window(
     ).astype(bool)
     enabled = np.array([(mask >> i) & 1 == 1 for i in range(SENSORS)])
     return times, values, markers, enabled
+
+
+# --------------------------------------------------------------------- #
+# HISTORY payloads                                                      #
+# --------------------------------------------------------------------- #
+
+#: HISTORY_DATA status codes.
+HISTORY_OK = 0
+HISTORY_NO_STORE = 1
+HISTORY_FAILED = 2
+
+_HISTORY_HEAD = struct.Struct(">BIQI")  # status, factor, n_source, window length
+
+
+def pack_history(
+    status: int,
+    factor: int = 1,
+    n_source: int = 0,
+    window: bytes = b"",
+    vmin: np.ndarray | None = None,
+    vmax: np.ndarray | None = None,
+) -> bytes:
+    """Pack a HISTORY_DATA payload.
+
+    ``window`` is a :func:`pack_window` payload carrying the (possibly
+    tier-reduced) rows; when ``factor > 1`` the per-bucket min/max
+    envelopes follow as two ``>f8`` row-major arrays of the window's
+    value shape.  Error replies (``status != HISTORY_OK``) carry the
+    message as the window bytes (UTF-8).
+    """
+    parts = [_HISTORY_HEAD.pack(status, factor, n_source, len(window)), window]
+    if vmin is not None and vmax is not None:
+        parts.append(np.ascontiguousarray(vmin, dtype=">f8").tobytes())
+        parts.append(np.ascontiguousarray(vmax, dtype=">f8").tobytes())
+    return b"".join(parts)
+
+
+def unpack_history(
+    payload: bytes,
+) -> tuple[int, int, int, bytes, np.ndarray | None, np.ndarray | None]:
+    """Inverse of :func:`pack_history`.
+
+    Returns ``(status, factor, n_source, window, vmin, vmax)`` where the
+    envelopes are ``None`` unless the reply carries them (flat arrays;
+    the caller reshapes against the unpacked window).
+    """
+    if len(payload) < _HISTORY_HEAD.size:
+        raise ProtocolError("HISTORY_DATA payload too short")
+    status, factor, n_source, wlen = _HISTORY_HEAD.unpack_from(payload)
+    offset = _HISTORY_HEAD.size
+    if len(payload) < offset + wlen:
+        raise ProtocolError("HISTORY_DATA window length mismatch")
+    window = payload[offset : offset + wlen]
+    offset += wlen
+    rest = len(payload) - offset
+    if rest == 0:
+        return int(status), int(factor), int(n_source), window, None, None
+    if rest % 16:
+        raise ProtocolError("HISTORY_DATA envelope length mismatch")
+    half = rest // 2
+    vmin = np.frombuffer(payload, dtype=">f8", count=half // 8, offset=offset)
+    vmax = np.frombuffer(payload, dtype=">f8", count=half // 8, offset=offset + half)
+    return (
+        int(status),
+        int(factor),
+        int(n_source),
+        window,
+        vmin.astype(float),
+        vmax.astype(float),
+    )
 
 
 # --------------------------------------------------------------------- #

@@ -1,0 +1,662 @@
+"""The columnar telemetry store: append, seal, query, retain, recover.
+
+:class:`TelemetryStore` owns a directory of sealed segments (see
+:mod:`repro.store.format`) plus at most one active journal.  Samples
+append to the journal (and to an in-memory mirror of it); once
+``roll_samples`` rows accumulate the journal seals into an immutable
+segment with its downsampling tiers and CRC footer.  Queries pick the
+coarsest tier that still satisfies ``max_points`` — a zoomed-out view
+over a hundred-million-sample store reads kilobytes, not gigabytes —
+and exact (tier 1) queries reproduce the appended rows bit-for-bit.
+
+Opening a store *is* crash recovery: sealed segments that fail their
+CRC are quarantined (renamed ``*.quarantine``) rather than served or
+deleted, and a leftover journal is salvaged chunk-by-chunk and sealed,
+so a crashed writer loses at most the damaged tail of its last file.
+Every recovery action increments ``store_segments_recovered_total`` —
+the store never crashes on damage and never silently returns corrupt
+rows.
+
+Retention prunes whole sealed segments, oldest first, by age
+(``retention_seconds`` behind the newest sample) or by byte budget
+(``retention_bytes`` across sealed files).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError, StoreError
+from repro.core.sources import SampleBlock
+from repro.hardware.eeprom import SENSORS
+from repro.observability import MetricsRegistry, Tracer
+from repro.store.format import (
+    DEFAULT_TIER_FACTORS,
+    SealedSegment,
+    encode_journal_chunk,
+    encode_journal_header,
+    encode_segment,
+    read_journal,
+)
+
+_SEGMENT_RE = re.compile(r"^seg-(\d{6})\.seg$")
+_JOURNAL_RE = re.compile(r"^seg-(\d{6})\.jrnl$")
+
+
+@dataclass
+class StoreQueryResult:
+    """One answered time-range query.
+
+    ``values`` is the full ``(k, SENSORS)`` matrix (unstored columns are
+    zero); at ``factor == 1`` the rows are exact samples and ``vmin is
+    vmax is values``.  At coarser factors each row is a bucket of about
+    ``factor`` raw samples: ``values`` carries bucket means, ``vmin`` /
+    ``vmax`` the envelope, ``markers`` the bucket's any-marker flag and
+    ``times`` the bucket mean time.  ``n_source`` counts the raw samples
+    the result covers.
+    """
+
+    times: np.ndarray
+    values: np.ndarray
+    vmin: np.ndarray
+    vmax: np.ndarray
+    markers: np.ndarray
+    enabled: np.ndarray
+    factor: int
+    n_source: int
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    def total_power(self) -> np.ndarray:
+        """Mean total power per row (exact at factor 1)."""
+        return (self.values[:, 0::2] * self.values[:, 1::2]).sum(axis=1)
+
+
+class TelemetryStore:
+    """An append-only segment store for one device's sample stream."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        roll_samples: int = 1_000_000,
+        tier_factors: tuple[int, ...] = DEFAULT_TIER_FACTORS,
+        retention_seconds: float | None = None,
+        retention_bytes: int | None = None,
+        device: str | None = None,
+        sample_rate: float = 0.0,
+        pair_names: list[str] | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        if roll_samples < 1:
+            raise ConfigurationError(f"roll_samples must be >= 1, got {roll_samples}")
+        factors = tuple(int(f) for f in tier_factors)
+        if any(f < 2 for f in factors) or list(factors) != sorted(set(factors)):
+            raise ConfigurationError(
+                f"tier factors must be distinct, ascending and >= 2, got {tier_factors}"
+            )
+        self.path = Path(path)
+        self.roll_samples = int(roll_samples)
+        self.tier_factors = factors
+        self.retention_seconds = retention_seconds
+        self.retention_bytes = retention_bytes
+        self.device = device
+        self.sample_rate = float(sample_rate)
+        self.pair_names = list(pair_names or [])
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer(self.registry)
+        labels = {"device": device} if device else {}
+        self._appended_counter = self.registry.counter(
+            "store_samples_appended_total",
+            help="samples appended to the telemetry store",
+            **labels,
+        )
+        self._sealed_counter = self.registry.counter(
+            "store_segments_sealed_total",
+            help="journals sealed into immutable segments",
+            **labels,
+        )
+        self._recovered_counter = self.registry.counter(
+            "store_segments_recovered_total",
+            help="open-time recovery actions (quarantined segments, salvaged "
+            "or quarantined journals)",
+            **labels,
+        )
+        self._pruned_counter = self.registry.counter(
+            "store_segments_pruned_total",
+            help="sealed segments removed by retention",
+            **labels,
+        )
+        self._queries_counter = self.registry.counter(
+            "store_queries_total", help="time-range queries answered", **labels
+        )
+        self._bytes_gauge = self.registry.gauge(
+            "store_bytes", help="bytes held in sealed segments", **labels
+        )
+        self._labels = labels
+
+        self.segments: list[SealedSegment] = []
+        self._closed = False
+        self._jfile = None
+        self._jpath: Path | None = None
+        self._jrows = 0
+        self._jenabled: np.ndarray | None = None
+        self._jcolumns: list[int] = []
+        self._jtimes: list[np.ndarray] = []
+        self._jvalues: list[np.ndarray] = []
+        self._jmarkers: list[np.ndarray] = []
+
+        self.path.mkdir(parents=True, exist_ok=True)
+        self._recover()
+        if self.segments:
+            # A reopened store adopts the identity it was recorded with.
+            newest = self.segments[-1]
+            if not self.sample_rate:
+                self.sample_rate = float(newest.sample_rate)
+            if not self.pair_names:
+                self.pair_names = list(newest.pair_names)
+            if self.device is None:
+                self.device = newest.device
+        self._update_bytes_gauge()
+
+    # ------------------------------------------------------------------ #
+    # Recovery                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _recover(self) -> None:
+        """Open every sealed segment; salvage and seal any leftover journal."""
+        sealed: list[tuple[int, Path]] = []
+        journals: list[tuple[int, Path]] = []
+        for entry in sorted(self.path.iterdir()):
+            if entry.name.endswith(".seg.tmp"):
+                entry.unlink(missing_ok=True)  # a seal that never published
+                continue
+            match = _SEGMENT_RE.match(entry.name)
+            if match:
+                sealed.append((int(match.group(1)), entry))
+                continue
+            match = _JOURNAL_RE.match(entry.name)
+            if match:
+                journals.append((int(match.group(1)), entry))
+        sealed_indices = set()
+        for index, path in sealed:
+            try:
+                self.segments.append(SealedSegment(path))
+                sealed_indices.add(index)
+            except StoreError:
+                self._quarantine(path)
+        for index, path in journals:
+            if index in sealed_indices:
+                # The seal published but the crash beat the journal
+                # unlink: the segment already holds these rows.
+                path.unlink(missing_ok=True)
+                continue
+            header, times, values, markers, damaged = read_journal(path)
+            if damaged:
+                self._recovered_counter.inc()
+            if header is None:
+                self._quarantine(path, count=False)
+                continue
+            if times.size:
+                columns = [int(c) for c in header.get("columns", [])]
+                enabled = np.asarray(
+                    header.get("enabled", [False] * SENSORS), dtype=bool
+                )
+                image = encode_segment(
+                    times,
+                    values,
+                    markers,
+                    columns=columns,
+                    enabled=enabled,
+                    tier_factors=self.tier_factors,
+                    sample_rate=float(header.get("sample_rate", self.sample_rate)),
+                    device=header.get("device", self.device),
+                    pair_names=header.get("pair_names", self.pair_names),
+                )
+                self.segments.append(self._write_sealed(index, image))
+            if damaged:
+                self._quarantine(path, count=False)
+            else:
+                path.unlink(missing_ok=True)
+
+    def _quarantine(self, path: Path, count: bool = True) -> None:
+        """Set a damaged file aside (never delete: it may still be studied)."""
+        target = path.with_name(path.name + ".quarantine")
+        serial = 0
+        while target.exists():
+            serial += 1
+            target = path.with_name(f"{path.name}.quarantine{serial}")
+        path.rename(target)
+        if count:
+            self._recovered_counter.inc()
+
+    def _quarantine_open(self, seg: SealedSegment) -> None:
+        """Quarantine a segment whose data failed its read-time CRC."""
+        seg.close()
+        if seg in self.segments:
+            self.segments.remove(seg)
+        self._quarantine(seg.path)
+        self._update_bytes_gauge()
+
+    def _write_sealed(self, index: int, image: bytes) -> SealedSegment:
+        """Atomically publish a segment image as ``seg-NNNNNN.seg``."""
+        final = self.path / f"seg-{index:06d}.seg"
+        tmp = final.with_suffix(".seg.tmp")
+        with open(tmp, "wb") as f:
+            f.write(image)
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, final)
+        return SealedSegment(final)
+
+    def _next_index(self) -> int:
+        used = [-1]
+        for seg in self.segments:
+            match = _SEGMENT_RE.match(seg.path.name)
+            if match:
+                used.append(int(match.group(1)))
+        return max(used) + 1
+
+    # ------------------------------------------------------------------ #
+    # Appending and sealing                                              #
+    # ------------------------------------------------------------------ #
+
+    def append(self, block: SampleBlock) -> None:
+        """Append one sample block; rolls the segment at ``roll_samples``."""
+        if self._closed:
+            raise StoreError(f"store {self.path} is closed")
+        n = len(block)
+        if n == 0:
+            return
+        enabled = np.asarray(block.enabled, dtype=bool)
+        if self._jenabled is not None and not np.array_equal(enabled, self._jenabled):
+            self.seal()  # the column set changed: segments are homogeneous
+        if self._jfile is None:
+            self._open_journal(enabled)
+        values = np.ascontiguousarray(block.values[:, self._jcolumns])
+        assert self._jfile is not None
+        self._jfile.write(encode_journal_chunk(block.times, values, block.markers))
+        self._jfile.flush()
+        self._jtimes.append(np.asarray(block.times, dtype=float).copy())
+        self._jvalues.append(values)
+        self._jmarkers.append(np.asarray(block.markers, dtype=bool).copy())
+        self._jrows += n
+        self._appended_counter.inc(n)
+        if self._jrows >= self.roll_samples:
+            self.seal()
+
+    def _open_journal(self, enabled: np.ndarray) -> None:
+        index = self._next_index()
+        self._jpath = self.path / f"seg-{index:06d}.jrnl"
+        self._jenabled = enabled.copy()
+        self._jcolumns = [int(c) for c in np.flatnonzero(enabled)]
+        header = {
+            "version": 1,
+            "columns": self._jcolumns,
+            "enabled": [bool(e) for e in enabled],
+            "sample_rate": self.sample_rate,
+            "device": self.device,
+            "pair_names": self.pair_names,
+        }
+        self._jfile = open(self._jpath, "wb")
+        self._jfile.write(encode_journal_header(header))
+        self._jfile.flush()
+
+    def seal(self) -> SealedSegment | None:
+        """Seal the active journal into an immutable segment (if non-empty)."""
+        if self._jfile is None:
+            return None
+        self._jfile.close()
+        jpath, rows = self._jpath, self._jrows
+        times = np.concatenate(self._jtimes) if self._jtimes else np.zeros(0)
+        values = (
+            np.vstack(self._jvalues)
+            if self._jvalues
+            else np.zeros((0, len(self._jcolumns)))
+        )
+        markers = (
+            np.concatenate(self._jmarkers) if self._jmarkers else np.zeros(0, dtype=bool)
+        )
+        columns, enabled = self._jcolumns, self._jenabled
+        self._reset_journal()
+        if rows == 0:
+            if jpath is not None:
+                jpath.unlink(missing_ok=True)
+            return None
+        with self.tracer.span("store_seal", **self._labels):
+            image = encode_segment(
+                times,
+                values,
+                markers,
+                columns=columns,
+                enabled=enabled if enabled is not None else np.zeros(SENSORS, bool),
+                tier_factors=self.tier_factors,
+                sample_rate=self.sample_rate,
+                device=self.device,
+                pair_names=self.pair_names,
+            )
+            match = _JOURNAL_RE.match(jpath.name) if jpath is not None else None
+            index = int(match.group(1)) if match else self._next_index()
+            segment = self._write_sealed(index, image)
+        if jpath is not None:
+            jpath.unlink(missing_ok=True)
+        self.segments.append(segment)
+        self._sealed_counter.inc()
+        self._apply_retention()
+        self._update_bytes_gauge()
+        return segment
+
+    def abandon(self) -> None:
+        """Drop in-memory state without sealing, as a crashed writer would.
+
+        The active journal file stays on disk exactly as written — the
+        crash-recovery tests reopen (and damage) it from here.
+        """
+        if self._jfile is not None and not self._jfile.closed:
+            self._jfile.close()
+        self._reset_journal()
+        self._close_segments()
+        self._closed = True
+
+    def _reset_journal(self) -> None:
+        self._jfile = None
+        self._jpath = None
+        self._jrows = 0
+        self._jenabled = None
+        self._jcolumns = []
+        self._jtimes = []
+        self._jvalues = []
+        self._jmarkers = []
+
+    # ------------------------------------------------------------------ #
+    # Retention                                                          #
+    # ------------------------------------------------------------------ #
+
+    def _latest_time(self) -> float | None:
+        latest = None
+        if self._jtimes:
+            latest = float(self._jtimes[-1][-1])
+        elif self.segments:
+            latest = max(seg.t1 for seg in self.segments)
+        return latest
+
+    def _apply_retention(self) -> None:
+        if self.retention_seconds is not None and self.segments:
+            latest = self._latest_time()
+            if latest is not None:
+                cutoff = latest - float(self.retention_seconds)
+                while self.segments and self.segments[0].t1 < cutoff:
+                    self._prune(self.segments.pop(0))
+        if self.retention_bytes is not None:
+            while (
+                len(self.segments) > 1
+                and sum(seg.nbytes for seg in self.segments) > self.retention_bytes
+            ):
+                self._prune(self.segments.pop(0))
+
+    def _prune(self, segment: SealedSegment) -> None:
+        segment.close()
+        segment.path.unlink(missing_ok=True)
+        self._pruned_counter.inc()
+
+    def _update_bytes_gauge(self) -> None:
+        self._bytes_gauge.set(sum(seg.nbytes for seg in self.segments))
+
+    # ------------------------------------------------------------------ #
+    # Queries                                                            #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def sample_count(self) -> int:
+        """Raw samples currently held (sealed segments + active journal)."""
+        return sum(seg.n for seg in self.segments) + self._jrows
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held in sealed segments."""
+        return sum(seg.nbytes for seg in self.segments)
+
+    def time_range(self) -> tuple[float, float] | None:
+        """The ``(t0, t1)`` span currently held, or None when empty."""
+        t0s = [seg.t0 for seg in self.segments]
+        t1s = [seg.t1 for seg in self.segments]
+        if self._jtimes:
+            t0s.append(float(self._jtimes[0][0]))
+            t1s.append(float(self._jtimes[-1][-1]))
+        if not t0s:
+            return None
+        return min(t0s), max(t1s)
+
+    def query(
+        self,
+        t0: float | None = None,
+        t1: float | None = None,
+        max_points: int | None = None,
+    ) -> StoreQueryResult:
+        """Rows (or bucket envelopes) covering ``[t0, t1]``.
+
+        ``max_points=None`` returns every raw sample in range, exactly
+        as appended.  Otherwise the coarsest pre-computed tier that
+        still resolves the range into at most ``max_points`` rows is
+        read (raw if the range is small enough), with a final bucketing
+        pass guaranteeing the bound.  Tier selection is approximate at
+        bucket granularity: a coarse bucket straddling ``t0``/``t1`` is
+        included when its mean time falls inside the range.
+        """
+        if max_points is not None and max_points < 1:
+            raise ConfigurationError(f"max_points must be >= 1, got {max_points}")
+        lo_t = float("-inf") if t0 is None else float(t0)
+        hi_t = float("inf") if t1 is None else float(t1)
+        self._queries_counter.inc()
+
+        journal = self._journal_arrays()
+        spans: list[tuple[SealedSegment, int, int]] = []
+        n_source = 0
+        for seg in self.segments:
+            if seg.t1 < lo_t or seg.t0 > hi_t:
+                continue
+            lo = seg.search(lo_t, "left")
+            hi = seg.search(hi_t, "right")
+            if hi > lo:
+                spans.append((seg, lo, hi))
+                n_source += hi - lo
+        j_span = (0, 0)
+        if journal is not None:
+            j_lo = int(np.searchsorted(journal[0], lo_t, side="left"))
+            j_hi = int(np.searchsorted(journal[0], hi_t, side="right"))
+            if j_hi > j_lo:
+                j_span = (j_lo, j_hi)
+                n_source += j_hi - j_lo
+
+        factor = 1
+        if max_points is not None and n_source > max_points:
+            for candidate in self.tier_factors:
+                factor = candidate
+                if -(-n_source // candidate) <= max_points:
+                    break
+
+        with self.tracer.span("store_query", factor=str(factor), **self._labels):
+            result, dropped = self._gather(spans, journal, j_span, lo_t, hi_t, factor)
+        if max_points is not None and len(result) > max_points:
+            result = _coarsen(result, -(-len(result) // max_points))
+        result.n_source = n_source - dropped
+        return result
+
+    def _journal_arrays(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, list[int], np.ndarray] | None:
+        if not self._jtimes:
+            return None
+        return (
+            np.concatenate(self._jtimes),
+            np.vstack(self._jvalues),
+            np.concatenate(self._jmarkers),
+            self._jcolumns,
+            self._jenabled
+            if self._jenabled is not None
+            else np.zeros(SENSORS, dtype=bool),
+        )
+
+    def _gather(
+        self,
+        spans: list[tuple[SealedSegment, int, int]],
+        journal,
+        j_span: tuple[int, int],
+        lo_t: float,
+        hi_t: float,
+        factor: int,
+    ) -> tuple[StoreQueryResult, int]:
+        """Read the planned spans; returns (result, rows dropped to damage).
+
+        Tier data is CRC-verified on first read: a segment whose mapped
+        bytes fail the check contributes nothing, is quarantined on the
+        spot, and its rows are subtracted from the caller's ``n_source``
+        — damage costs the damaged segment, never a corrupt row.
+        """
+        times_parts: list[np.ndarray] = []
+        mean_parts: list[np.ndarray] = []
+        min_parts: list[np.ndarray] = []
+        max_parts: list[np.ndarray] = []
+        marker_parts: list[np.ndarray] = []
+        enabled = np.zeros(SENSORS, dtype=bool)
+        used_tier = False  # a raw-only gather reports factor 1 honestly
+        damaged: list[SealedSegment] = []
+        dropped = 0
+
+        def dense(cols: list[int], matrix: np.ndarray) -> np.ndarray:
+            out = np.zeros((matrix.shape[0], SENSORS))
+            if cols:
+                out[:, cols] = matrix
+            return out
+
+        for seg, raw_lo, raw_hi in spans:
+            try:
+                if factor == 1 or factor not in seg.tier_factors:
+                    t, v, m = seg.read_raw(raw_lo, raw_hi)
+                    d = dense(seg.columns, v)
+                    vmin_d = vmean_d = vmax_d = d
+                else:
+                    lo = seg.search(lo_t, "left", factor)
+                    hi = seg.search(hi_t, "right", factor)
+                    t, vmin, vmean, vmax, m = seg.read_tier(factor, lo, hi)
+                    vmin_d = dense(seg.columns, vmin)
+                    vmean_d = dense(seg.columns, vmean)
+                    vmax_d = dense(seg.columns, vmax)
+            except StoreError:
+                damaged.append(seg)
+                dropped += raw_hi - raw_lo
+                continue
+            used_tier = used_tier or vmin_d is not vmean_d
+            enabled |= seg.enabled
+            times_parts.append(t)
+            mean_parts.append(vmean_d)
+            min_parts.append(vmin_d)
+            max_parts.append(vmax_d)
+            marker_parts.append(m)
+        for seg in damaged:
+            self._quarantine_open(seg)
+        if journal is not None and j_span[1] > j_span[0]:
+            j_times, j_values, j_markers, j_cols, j_enabled = journal
+            enabled |= j_enabled
+            lo, hi = j_span
+            d = dense(j_cols, j_values[lo:hi])
+            times_parts.append(j_times[lo:hi].copy())
+            mean_parts.append(d)
+            min_parts.append(d)
+            max_parts.append(d)
+            marker_parts.append(j_markers[lo:hi].copy())
+
+        if not times_parts:
+            empty = np.zeros((0, SENSORS))
+            return (
+                StoreQueryResult(
+                    times=np.zeros(0),
+                    values=empty,
+                    vmin=empty,
+                    vmax=empty,
+                    markers=np.zeros(0, dtype=bool),
+                    enabled=enabled,
+                    factor=1,
+                    n_source=0,
+                ),
+                dropped,
+            )
+        concat = np.concatenate
+        values = concat(mean_parts) if len(mean_parts) > 1 else mean_parts[0]
+        if not used_tier:
+            factor = 1  # everything came back as raw rows
+        if factor == 1:
+            vmin = vmax = values
+        else:
+            vmin = concat(min_parts) if len(min_parts) > 1 else min_parts[0]
+            vmax = concat(max_parts) if len(max_parts) > 1 else max_parts[0]
+        return (
+            StoreQueryResult(
+                times=concat(times_parts) if len(times_parts) > 1 else times_parts[0],
+                values=values,
+                vmin=vmin,
+                vmax=vmax,
+                markers=(
+                    concat(marker_parts) if len(marker_parts) > 1 else marker_parts[0]
+                ),
+                enabled=enabled,
+                factor=factor,
+                n_source=0,
+            ),
+            dropped,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle                                                          #
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Seal any active journal and release every mapping."""
+        if self._closed:
+            return
+        self.seal()
+        self._close_segments()
+        self._closed = True
+
+    def _close_segments(self) -> None:
+        for seg in self.segments:
+            seg.close()
+        self.segments = []
+
+    def __enter__(self) -> "TelemetryStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _coarsen(result: StoreQueryResult, group: int) -> StoreQueryResult:
+    """Re-bucket a gathered result by ``group`` rows to enforce max_points.
+
+    Envelope containment is preserved exactly (min of mins, max of
+    maxs); the re-bucketed mean is the equal-weight mean of the source
+    rows' means, which is exact at factor 1 and approximate (partial
+    final buckets weigh the same as full ones) on already-coarse rows.
+    """
+    n = len(result)
+    edges = np.arange(0, n, group, dtype=np.int64)
+    counts = np.diff(np.append(edges, n)).astype(float)
+    return StoreQueryResult(
+        times=np.add.reduceat(result.times, edges) / counts,
+        values=np.add.reduceat(result.values, edges, axis=0) / counts[:, None],
+        vmin=np.minimum.reduceat(result.vmin, edges, axis=0),
+        vmax=np.maximum.reduceat(result.vmax, edges, axis=0),
+        markers=np.maximum.reduceat(
+            result.markers.astype(np.uint8), edges
+        ).astype(bool),
+        enabled=result.enabled,
+        factor=result.factor * group,
+        n_source=result.n_source,
+    )
