@@ -25,7 +25,12 @@ Compares the ``server.scaling`` section of a freshly generated report
   its structural guarantees — a tiered query returning more than its
   ``max_points`` budget, or falling under ``--min-tiered-speedup``
   times the full-scan latency — or its ingest rate regresses by more
-  than ``--max-regression`` percent against the committed baseline.
+  than ``--max-regression`` percent against the committed baseline;
+* the storage job-file runner (``storage`` section, when present) gets
+  less energy-efficient: a policy's steady-write joules-per-IO rising
+  more than ``--max-regression`` percent over the committed baseline
+  fails (higher J/IO is the regression direction), as does fio-style
+  steady-state detection no longer terminating the write stage.
 
 Exit status 0 on pass, 1 on any failure, with one line per check.
 """
@@ -149,6 +154,38 @@ def check(
                 print(f"ok: {line}")
     elif base_store:
         failures.append("current report has no store section")
+
+    cur_storage = current.get("storage")
+    base_storage = baseline.get("storage", {})
+    if cur_storage is not None:
+        for policy, cur_row in sorted(cur_storage.get("policies", {}).items()):
+            if not cur_row.get("steady_state_attained"):
+                failures.append(
+                    f"storage [{policy}]: steady-state detection no longer "
+                    "terminates the write stage"
+                )
+            else:
+                print(
+                    f"ok: storage [{policy}] steady state attained at "
+                    f"{cur_row.get('steady_state_stopped_at_s')}s"
+                )
+            base_row = base_storage.get("policies", {}).get(policy, {})
+            base_jpio = base_row.get("write_joules_per_io")
+            cur_jpio = cur_row.get("write_joules_per_io")
+            if base_jpio is not None and cur_jpio is not None:
+                # Energy per IO regresses UP: the ceiling is the baseline
+                # plus the allowance.
+                ceiling = base_jpio * (1.0 + max_regression / 100.0)
+                line = (
+                    f"storage [{policy}] write energy: {cur_jpio:.3e} J/IO "
+                    f"(baseline {base_jpio:.3e}, ceiling {ceiling:.3e})"
+                )
+                if cur_jpio > ceiling:
+                    failures.append(f"REGRESSION {line}")
+                else:
+                    print(f"ok: {line}")
+    elif base_storage:
+        failures.append("current report has no storage section")
 
     cur_1024 = _point(_scaling_points(current, "drop_oldest"), 1024)
     if cur_1024 is not None:

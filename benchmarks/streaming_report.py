@@ -49,6 +49,12 @@ The report compares three stages of the receive/persist pipeline:
   time-range query (``max_points=1000``, which must answer in
   milliseconds from the seal-time min/mean/max tiers), and the
   equivalent full-resolution scan it replaces (``tiered_speedup``).
+* **storage** — energy per IO through the declarative job-file runner
+  (``psfio``): a format + precondition + steady-state random-write +
+  random-read job file swept over two FTL mapping policies, each job
+  measured through the simulated PowerSensor3.  The regression gate
+  tracks the per-policy joules-per-IO (energy efficiency must not
+  silently erode) and that steady-state detection still terminates.
 
 Timings are best-of-``--repeat`` wall-clock; the JSON lands at the repo
 root so the numbers ride along with the code that produced them.
@@ -721,6 +727,90 @@ def bench_fleet(repeat: int) -> dict:
     return {"mixed_fleet": _run_fleet(2.0, 400)}
 
 
+_STORAGE_JOBS = """\
+[global]
+bs=4k
+iodepth=4
+
+[prep]
+rw=write
+runtime=0
+pre_format=1
+precondition=0.5
+
+[steady-writes]
+stonewall
+rw=randwrite
+ss=iops_slope:2%
+ss_dur=3
+runtime=10
+
+[reads]
+stonewall
+rw=randread
+bs=64k
+runtime=1
+"""
+
+#: FTL policies the storage section sweeps: the page map (the paper's
+#: drive model) against the merge-heavy group map, spanning the
+#: energy-per-IO range the full four-policy study covers.
+_STORAGE_POLICIES = "page,group"
+
+
+def bench_storage(repeat: int) -> dict:
+    """Energy per IO through the declarative job-file runner.
+
+    ``repeat`` is ignored: each job runs simulated seconds of workload
+    through the FTL and the PS3 bench, so every (policy, job) pair is a
+    single measurement — like fio itself, one run per job.
+
+    The workload is the extended Fig. 12 study at bench scale: format +
+    sequential preconditioning, sustained random 4 KiB writes to
+    fio-style steady state, then a 64 KiB random-read stage, measured
+    through the simulated PowerSensor3 on the 3.3 V slot rail.
+    """
+    from repro.common.units import MIB
+    from repro.dut.ssd import SsdSpec
+    from repro.storage.jobfile import run_jobfile
+
+    with tempfile.TemporaryDirectory() as d:
+        jobs = Path(d) / "bench.fio"
+        jobs.write_text(_STORAGE_JOBS)
+        t0 = time.perf_counter()
+        report = run_jobfile(
+            jobs,
+            ftl=_STORAGE_POLICIES,
+            ssd_spec=SsdSpec(logical_bytes=96 * MIB),
+            seed=0,
+        )
+        wall = time.perf_counter() - t0
+
+    out: dict = {
+        "jobfile_jobs": len(next(iter(report["policies"].values()))),
+        "policies": {},
+        "wall_seconds": round(wall, 3),
+    }
+    for policy, outcomes in report["policies"].items():
+        writes = next(o for o in outcomes if o["name"] == "steady-writes")
+        reads = next(o for o in outcomes if o["name"] == "reads")
+        ss = writes["steady_state"] or {}
+        out["policies"][policy] = {
+            "write_joules_per_io": writes["joules_per_io"],
+            "write_bandwidth_cv": round(writes["bandwidth_cv"], 4),
+            "write_power_w": round(writes["power_mean_w"], 4),
+            "write_amplification": round(writes["write_amplification"], 3),
+            "map_bytes": writes["map_bytes"],
+            "steady_state_attained": bool(ss.get("attained")),
+            "steady_state_stopped_at_s": ss.get("stopped_at_s"),
+            "read_joules_per_io": reads["joules_per_io"],
+            "read_p99_latency_us": round(
+                reads["latency_percentiles_us"]["99"], 2
+            ),
+        }
+    return out
+
+
 SECTIONS = {
     "decode": lambda a: bench_decode(a.samples, a.repeat),
     "producer": lambda a: bench_producer(a.samples, a.repeat),
@@ -729,6 +819,7 @@ SECTIONS = {
     "server": lambda a: bench_server(a.repeat),
     "fleet": lambda a: bench_fleet(a.repeat),
     "store": lambda a: bench_store(a.samples, a.repeat),
+    "storage": lambda a: bench_storage(a.repeat),
 }
 
 

@@ -1,0 +1,110 @@
+"""psfio: run a declarative fio-style job file on the simulated SSD bench.
+
+Simulation analogue of driving fio by hand for the paper's Section V-C
+study: every job in the file executes against the FTL-backed drive while
+the simulated PowerSensor3 measures the 3.3 V slot rail, and the report
+carries bandwidth, latency percentiles, watts and joules-per-IO per job.
+
+``--ftl all`` sweeps every registered mapping policy over the same job
+list, which is the extended Fig. 12 energy-per-IO comparison in one
+command::
+
+    psfio jobs.fio --ftl all --out report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.cli.common import run_with_diagnostics
+from repro.common.units import GIB
+from repro.dut.ssd import SsdSpec
+from repro.ftl import FTL_POLICIES
+from repro.observability import MetricsRegistry
+from repro.storage.jobfile import run_jobfile, write_report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="psfio",
+        description="Run an fio-style job file on the simulated, "
+        "PowerSensor3-instrumented SSD.",
+    )
+    parser.add_argument("jobfile", help="fio-style INI job file")
+    parser.add_argument(
+        "--ftl",
+        default="page",
+        help="FTL policy, comma-separated list, or 'all' "
+        f"(policies: {', '.join(sorted(FTL_POLICIES))})",
+    )
+    parser.add_argument(
+        "--capacity-gib",
+        type=float,
+        default=2.0,
+        help="logical drive capacity in GiB (default 2)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument(
+        "--volts", type=float, default=3.3, help="measured rail voltage"
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default=None, help="write the JSON report here"
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write a metrics file on exit (.prom or JSON lines)",
+    )
+    args = parser.parse_args(argv)
+    registry = MetricsRegistry()
+    return run_with_diagnostics(
+        "psfio",
+        lambda: _run(args, registry),
+        metrics_path=args.metrics,
+        registry=registry,
+    )
+
+
+def _run(args: argparse.Namespace, registry: MetricsRegistry) -> int:
+    spec = SsdSpec(logical_bytes=int(args.capacity_gib * GIB))
+    report = run_jobfile(
+        args.jobfile,
+        ftl=args.ftl,
+        ssd_spec=spec,
+        seed=args.seed,
+        volts=args.volts,
+        registry=registry,
+    )
+    for policy, outcomes in report["policies"].items():
+        print(f"ftl={policy}")
+        for outcome in outcomes:
+            ss = outcome.get("steady_state") or {}
+            note = ""
+            if ss:
+                state = "attained" if ss.get("attained") else "not attained"
+                note = f"  ss={ss.get('criterion')} {state}"
+                if ss.get("stopped_at_s") is not None:
+                    note += f" @ {ss['stopped_at_s']:g}s"
+            if outcome["runtime_s"] <= 0:
+                print(f"  {outcome['name']}: precondition only")
+                continue
+            print(
+                f"  {outcome['name']}: "
+                f"bw={outcome['bandwidth_mean_bps'] / 1e6:.1f} MB/s "
+                f"power={outcome['power_mean_w']:.2f} W "
+                f"J/IO={outcome['joules_per_io']:.3e} "
+                f"WA={outcome['write_amplification']:.2f}"
+                f"{note}"
+            )
+    if args.out:
+        write_report(report, args.out)
+        print(f"report written to {args.out}")
+    else:
+        print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,4 +1,4 @@
-"""NVMe SSD model with a page-mapping FTL (the paper's Section V-C study).
+"""NVMe SSD model with pluggable FTL strategies (Section V-C study).
 
 The paper measures a Samsung 980 PRO under fio workloads and reproduces
 two classic observations:
@@ -9,12 +9,19 @@ two classic observations:
   variable while *power stays stable* around 5 W, i.e. bandwidth is not an
   indicator of power (Fig. 12b).
 
-The write path is a real FTL simulation — page-mapped, SLC write cache,
-greedy garbage collection over an over-provisioned pool — because the
-bandwidth-variability-with-stable-power phenomenon *emerges* from those
-mechanics: once the NAND backend saturates, total internal work (host +
-GC traffic) is constant while the host-visible share varies with write
-amplification.
+The write path is a real FTL simulation — page-mapped by default, SLC
+write cache, greedy garbage collection over an over-provisioned pool —
+because the bandwidth-variability-with-stable-power phenomenon *emerges*
+from those mechanics: once the NAND backend saturates, total internal
+work (host + GC traffic) is constant while the host-visible share varies
+with write amplification.
+
+The mapping scheme itself is a strategy (:mod:`repro.ftl`):
+``Ssd(spec, ftl="page" | "group" | "compressed" | "hybrid")`` selects how
+logical pages map to physical ones, which shapes write amplification,
+mapping-table footprint and lookup overhead — the axes the extended
+Fig. 12 study compares.  ``ftl="page"`` is the pre-refactor behaviour,
+pinned bit-identical.
 
 Scale: the simulated drive defaults to 8 GiB logical capacity instead of
 1 TB.  GC dynamics depend on over-provisioning ratio and utilisation, not
@@ -31,6 +38,14 @@ import numpy as np
 from repro.common.errors import MeasurementError
 from repro.common.rng import RngStream
 from repro.common.units import GIB, KIB
+from repro.ftl import FtlPolicy, create_ftl
+from repro.ftl.base import INVALID, FtlCounters
+
+#: Back-compat alias: the counters moved to :mod:`repro.ftl.base` with
+#: the strategy extraction and grew merge/lookup fields.
+SsdCounters = FtlCounters
+
+__all__ = ["INVALID", "Ssd", "SsdCounters", "SsdSpec"]
 
 
 @dataclass(frozen=True)
@@ -90,59 +105,74 @@ class SsdSpec:
         return int(self.logical_pages * self.slc_cache_fraction)
 
 
-INVALID = np.int64(-1)
-
-
-@dataclass
-class SsdCounters:
-    """Cumulative FTL activity counters."""
-
-    host_pages_written: int = 0
-    gc_pages_relocated: int = 0
-    blocks_erased: int = 0
-    gc_runs: int = 0
-
-    @property
-    def write_amplification(self) -> float:
-        if self.host_pages_written == 0:
-            return 1.0
-        return (
-            self.host_pages_written + self.gc_pages_relocated
-        ) / self.host_pages_written
-
-
 class Ssd:
-    """A page-mapped flash SSD with greedy garbage collection."""
+    """A flash SSD with a pluggable FTL and greedy garbage collection.
 
-    def __init__(self, spec: SsdSpec | None = None, seed: int = 0) -> None:
+    ``ftl`` selects the mapping strategy by name (see
+    :data:`repro.ftl.FTL_POLICIES`) or accepts a ready
+    :class:`~repro.ftl.FtlPolicy` instance; ``ftl_options`` passes
+    policy-specific knobs (``group_pages``, ``compact_threshold``).
+    """
+
+    def __init__(
+        self,
+        spec: SsdSpec | None = None,
+        seed: int = 0,
+        ftl: str | FtlPolicy = "page",
+        ftl_options: dict | None = None,
+    ) -> None:
         self.spec = spec or SsdSpec()
         self.rng = RngStream(seed, "ssd")
-        self.counters = SsdCounters()
-        self._format()
+        if isinstance(ftl, FtlPolicy):
+            self.ftl = ftl
+        else:
+            self.ftl = create_ftl(ftl, self.spec, **(ftl_options or {}))
+        self.slc_pages_remaining = self.spec.slc_cache_pages
 
     # ------------------------------------------------------------------ #
-    # FTL state                                                          #
+    # FTL delegation                                                     #
     # ------------------------------------------------------------------ #
 
-    def _format(self) -> None:
-        spec = self.spec
-        n_pages = spec.n_blocks * spec.pages_per_block
-        # Logical -> physical page number; physical -> logical (INVALID = free/stale).
-        self.l2p = np.full(spec.logical_pages, INVALID, dtype=np.int64)
-        self.p2l = np.full(n_pages, INVALID, dtype=np.int64)
-        self.valid_count = np.zeros(spec.n_blocks, dtype=np.int64)
-        self.block_state = np.zeros(spec.n_blocks, dtype=np.int8)  # 0 free, 1 open, 2 full
-        self._free_blocks = list(range(spec.n_blocks - 1, 0, -1))
-        self._active_block = 0
-        self.block_state[0] = 1
-        self._write_ptr = 0
-        self._in_gc = False
-        self.slc_pages_remaining = spec.slc_cache_pages
-        self.counters = SsdCounters()
+    @property
+    def ftl_name(self) -> str:
+        return self.ftl.name
+
+    @property
+    def counters(self) -> FtlCounters:
+        return self.ftl.counters
+
+    @property
+    def l2p(self) -> np.ndarray:
+        return self.ftl.l2p
+
+    @property
+    def p2l(self) -> np.ndarray:
+        return self.ftl.p2l
+
+    @property
+    def valid_count(self) -> np.ndarray:
+        return self.ftl.valid_count
+
+    @property
+    def block_state(self) -> np.ndarray:
+        return self.ftl.block_state
+
+    @property
+    def free_block_count(self) -> int:
+        return self.ftl.free_block_count
+
+    @property
+    def mapped_pages(self) -> int:
+        return self.ftl.mapped_pages
+
+    def check_invariants(self) -> None:
+        """Structural FTL invariants (exercised by property-based tests)."""
+        self.ftl.check_invariants()
 
     def format(self) -> None:
         """NVMe format: drop all mappings and reset the SLC cache."""
-        self._format()
+        self.ftl.format()
+        self.slc_pages_remaining = self.spec.slc_cache_pages
 
     def idle_flush(self) -> None:
         """Model an idle period: the controller drains the SLC cache.
@@ -152,51 +182,17 @@ class Ssd:
         """
         self.slc_pages_remaining = self.spec.slc_cache_pages
 
-    @property
-    def free_block_count(self) -> int:
-        return len(self._free_blocks)
-
-    @property
-    def mapped_pages(self) -> int:
-        return int(np.count_nonzero(self.l2p != INVALID))
-
-    def check_invariants(self) -> None:
-        """Structural FTL invariants (exercised by property-based tests)."""
-        spec = self.spec
-        if int(self.valid_count.sum()) != self.mapped_pages:
-            raise MeasurementError("valid-page accounting out of sync with L2P")
-        if np.any(self.valid_count < 0) or np.any(
-            self.valid_count > spec.pages_per_block
-        ):
-            raise MeasurementError("per-block valid count out of range")
-        mapped = self.l2p[self.l2p != INVALID]
-        if mapped.size != np.unique(mapped).size:
-            raise MeasurementError("two logical pages map to one physical page")
-        back = self.p2l[mapped]
-        expect = np.flatnonzero(self.l2p != INVALID)
-        if not np.array_equal(np.sort(back), np.sort(expect)):
-            raise MeasurementError("P2L back-pointers inconsistent with L2P")
-
-    # ------------------------------------------------------------------ #
-    # Write path                                                         #
-    # ------------------------------------------------------------------ #
-
     def write_pages(self, lpns: np.ndarray) -> int:
-        """Program logical pages (host write); returns GC relocations incurred.
+        """Program logical pages (host write); returns the internal page
+        programs incurred (GC relocations plus any policy merge traffic).
 
         Duplicate LPNs within one call are allowed; later entries win,
         exactly as sequential writes to the same sector would.
         """
         lpns = np.asarray(lpns, dtype=np.int64)
-        if lpns.size == 0:
-            return 0
-        if np.any((lpns < 0) | (lpns >= self.spec.logical_pages)):
-            raise MeasurementError("LPN out of logical range")
-        gc_before = self.counters.gc_pages_relocated
-        self._program(lpns, host=True)
-        self.counters.host_pages_written += int(lpns.size)
+        internal = self.ftl.write_pages(lpns)
         self.slc_pages_remaining = max(self.slc_pages_remaining - int(lpns.size), 0)
-        return self.counters.gc_pages_relocated - gc_before
+        return internal
 
     def trim(self, lpns: np.ndarray) -> int:
         """NVMe Deallocate (TRIM): drop mappings; returns pages deallocated.
@@ -205,114 +201,40 @@ class Ssd:
         collection gets cheaper — the mechanism behind the common advice
         to TRIM before write benchmarks.
         """
-        lpns = np.unique(np.asarray(lpns, dtype=np.int64))
-        if lpns.size == 0:
-            return 0
-        if np.any((lpns < 0) | (lpns >= self.spec.logical_pages)):
-            raise MeasurementError("LPN out of logical range")
-        phys = self.l2p[lpns]
-        live = phys != INVALID
-        if not np.any(live):
-            return 0
-        live_phys = phys[live]
-        self.p2l[live_phys] = INVALID
-        np.subtract.at(
-            self.valid_count, live_phys // self.spec.pages_per_block, 1
+        return self.ftl.trim(lpns)
+
+    def translate(self, lpns: np.ndarray) -> np.ndarray:
+        """L2P lookup with the policy's lookup-overhead accounting."""
+        return self.ftl.translate(lpns)
+
+    def map_bytes(self) -> int:
+        """Current mapping-table footprint of the active policy."""
+        return self.ftl.map_bytes()
+
+    def publish_metrics(self, registry) -> None:
+        """Report per-policy FTL counters through the metrics registry.
+
+        Counters are cumulative and gauges point-in-time, all labelled
+        ``policy=<name>`` so a sweep over strategies lands each series
+        side by side.
+        """
+        labels = {"policy": self.ftl.name}
+        c = self.counters
+        for name, value in (
+            ("ftl_host_pages_written_total", c.host_pages_written),
+            ("ftl_gc_pages_relocated_total", c.gc_pages_relocated),
+            ("ftl_merge_pages_relocated_total", c.merge_pages_relocated),
+            ("ftl_blocks_erased_total", c.blocks_erased),
+            ("ftl_lookup_ops_total", c.lookup_ops),
+        ):
+            counter = registry.counter(name, **labels)
+            delta = value - counter.value
+            if delta > 0:
+                counter.inc(delta)
+        registry.gauge("ftl_write_amplification", **labels).set(
+            c.write_amplification
         )
-        self.l2p[lpns[live]] = INVALID
-        return int(np.count_nonzero(live))
-
-    def _program(self, lpns: np.ndarray, host: bool) -> None:
-        spec = self.spec
-        offset = 0
-        while offset < lpns.size:
-            room = spec.pages_per_block - self._write_ptr
-            if room == 0:
-                self._open_new_block()
-                continue
-            chunk = lpns[offset : offset + room]
-            self._program_into_active(chunk)
-            offset += chunk.size
-
-    def _program_into_active(self, lpns: np.ndarray) -> None:
-        spec = self.spec
-        # Invalidate prior versions.  Deduplicate first: with repeated LPNs
-        # in one chunk the old physical page must be invalidated exactly
-        # once, then the last writer wins on the new positions.
-        old = self.l2p[np.unique(lpns)]
-        live = old != INVALID
-        if np.any(live):
-            old_pos = old[live]
-            self.p2l[old_pos] = INVALID
-            np.subtract.at(self.valid_count, old_pos // spec.pages_per_block, 1)
-        start = self._active_block * spec.pages_per_block + self._write_ptr
-        positions = start + np.arange(lpns.size, dtype=np.int64)
-        # Last occurrence of each lpn wins.
-        self.p2l[positions] = lpns
-        self.l2p[lpns] = positions  # duplicate lpns: numpy keeps the last write
-        # Stale duplicates inside this chunk: positions whose back-pointer
-        # no longer points at them.
-        stale = self.l2p[self.p2l[positions]] != positions
-        if np.any(stale):
-            self.p2l[positions[stale]] = INVALID
-        self.valid_count[self._active_block] += int(np.count_nonzero(~stale))
-        self._write_ptr += int(lpns.size)
-
-    def _open_new_block(self) -> None:
-        self.block_state[self._active_block] = 2  # full
-        if not self._free_blocks and not self._collect_one():
-            raise MeasurementError("FTL ran out of free blocks (GC starvation)")
-        self._active_block = self._free_blocks.pop()
-        self.block_state[self._active_block] = 1
-        self._write_ptr = 0
-        self._maybe_collect()
-
-    # ------------------------------------------------------------------ #
-    # Garbage collection                                                 #
-    # ------------------------------------------------------------------ #
-
-    def _maybe_collect(self) -> None:
-        if self._in_gc:
-            return  # relocations already run under an outer collection loop
-        low = max(int(self.spec.n_blocks * self.spec.gc_low_watermark), 2)
-        if len(self._free_blocks) >= low:
-            return
-        high = max(int(self.spec.n_blocks * self.spec.gc_high_watermark), low)
-        while len(self._free_blocks) < high:
-            if not self._collect_one():
-                break
-
-    def _collect_one(self) -> bool:
-        """Greedy GC: relocate the fullest-of-stale block; returns success."""
-        spec = self.spec
-        candidates = np.flatnonzero(self.block_state == 2)
-        if candidates.size == 0:
-            return False
-        victim = int(candidates[np.argmin(self.valid_count[candidates])])
-        if self.valid_count[victim] >= spec.pages_per_block:
-            return False  # nothing reclaimable anywhere
-        start = victim * spec.pages_per_block
-        phys = np.arange(start, start + spec.pages_per_block, dtype=np.int64)
-        live_lpns = self.p2l[phys]
-        live_lpns = live_lpns[live_lpns != INVALID]
-        # Erase first (the mappings move, so clear victim bookkeeping), then
-        # re-program the survivors through the normal write path.
-        self.p2l[phys] = INVALID
-        self.valid_count[victim] = 0
-        self.block_state[victim] = 0
-        self._free_blocks.insert(0, victim)
-        self.counters.blocks_erased += 1
-        self.counters.gc_runs += 1
-        if live_lpns.size:
-            self.l2p[live_lpns] = INVALID  # re-mapped by _program below
-            was_in_gc = self._in_gc
-            self._in_gc = True
-            try:
-                self._program(live_lpns, host=False)
-            finally:
-                self._in_gc = was_in_gc
-            self.counters.gc_pages_relocated += int(live_lpns.size)
-        return True
+        registry.gauge("ftl_map_bytes", **labels).set(self.map_bytes())
 
     # ------------------------------------------------------------------ #
     # Performance / power models                                         #

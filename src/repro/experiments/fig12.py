@@ -147,6 +147,69 @@ def run(
     return result
 
 
+def run_ftl_comparison(
+    logical_bytes: int = GIB // 2,
+    write_runtime_s: float = 20.0,
+    seed: int = 9,
+    policies: tuple[str, ...] = ("page", "group", "compressed", "hybrid"),
+) -> ExperimentResult:
+    """Extended Fig. 12b: the write study swept across FTL policies.
+
+    Each policy gets an identical drive, preconditioning pass and
+    sustained random 4 KiB write workload; the simulated PowerSensor3
+    measures every run, and the comparison reports **energy per IO**
+    alongside bandwidth variability, write amplification and
+    mapping-table footprint — the trade-off axes a mapping scheme moves.
+
+    Kept separate from :func:`run` so the paper-matching figure stays
+    bit-identical while this sweep is free to evolve.
+    """
+    result = ExperimentResult(name="Fig. 12 (extended): energy per IO by FTL policy")
+    for policy in policies:
+        ssd = Ssd(SsdSpec(logical_bytes=logical_bytes), seed=seed, ftl=policy)
+        engine = IoEngine(ssd, seed=seed)
+        setup = SimulatedSetup(
+            ["pcie_slot_3v3"], seed=seed, direct=True, calibration_samples=32 * 1024
+        )
+        ssd.format()
+        precondition(ssd, engine, bs="128k")
+        ssd.idle_flush()
+        job = FioJob(rw="randwrite", bs="4k", iodepth=4, runtime_s=write_runtime_s)
+        outcome = engine.run(job)
+        watts = _ps3_mean_power(
+            setup, outcome.power_trace(volts=3.3), write_runtime_s
+        )
+        setup.close()
+
+        bw = outcome.bandwidth
+        steady = bw[bw.size // 3 :]
+        energy_j = watts * write_runtime_s
+        total_ios = float(bw.sum() * engine.tick_s / job.block_bytes)
+        joules_per_io = energy_j / total_ios if total_ios else float("inf")
+        result.rows.append(
+            {
+                "ftl": policy,
+                "bandwidth [MB/s]": outcome.mean_bandwidth / 1e6,
+                "bandwidth CV": float(steady.std() / max(steady.mean(), 1e-9)),
+                "PS3 power [W]": watts,
+                "J/IO [uJ]": joules_per_io * 1e6,
+                "WA": ssd.counters.write_amplification,
+                "map [KiB]": ssd.map_bytes() / 1024,
+            }
+        )
+        result.series[f"{policy}/bandwidth_bps"] = bw
+        result.series[f"{policy}/power_w"] = outcome.power
+        result.series[f"{policy}/joules_per_io"] = np.array([joules_per_io])
+        result.series[f"{policy}/map_bytes"] = np.array([float(ssd.map_bytes())])
+    result.notes.append(
+        "power is pinned near the saturated TLC level for every policy; what "
+        "a mapping scheme changes is the host-visible share of that work — "
+        "so energy per host IO tracks write amplification, while the "
+        "mapping-table footprint moves the other way"
+    )
+    return result
+
+
 def main() -> None:
     run().print()
 

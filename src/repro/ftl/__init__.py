@@ -1,0 +1,48 @@
+"""Pluggable flash-translation-layer strategies for the simulated SSD.
+
+``create_ftl("page" | "group" | "compressed" | "hybrid", spec)`` builds
+a policy; :class:`repro.dut.ssd.Ssd` accepts the same names via its
+``ftl=`` argument.  See ``docs/storage-workloads.md`` for the policy
+trade-off table.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+from repro.ftl.base import INVALID, FtlCounters, FtlPolicy
+from repro.ftl.compressed import CompressedMapFtl
+from repro.ftl.group import GroupMapFtl
+from repro.ftl.hybrid import HybridDeltaFtl
+from repro.ftl.page import PageMapFtl
+
+FTL_POLICIES: dict[str, type[FtlPolicy]] = {
+    PageMapFtl.name: PageMapFtl,
+    GroupMapFtl.name: GroupMapFtl,
+    CompressedMapFtl.name: CompressedMapFtl,
+    HybridDeltaFtl.name: HybridDeltaFtl,
+}
+
+
+def create_ftl(name: str, spec, **options) -> FtlPolicy:
+    """Instantiate an FTL policy by registry name."""
+    try:
+        cls = FTL_POLICIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown FTL policy {name!r}; expected one of "
+            f"{sorted(FTL_POLICIES)}"
+        ) from None
+    return cls(spec, **options)
+
+
+__all__ = [
+    "INVALID",
+    "FTL_POLICIES",
+    "FtlCounters",
+    "FtlPolicy",
+    "PageMapFtl",
+    "GroupMapFtl",
+    "CompressedMapFtl",
+    "HybridDeltaFtl",
+    "create_ftl",
+]

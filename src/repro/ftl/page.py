@@ -1,0 +1,27 @@
+"""Pure page-mapping FTL — the pre-refactor behaviour, pinned.
+
+One flat L2P entry per logical page: maximum mapping-table footprint,
+single-operation lookups, and no merge traffic — host writes land
+exactly where the write pointer sits and only garbage collection adds
+internal work.  This is the policy the paper's Samsung 980 PRO study
+models, and the one ``tests/data/ftl_page_pin.json`` pins bit-identical
+to the tree before the strategy extraction.
+"""
+
+from __future__ import annotations
+
+from repro.ftl.base import PAGE_ENTRY_BYTES, FtlPolicy
+
+
+class PageMapFtl(FtlPolicy):
+    """Flat per-page L2P table with greedy garbage collection."""
+
+    name = "page"
+
+    def map_bytes(self) -> int:
+        # The table is dense: every logical page has an entry, mapped or
+        # not — footprint is geometry, not occupancy.
+        return self.spec.logical_pages * PAGE_ENTRY_BYTES
+
+    def lookup_cost(self, n_pages: int) -> int:
+        return n_pages  # one array index per page

@@ -1,13 +1,38 @@
 """fio-style storage workload generation against the simulated SSD."""
 
-from repro.storage.engine import IntervalSample, IoEngine, JobResult, precondition
+from repro.storage.engine import (
+    IntervalSample,
+    IoEngine,
+    JobResult,
+    JobStepper,
+    precondition,
+)
 from repro.storage.fio import FioJob, parse_size
+from repro.storage.jobfile import (
+    JobOutcome,
+    JobRunner,
+    JobSpec,
+    SteadyState,
+    load_jobfile,
+    parse_jobfile,
+    run_jobfile,
+    write_report,
+)
 
 __all__ = [
     "FioJob",
     "parse_size",
     "IoEngine",
     "JobResult",
+    "JobStepper",
     "IntervalSample",
     "precondition",
+    "JobSpec",
+    "JobOutcome",
+    "JobRunner",
+    "SteadyState",
+    "parse_jobfile",
+    "load_jobfile",
+    "run_jobfile",
+    "write_report",
 ]

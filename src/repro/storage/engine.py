@@ -96,6 +96,17 @@ class IoEngine:
             return self._run_write(job)
         return self._run_read(job)
 
+    def stepper(self, job: FioJob) -> JobStepper:
+        """Stateful tick-at-a-time execution (the job-file runner's path).
+
+        ``run()`` executes a whole job in one call with vectorised noise
+        draws and is pinned bit-identical by the Fig. 12 traces; the
+        stepper draws noise per tick so a caller can interleave
+        steady-state checks and early termination between ticks.  FTL
+        state advances through the same write path either way.
+        """
+        return JobStepper(self, job)
+
     # ------------------------------------------------------------------ #
     # Reads: steady performance model + measurement noise                #
     # ------------------------------------------------------------------ #
@@ -265,6 +276,104 @@ class IoEngine:
         offsets = np.arange(pages_per_req, dtype=np.int64)
         lpns = (starts[:, None] + offsets[None, :]).reshape(-1)
         return lpns, seq_cursor
+
+
+class JobStepper:
+    """Advance one fio job through the FTL one tick at a time.
+
+    Produced by :meth:`IoEngine.stepper`.  Each :meth:`tick` runs
+    ``engine.tick_s`` of simulated workload and returns the interval
+    sample; mapping-lookup overhead for the read share is charged to the
+    FTL policy's ``lookup_ops`` counter as it happens.
+    """
+
+    def __init__(self, engine: IoEngine, job: FioJob) -> None:
+        self.engine = engine
+        self.job = job
+        self.ssd = engine.ssd
+        self._seq_cursor = 0
+        self._backlog_pages = 0
+        self._ticks = 0
+        self._read_bw = 0.0
+        self._read_power = 0.0
+        if not job.is_write:
+            self._read_bw = self.ssd.read_bandwidth(job.block_bytes, job.iodepth)
+            self._read_power = self.ssd.read_power(self._read_bw, job.block_bytes)
+
+    @property
+    def time_s(self) -> float:
+        return self._ticks * self.engine.tick_s
+
+    def _account_read_lookups(self, read_bytes: float) -> None:
+        pages = int(read_bytes / self.ssd.spec.page_bytes)
+        if pages > 0:
+            ftl = self.ssd.ftl
+            ftl.counters.lookup_ops += ftl.lookup_cost(pages)
+
+    def tick(self) -> IntervalSample:
+        engine = self.engine
+        job = self.job
+        spec = self.ssd.spec
+        tick_s = engine.tick_s
+        self._ticks += 1
+        read_fraction = job.read_fraction
+        write_fraction = 1.0 - read_fraction
+
+        host_pages = internal_pages = 0
+        busy = 0.0
+        if write_fraction > 0:
+            write_window = tick_s * write_fraction
+            budget = self.ssd.write_budget_pages(write_window)
+            host_pages, internal_pages, self._seq_cursor, self._backlog_pages = (
+                engine._write_tick(
+                    job, write_window, self._seq_cursor, self._backlog_pages
+                )
+            )
+            busy = min(internal_pages / budget, 1.0)
+
+        write_bw = host_pages * spec.page_bytes / tick_s
+        wa = (internal_pages + self._backlog_pages) / max(host_pages, 1)
+        if read_fraction == 0.0:
+            power = self.ssd.write_power(busy) + float(
+                engine.rng.normal(0.0, 0.03)
+            )
+            return IntervalSample(
+                time_s=self.time_s,
+                bandwidth_bps=write_bw,
+                iops=write_bw / job.block_bytes,
+                power_watts=max(power, spec.idle_watts),
+                write_amplification=wa,
+                write_bandwidth_bps=write_bw,
+            )
+
+        read_bw = self._read_bw * read_fraction
+        if write_fraction == 0.0:
+            read_bw = max(
+                self._read_bw + float(engine.rng.normal(0.0, 0.015 * self._read_bw)),
+                0.0,
+            )
+        self._account_read_lookups(read_bw * tick_s)
+        power = (
+            read_fraction * self._read_power
+            + write_fraction * self.ssd.write_power(busy)
+            + float(engine.rng.normal(0.0, 0.03 if job.is_mixed else 0.02))
+        )
+        total_bw = read_bw + write_bw
+        return IntervalSample(
+            time_s=self.time_s,
+            bandwidth_bps=total_bw,
+            iops=total_bw / job.block_bytes,
+            power_watts=max(power, spec.idle_watts),
+            write_amplification=wa,
+            read_bandwidth_bps=read_bw if job.is_mixed else 0.0,
+            write_bandwidth_bps=write_bw,
+        )
+
+    def read_latencies(self) -> np.ndarray:
+        """Per-request completion latencies for the job's read share."""
+        if self.job.read_fraction == 0.0:
+            return np.zeros(0)
+        return self.engine._read_latencies(self.job, self._read_bw)
 
 
 def precondition(ssd: Ssd, engine: IoEngine, bs: str = "128k", passes: float = 1.0) -> None:

@@ -16,7 +16,10 @@ from repro.common.units import GIB, KIB, MIB
 
 PATTERNS = ("read", "write", "randread", "randwrite", "rw", "randrw")
 
-_SIZE_RE = re.compile(r"^(\d+(?:\.\d+)?)([kmg]?)i?b?$", re.IGNORECASE)
+# An ``i`` is only legal as part of a binary-prefix spelling (kib/mib/
+# gib): accepting a dangling ``i`` made "4ib" parse as 4 bytes, which
+# silently turned a typo'd block size into a one-page workload.
+_SIZE_RE = re.compile(r"^(\d+(?:\.\d+)?)(?:([kmg])i?)?b?$", re.IGNORECASE)
 _SUFFIX = {"": 1, "k": KIB, "m": MIB, "g": GIB}
 
 
@@ -30,7 +33,7 @@ def parse_size(text: str | int) -> int:
     if not match:
         raise ConfigurationError(f"cannot parse size {text!r}")
     value, suffix = match.groups()
-    return int(float(value) * _SUFFIX[suffix.lower()])
+    return int(float(value) * _SUFFIX[(suffix or "").lower()])
 
 
 @dataclass(frozen=True)

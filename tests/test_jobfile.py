@@ -1,0 +1,272 @@
+"""Job-file parser, steady-state detection, runner and psfio CLI tests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import MIB
+from repro.dut.ssd import SsdSpec
+from repro.observability import MetricsRegistry
+from repro.storage.fio import parse_size
+from repro.storage.jobfile import (
+    JobRunner,
+    SteadyState,
+    parse_jobfile,
+    run_jobfile,
+)
+
+SMALL = SsdSpec(logical_bytes=64 * MIB)
+
+
+# ---------------------------------------------------------------------- #
+# parse_size: the tightened regex (satellite fix)                        #
+# ---------------------------------------------------------------------- #
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        ("text", "expected"),
+        [
+            ("4", 4),
+            ("4k", 4096),
+            ("4K", 4096),
+            ("4kb", 4096),
+            ("4kib", 4096),
+            ("4KiB", 4096),
+            ("1m", 1 << 20),
+            ("1g", 1 << 30),
+            ("512b", 512),
+            ("512", 512),
+            ("0.5k", 512),
+        ],
+    )
+    def test_accepts(self, text, expected):
+        assert parse_size(text) == expected
+
+    @pytest.mark.parametrize(
+        "text",
+        ["4ib", "4i", "4kk", "k4", "", "4 k", "4q", "ib", "4bib", "-4k"],
+    )
+    def test_rejects(self, text):
+        """A dangling 'i' (or any malformed size) must not parse.
+
+        "4ib" used to parse as 4 bytes, silently shrinking a typo'd
+        block size to a single-page workload.
+        """
+        with pytest.raises(ConfigurationError):
+            parse_size(text)
+
+
+# ---------------------------------------------------------------------- #
+# Parsing                                                                #
+# ---------------------------------------------------------------------- #
+
+JOBFILE = """
+[global]
+bs=4k
+iodepth=4
+runtime=2
+
+[prep]
+rw=write
+runtime=0
+pre_format=1
+precondition=0.5
+
+[writes]
+stonewall
+rw=randwrite
+ss=iops_slope:0.3%
+ss_dur=3
+runtime=8
+
+[sweep]
+rw=randread
+bs=16k,64k
+iodepth=1,8
+runtime=1
+"""
+
+
+class TestParseJobfile:
+    def test_global_defaults_and_grid_expansion(self):
+        specs = parse_jobfile(JOBFILE)
+        names = [s.name for s in specs]
+        assert names == [
+            "prep",
+            "writes",
+            "sweep[bs=16k/iodepth=1]",
+            "sweep[bs=16k/iodepth=8]",
+            "sweep[bs=64k/iodepth=1]",
+            "sweep[bs=64k/iodepth=8]",
+        ]
+        prep, writes = specs[0], specs[1]
+        assert prep.pre_format and prep.precondition_passes == 0.5
+        assert prep.runtime_s == 0
+        assert writes.stonewall
+        assert writes.job.bs == "4k"  # from [global]
+        assert writes.steady_state is not None
+        assert writes.steady_state.criterion == "iops_slope:0.3%"
+        assert writes.steady_state.window_s == 3
+        assert specs[3].job.block_bytes == 16384
+        assert specs[3].job.iodepth == 8
+
+    def test_single_valued_grid_keys_stay_out_of_names(self):
+        specs = parse_jobfile("[a]\nrw=randread\nbs=4k\nruntime=1\n")
+        assert [s.name for s in specs] == ["a"]
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown key"):
+            parse_jobfile("[a]\nrw=read\niodpeth=32\n")
+
+    def test_missing_rw_rejected(self):
+        with pytest.raises(ConfigurationError, match="missing rw"):
+            parse_jobfile("[a]\nbs=4k\n")
+
+    def test_no_jobs_rejected(self):
+        with pytest.raises(ConfigurationError, match="no job sections"):
+            parse_jobfile("[global]\nbs=4k\n")
+
+    def test_zero_runtime_needs_precondition(self):
+        with pytest.raises(ConfigurationError, match="runtime=0"):
+            parse_jobfile("[a]\nrw=write\nruntime=0\n")
+
+    def test_malformed_ini_wrapped(self):
+        with pytest.raises(ConfigurationError, match="cannot parse"):
+            parse_jobfile("rw=write before any section\n")
+
+
+class TestSteadyStateParse:
+    def test_slope_and_dev_modes(self):
+        slope = SteadyState.parse("iops_slope:0.3%")
+        assert (slope.metric, slope.mode) == ("iops", "slope")
+        assert slope.threshold == pytest.approx(0.003)
+        dev = SteadyState.parse("bw:5%", window_s=6, ramp_s=2)
+        assert (dev.metric, dev.mode) == ("bw", "dev")
+        assert dev.window_s == 6 and dev.ramp_s == 2
+
+    @pytest.mark.parametrize(
+        "text", ["iops", "iops_slope", "watts:1%", "iops_max:1%", "iops:1", "bw:-2%"]
+    )
+    def test_bad_specs_rejected(self, text):
+        with pytest.raises(ConfigurationError):
+            SteadyState.parse(text)
+
+    def test_slope_check(self):
+        ss = SteadyState.parse("iops_slope:1%")
+        flat = np.full(5, 1000.0)
+        attained, value = ss.check(flat)
+        assert attained and value == pytest.approx(0.0)
+        ramping = np.array([100.0, 200.0, 300.0, 400.0, 500.0])
+        attained, value = ss.check(ramping)
+        assert not attained and value > 0.3
+
+    def test_dev_check(self):
+        ss = SteadyState.parse("iops:5%")
+        steady = np.array([100.0, 102.0, 98.0, 101.0])
+        assert ss.check(steady)[0]
+        spiky = np.array([100.0, 100.0, 100.0, 160.0])
+        assert not ss.check(spiky)[0]
+
+    def test_zero_window_not_attained(self):
+        ss = SteadyState.parse("iops:5%")
+        assert ss.check(np.zeros(4)) == (False, float("inf"))
+
+
+# ---------------------------------------------------------------------- #
+# Execution                                                              #
+# ---------------------------------------------------------------------- #
+
+
+class TestJobRunner:
+    def test_report_end_to_end(self, tmp_path):
+        path = tmp_path / "jobs.fio"
+        path.write_text(
+            "[global]\nbs=4k\nruntime=1\n"
+            "[prep]\nrw=write\nruntime=0\npre_format=1\nprecondition=0.25\n"
+            "[w]\nstonewall\nrw=randwrite\nruntime=2\n"
+            "[r]\nstonewall\nrw=randread\nbs=64k\n"
+        )
+        registry = MetricsRegistry()
+        report = run_jobfile(
+            path, ftl="page,group", ssd_spec=SMALL, registry=registry
+        )
+        assert sorted(report["policies"]) == ["group", "page"]
+        for policy, outcomes in report["policies"].items():
+            assert [o["name"] for o in outcomes] == ["prep", "w", "r"]
+            prep, w, r = outcomes
+            assert prep["runtime_s"] == 0 and prep["total_ios"] == 0
+            assert w["policy"] == policy
+            assert w["bandwidth_mean_bps"] > 0
+            assert w["power_mean_w"] > 1.0
+            assert w["joules_per_io"] > 0
+            assert w["energy_j"] == pytest.approx(
+                w["power_mean_w"] * w["runtime_s"]
+            )
+            assert w["write_amplification"] >= 1.0
+            assert r["latency_percentiles_us"]["50"] > 0
+            assert (
+                r["latency_percentiles_us"]["99"]
+                >= r["latency_percentiles_us"]["50"]
+            )
+            assert r["lookup_ops"] > 0
+        # group merges partial pages: more internal work per host IO.
+        assert (
+            report["policies"]["group"][1]["write_amplification"]
+            >= report["policies"]["page"][1]["write_amplification"] * 0.5
+        )
+        assert json.dumps(report)  # report must be JSON-serialisable
+        jobs = registry.counter("jobfile_jobs_total", policy="page")
+        assert jobs.value == 3
+
+    def test_steady_state_terminates_early(self, tmp_path):
+        path = tmp_path / "jobs.fio"
+        path.write_text(
+            "[w]\nrw=randwrite\nbs=4k\nruntime=12\nss=iops:50%\nss_dur=2\n"
+        )
+        report = run_jobfile(path, ftl="page", ssd_spec=SMALL)
+        (outcome,) = report["policies"]["page"]
+        ss = outcome["steady_state"]
+        assert ss["criterion"] == "iops:50%"
+        assert ss["attained"]
+        assert ss["stopped_at_s"] < 12
+        assert outcome["runtime_s"] < 12
+
+    def test_unknown_policy_rejected(self, tmp_path):
+        path = tmp_path / "jobs.fio"
+        path.write_text("[w]\nrw=randwrite\nruntime=1\n")
+        with pytest.raises(ConfigurationError, match="unknown FTL policy"):
+            run_jobfile(path, ftl="page,dft", ssd_spec=SMALL)
+
+    def test_runner_rejects_empty_speclist(self):
+        with pytest.raises(ConfigurationError, match="no jobs"):
+            JobRunner([])
+
+
+class TestPsfioCli:
+    def test_cli_writes_report(self, tmp_path, capsys):
+        from repro.cli.psfio import main
+
+        jobs = tmp_path / "jobs.fio"
+        jobs.write_text("[w]\nrw=randwrite\nbs=4k\nruntime=1\n")
+        out = tmp_path / "report.json"
+        status = main(
+            [str(jobs), "--ftl", "page", "--capacity-gib", "0.0625",
+             "--out", str(out)]
+        )
+        assert status == 0
+        report = json.loads(out.read_text())
+        assert "page" in report["policies"]
+        printed = capsys.readouterr().out
+        assert "ftl=page" in printed and "J/IO=" in printed
+
+    def test_cli_degrades_on_bad_jobfile(self, tmp_path, capsys):
+        from repro.cli.psfio import main
+
+        jobs = tmp_path / "bad.fio"
+        jobs.write_text("[w]\nrw=teleport\n")
+        status = main([str(jobs)])
+        assert status == 74  # ConfigurationError exit status
+        assert "psfio:" in capsys.readouterr().err
