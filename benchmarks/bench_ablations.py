@@ -1,75 +1,10 @@
 """Ablation benches for the design choices DESIGN.md calls out."""
 
-import pytest
+from driver import bench_test
 
-from repro.experiments import ablations
-
-
-def test_bench_ablation_noise_correlation(benchmark, show):
-    result = benchmark.pedantic(
-        ablations.noise_bandwidth_study, rounds=1, iterations=1
-    )
-    show(result)
-    by_model = {row["noise model"]: row for row in result.rows}
-    modelled = by_model["correlated (23.4 kHz, as modelled)"]
-    white = by_model["white across sub-samples (1 MHz)"]
-    assert modelled["reconciles Table II"]
-    assert not white["reconciles Table II"]
-    assert white["sigma @20 kHz [W]"] < modelled["sigma @20 kHz [W]"]
-
-
-def test_bench_ablation_averaging_factor(benchmark, show):
-    result = benchmark.pedantic(ablations.sampling_rate_study, rounds=1, iterations=1)
-    show(result)
-    rows = {row["averages"]: row for row in result.rows}
-    assert not rows[1]["fits USB 1.1"]  # raw scans overrun the link
-    assert rows[6]["fits USB 1.1"]  # the paper's design point
-    assert rows[6]["rate [kHz]"] == pytest.approx(20.0, rel=1e-3)
-    # Averaging trades time resolution for noise monotonically.
-    sigmas = [rows[k]["sigma [W]"] for k in (1, 2, 3, 6, 12, 24)]
-    assert all(b < a for a, b in zip(sigmas, sigmas[1:]))
-
-
-def test_bench_ablation_remote_sense(benchmark, show):
-    result = benchmark.pedantic(ablations.remote_sense_study, rounds=1, iterations=1)
-    show(result)
-    by_mode = {row["sensing"]: row for row in result.rows}
-    assert abs(by_mode["remote (at DUT)"]["error [W]"]) < 0.3
-    # Local sensing misattributes the cable's I^2*R (= 3.2 W at 8 A, 50 mOhm).
-    assert by_mode["local (input port)"]["error [W]"] == pytest.approx(3.2, abs=0.4)
-
-
-def test_bench_ablation_ps2_vs_ps3(benchmark, show):
-    result = benchmark.pedantic(ablations.ps2_comparison_study, rounds=1, iterations=1)
-    show(result)
-    rows = {row["quantity"]: row for row in result.rows}
-    shift = rows["2 mT field step shift [W]"]
-    # The differential sensor rejects the fan's field step ~100x better.
-    assert abs(shift["PowerSensor2"]) > 25 * abs(shift["PowerSensor3"])
-    energy = rows["energy error [%]"]
-    assert abs(energy["PowerSensor3"]) < abs(energy["PowerSensor2"])
-
-
-def test_bench_ablation_gc_hysteresis(benchmark, show):
-    result = benchmark.pedantic(ablations.gc_hysteresis_study, rounds=1, iterations=1)
-    show(result)
-    by_policy = {row["gc policy"]: row for row in result.rows}
-    modelled = by_policy["hysteresis 1 % -> 3 % (as modelled)"]
-    trickle = by_policy["trickle (collect-as-needed)"]
-    assert modelled["bw CV"] > trickle["bw CV"]
-    assert modelled["power CV"] < 0.02  # power stable under both policies
-    assert trickle["power CV"] < 0.02
-
-
-def test_bench_ablation_search_strategies(benchmark, show):
-    result = benchmark.pedantic(ablations.strategy_study, rounds=1, iterations=1)
-    show(result)
-    rows = {row["strategy"]: row for row in result.rows}
-    assert rows["brute force"]["fraction of optimum"] == 1.0
-    # Guided search gets within 5 % of optimal on ~3 % of the evaluations.
-    assert rows["hill climbing"]["fraction of optimum"] > 0.95
-    assert rows["hill climbing"]["evaluations"] <= 150
-    assert (
-        rows["hill climbing"]["tuning time [s]"]
-        < 0.35 * rows["brute force"]["tuning time [s]"]
-    )
+test_bench_ablation_noise_correlation = bench_test("ablation_noise")
+test_bench_ablation_averaging_factor = bench_test("ablation_averaging")
+test_bench_ablation_remote_sense = bench_test("ablation_remote_sense")
+test_bench_ablation_ps2_vs_ps3 = bench_test("ablation_ps2")
+test_bench_ablation_gc_hysteresis = bench_test("ablation_gc")
+test_bench_ablation_search_strategies = bench_test("ablation_strategies")

@@ -1,20 +1,5 @@
 """Fig. 10: beamformer auto-tuning on the Jetson AGX Orin."""
 
-import pytest
+from driver import bench_test
 
-from repro.experiments import fig10
-
-
-def test_bench_fig10(benchmark, show):
-    result = benchmark.pedantic(fig10.run, rounds=1, iterations=1)
-    show(result)
-    rows = {row["quantity"]: row["value"] for row in result.rows}
-    assert rows["configurations"] == 5120
-    # Same qualitative behaviour as the RTX 4000 Ada, scaled down.
-    assert rows["most efficient TFLOP/J"] > rows["fastest TFLOP/J"]
-    assert rows["fastest TFLOP/s"] < 40.0
-    # The built-in sensor misses the carrier board's draw entirely.
-    assert rows["carrier power invisible to built-in [W]"] == pytest.approx(
-        4.8, abs=0.3
-    )
-    benchmark.extra_info["fastest_tflops"] = rows["fastest TFLOP/s"]
+test_bench_fig10 = bench_test("fig10")

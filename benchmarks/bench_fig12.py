@@ -1,66 +1,6 @@
 """Fig. 12: SSD power/bandwidth under fio workloads."""
 
-import pytest
+from driver import bench_test
 
-from repro.experiments import fig12
-
-
-def run_scaled():
-    return fig12.run(read_runtime_s=1.0, write_runtime_s=30.0)
-
-
-def test_bench_fig12(benchmark, show):
-    result = benchmark.pedantic(run_scaled, rounds=1, iterations=1)
-    show(result)
-
-    # Panel (a): bandwidth and power rise with request size, then saturate.
-    bw = result.series["read/bandwidth_bps"]
-    power = result.series["read/power_w"]
-    assert bw[0] < bw[-1]
-    assert power[0] < power[-1]
-    assert bw[-1] == pytest.approx(3.4e9, rel=0.05)
-
-    # Panel (b): bandwidth varies under GC while power is stable at ~5 W.
-    rows = {row["workload"]: row for row in result.rows if row["panel"] == "b"}
-    cv = rows["randwrite 4k (steady CV)"]
-    assert cv["bandwidth [MB/s]"] > 0.08
-    assert cv["PS3 power [W]"] < 0.03
-    assert rows["randwrite 4k (steady mean)"]["PS3 power [W]"] == pytest.approx(
-        5.0, abs=0.3
-    )
-    benchmark.extra_info["steady_bw_cv"] = cv["bandwidth [MB/s]"]
-    benchmark.extra_info["steady_power_cv"] = cv["PS3 power [W]"]
-
-
-def run_ftl_comparison():
-    return fig12.run_ftl_comparison(write_runtime_s=10.0)
-
-
-def test_bench_fig12_ftl_comparison(benchmark, show):
-    """Extended Fig. 12b: energy per IO across the four FTL policies."""
-    result = benchmark.pedantic(run_ftl_comparison, rounds=1, iterations=1)
-    show(result)
-
-    rows = {row["ftl"]: row for row in result.rows}
-    assert set(rows) == {"page", "group", "compressed", "hybrid"}
-
-    for name, row in rows.items():
-        # Power stays pinned near the saturated TLC level for every
-        # policy — the paper's stable-power observation is mapping-
-        # scheme independent.
-        assert row["PS3 power [W]"] == pytest.approx(5.0, abs=0.3), name
-        assert row["J/IO [uJ]"] > 0
-        assert row["WA"] >= 1.0
-
-    # Energy per host IO tracks write amplification: the merge-heavy
-    # group/hybrid schemes pay more joules per IO under random 4k...
-    assert rows["group"]["J/IO [uJ]"] > rows["page"]["J/IO [uJ]"]
-    assert rows["hybrid"]["J/IO [uJ]"] > rows["page"]["J/IO [uJ]"]
-    # ...but hold far smaller mapping tables than the page map.
-    assert rows["group"]["map [KiB]"] < rows["page"]["map [KiB]"] / 4
-    assert rows["hybrid"]["map [KiB]"] < rows["page"]["map [KiB]"]
-
-    for name, row in rows.items():
-        benchmark.extra_info[f"{name}_joules_per_io_uj"] = row["J/IO [uJ]"]
-        benchmark.extra_info[f"{name}_bw_cv"] = row["bandwidth CV"]
-        benchmark.extra_info[f"{name}_map_kib"] = row["map [KiB]"]
+test_bench_fig12 = bench_test("fig12")
+test_bench_fig12_ftl_comparison = bench_test("fig12_ftl")

@@ -1,21 +1,5 @@
 """Fig. 4: power error vs current sweep for four sensor types."""
 
-from repro.experiments import fig4
+from driver import bench_test
 
-
-def run_scaled():
-    return fig4.run(n_samples=8 * 1024, step_a=2.0)
-
-
-def test_bench_fig4(benchmark, show):
-    result = benchmark.pedantic(run_scaled, rounds=1, iterations=1)
-    show(result)
-    rows = {row["sensor"]: row for row in result.rows}
-    # The paper's headline observation: the 3.3 V sensor is the tightest.
-    assert (
-        rows["3.3 V (pcie_slot_3v3)"]["envelope max [W]"]
-        < rows["12 V (pcie_slot_12v)"]["envelope max [W]"]
-    )
-    for row in result.rows:
-        assert row["max |mean err| [W]"] < 1.5
-    benchmark.extra_info["sensors"] = len(result.rows)
+test_bench_fig4 = bench_test("fig4")

@@ -1,20 +1,5 @@
 """Fig. 5: step response of the sensor at 20 kHz."""
 
-import pytest
+from driver import bench_test
 
-from repro.experiments import fig5
-
-
-def run_scaled():
-    return fig5.run(cycles=10)
-
-
-def test_bench_fig5(benchmark, show):
-    result = benchmark.pedantic(run_scaled, rounds=1, iterations=1)
-    show(result)
-    row = result.rows[0]
-    # The step is resolved within ~2 sample intervals (50 us each).
-    assert row["rise [samples]"] < 2.5
-    assert row["low level [W]"] == pytest.approx(39.6, rel=0.1)
-    assert row["high level [W]"] == pytest.approx(96.0, rel=0.1)
-    benchmark.extra_info["rise_us"] = row["rise 10-90% [us]"]
+test_bench_fig5 = bench_test("fig5")

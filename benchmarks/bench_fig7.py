@@ -1,26 +1,6 @@
 """Fig. 7: GPU workload, PowerSensor3 vs NVML (7a) and AMD SMI (7b)."""
 
-from repro.experiments import fig7
+from driver import bench_test
 
-
-def test_bench_fig7a_nvidia(benchmark, show):
-    result = benchmark.pedantic(
-        lambda: fig7.run("rtx4000ada"), rounds=1, iterations=1
-    )
-    show(result)
-    rows = {row["quantity"]: row["value"] for row in result.rows}
-    assert rows["inter-wave dips seen (PS3)"] == 7
-    assert rows["inter-wave dips seen (NVML instantaneous)"] < 3
-    assert abs(float(rows["PS3 kernel energy error"].strip("%+-"))) < 1.0
-    benchmark.extra_info["nvml_energy_error"] = rows[
-        "NVML instantaneous energy error"
-    ]
-
-
-def test_bench_fig7b_amd(benchmark, show):
-    result = benchmark.pedantic(lambda: fig7.run("w7700"), rounds=1, iterations=1)
-    show(result)
-    rows = {row["quantity"]: row["value"] for row in result.rows}
-    assert rows["ROCm SMI == AMD SMI"] is True
-    assert abs(float(rows["AMD SMI energy error"].strip("%+-"))) < 2.0
-    benchmark.extra_info["amd_energy_error"] = rows["AMD SMI energy error"]
+test_bench_fig7a_nvidia = bench_test("fig7a")
+test_bench_fig7b_amd = bench_test("fig7b")

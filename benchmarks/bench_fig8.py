@@ -1,24 +1,5 @@
 """Fig. 8 and the 3.25x tuning-time claim: beamformer auto-tuning."""
 
-import pytest
+from driver import bench_test
 
-from repro.experiments import fig8
-
-
-def run_scaled():
-    return fig8.run(ps3_verify_points=6)
-
-
-def test_bench_fig8(benchmark, show):
-    result = benchmark.pedantic(run_scaled, rounds=1, iterations=1)
-    show(result)
-    rows = {row["quantity"]: row for row in result.rows}
-    assert rows["configurations"]["measured"] == 5120
-    assert rows["fastest TFLOP/s"]["measured"] == pytest.approx(80.4, rel=0.05)
-    assert rows["most efficient TFLOP/J"]["measured"] == pytest.approx(
-        0.935, rel=0.05
-    )
-    assert rows["tuning time PS3 [s]"]["measured"] == pytest.approx(2274.4, rel=0.10)
-    assert rows["speedup"]["measured"] == pytest.approx(3.25, rel=0.10)
-    benchmark.extra_info["speedup"] = rows["speedup"]["measured"]
-    benchmark.extra_info["paper_speedup"] = 3.25
+test_bench_fig8 = bench_test("fig8")

@@ -1,18 +1,5 @@
 """Section IV-B: 50-hour long-term stability."""
 
-from repro.experiments import stability
+from driver import bench_test
 
-
-def run_scaled():
-    return stability.run(hours=50.0, window_samples=8 * 1024)
-
-
-def test_bench_stability(benchmark, show):
-    result = benchmark.pedantic(run_scaled, rounds=1, iterations=1)
-    show(result)
-    row = result.rows[0]
-    assert row["windows"] == 200
-    assert row["mean fluct [W]"] < 0.2  # paper observed +-0.09 W
-    assert row["recalibration needed"] is False
-    benchmark.extra_info["mean_fluctuation_w"] = row["mean fluct [W]"]
-    benchmark.extra_info["paper_fluctuation_w"] = 0.09
+test_bench_stability = bench_test("stability")

@@ -1,13 +1,5 @@
 """Table I: worst-case module accuracy, derived from physical constants."""
 
-import pytest
+from driver import bench_test
 
-from repro.experiments import table1
-
-
-def test_bench_table1(benchmark, show):
-    result = benchmark(table1.run)
-    show(result)
-    for row in result.rows:
-        assert row["E_p [W]"] == pytest.approx(row["paper E_p"], rel=0.05)
-    benchmark.extra_info["rows"] = len(result.rows)
+test_bench_table1 = bench_test("table1", pedantic=False)

@@ -1,19 +1,5 @@
 """Table II: noise vs effective sampling rate on a 12 V / 10 A sensor."""
 
-import pytest
+from driver import bench_test
 
-from repro.experiments import table2
-
-
-def run_scaled():
-    return table2.run(loads_a=(0.5, 1.0), n_samples=64 * 1024)
-
-
-def test_bench_table2(benchmark, show):
-    result = benchmark.pedantic(run_scaled, rounds=1, iterations=1)
-    show(result)
-    for row in result.rows:
-        assert row["std [W]"] == pytest.approx(row["paper std"], rel=0.15)
-    at_20k = [r for r in result.rows if r["Fs [kHz]"] == 20.0]
-    benchmark.extra_info["std_20khz_w"] = at_20k[0]["std [W]"]
-    benchmark.extra_info["paper_std_20khz_w"] = 0.72
+test_bench_table2 = bench_test("table2")

@@ -1,0 +1,50 @@
+"""Declarative, resumable campaign runner over the experiment registry.
+
+The paper's evaluation is a matrix — sensor configs x DUTs x workloads
+(Tables I-II, Figs. 4-12) — and this package turns the reproduction's
+"bag of bench scripts" into a scenario engine that can execute hundreds
+of configurations per run:
+
+* :mod:`repro.campaign.registry` — every experiment module registers an
+  :class:`~repro.campaign.registry.Experiment` descriptor (name,
+  parameter schema with bench/full scales, runner, artifacts); the
+  report and the benchmarks are generated from it.
+* :mod:`repro.campaign.plan` — a declarative INI plan (the
+  :mod:`repro.storage.jobfile` grammar conventions) expressing cartesian
+  grids over experiments and their axes, include/exclude filters, and
+  aumai-style ablation (knockout) groups.
+* :mod:`repro.campaign.runner` — executes each cell under a stable
+  content-hashed run ID with a derived seed, persists the result plus a
+  metrics-registry snapshot atomically, skips completed cells on
+  resume, and isolates crashes to the failing cell.
+* :mod:`repro.campaign.report` — merges per-run metric snapshots and
+  ranks per-component importance from the ablation groups' deltas.
+
+The ``pscampaign`` CLI (:mod:`repro.cli.pscampaign`) fronts all of it.
+"""
+
+from repro.campaign.plan import CampaignPlan
+from repro.campaign.registry import Experiment, Param, experiments, get, register
+from repro.campaign.runner import CampaignRunner, RunRecord, execute_cell
+from repro.campaign.report import (
+    ablation_report,
+    merged_metrics,
+    render_markdown,
+    scan_runs,
+)
+
+__all__ = [
+    "CampaignPlan",
+    "CampaignRunner",
+    "Experiment",
+    "Param",
+    "RunRecord",
+    "ablation_report",
+    "execute_cell",
+    "experiments",
+    "get",
+    "merged_metrics",
+    "register",
+    "render_markdown",
+    "scan_runs",
+]

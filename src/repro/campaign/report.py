@@ -1,0 +1,264 @@
+"""Campaign reporting: merged metric snapshots and ablation rankings.
+
+The ablation report follows the aumai-ablation bookkeeping model: each
+group has a baseline run and one run per knocked-out component, and a
+component's **importance** is the metric delta its removal causes,
+signed so that positive means "the component helps":
+
+* ``goal = max`` (throughput-like): importance = baseline - knockout;
+* ``goal = min`` (cost-like):       importance = knockout - baseline.
+
+Components are ranked by importance, most load-bearing first; a
+negative importance flags a *harmful* component — removing it improved
+the metric.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.campaign.plan import AblationGroup, CampaignPlan
+from repro.campaign.runner import RunRecord
+from repro.common.errors import ConfigurationError
+from repro.experiments.common import ExperimentResult
+from repro.observability import MetricsRegistry
+
+
+def load_plan(out_dir: str | Path) -> CampaignPlan:
+    """Reconstruct the plan a campaign directory was produced from."""
+    path = Path(out_dir) / "campaign.json"
+    if not path.exists():
+        raise ConfigurationError(
+            f"{path} not found — is {out_dir!r} a campaign output directory?"
+        )
+    payload = json.loads(path.read_text())
+    plan = CampaignPlan(
+        name=payload["name"], seed=payload["seed"], scale=payload["scale"]
+    )
+    from repro.campaign.plan import CampaignCell
+
+    plan.cells = [CampaignCell(**cell) for cell in payload["cells"]]
+    plan.ablations = [AblationGroup(**group) for group in payload["ablations"]]
+    return plan
+
+
+def scan_runs(out_dir: str | Path) -> dict[str, RunRecord]:
+    """All completed run records in a campaign directory, by run ID."""
+    runs_dir = Path(out_dir) / "runs"
+    records: dict[str, RunRecord] = {}
+    if not runs_dir.is_dir():
+        return records
+    for run_json in sorted(runs_dir.glob("*/run.json")):
+        try:
+            record = RunRecord.from_dict(json.loads(run_json.read_text()))
+        except (json.JSONDecodeError, TypeError, KeyError):
+            continue  # incomplete cell: no valid completion marker
+        records[record.run_id] = record
+    return records
+
+
+def merged_metrics(out_dir: str | Path) -> dict:
+    """Merge every run's metrics snapshot into one campaign snapshot."""
+    runs_dir = Path(out_dir) / "runs"
+    merged: dict | None = None
+    for metrics_json in sorted(runs_dir.glob("*/metrics.json")):
+        try:
+            snapshot = json.loads(metrics_json.read_text())
+        except json.JSONDecodeError:
+            continue
+        merged = (
+            snapshot
+            if merged is None
+            else MetricsRegistry.merge_snapshots(merged, snapshot)
+        )
+    return merged if merged is not None else {"metrics": []}
+
+
+def metric_value(out_dir: str | Path, run_id: str, metric: str) -> float | None:
+    """Extract a metric column from a run's persisted result rows.
+
+    The first row carrying the column wins — experiments put their
+    scoreboard row first (or make the column unique).
+    """
+    directory = Path(out_dir) / "runs" / run_id
+    if not (directory / "result.json").exists():
+        return None
+    result = ExperimentResult.load(directory)
+    for row in result.rows:
+        if metric in row:
+            value = row[metric]
+            try:
+                return float(value)
+            except (TypeError, ValueError):
+                return None
+    return None
+
+
+@dataclass
+class ComponentScore:
+    component: str
+    run_id: str
+    value: float | None
+    importance: float | None
+
+    @property
+    def harmful(self) -> bool:
+        return self.importance is not None and self.importance < 0
+
+
+@dataclass
+class GroupReport:
+    """One ablation group's ranked importance table."""
+
+    name: str
+    experiment: str
+    metric: str
+    goal: str
+    baseline_run_id: str
+    baseline_value: float | None
+    scores: list[ComponentScore] = field(default_factory=list)
+
+    def ranked(self) -> list[ComponentScore]:
+        """Most load-bearing first; unmeasurable components sink last."""
+        return sorted(
+            self.scores,
+            key=lambda s: (s.importance is None, -(s.importance or 0.0)),
+        )
+
+
+def ablation_report(out_dir: str | Path) -> list[GroupReport]:
+    """Score every ablation group from the persisted run artifacts."""
+    plan = load_plan(out_dir)
+    reports = []
+    for group in plan.ablations:
+        baseline = metric_value(out_dir, group.baseline_run_id, group.metric)
+        report = GroupReport(
+            name=group.name,
+            experiment=group.experiment,
+            metric=group.metric,
+            goal=group.goal,
+            baseline_run_id=group.baseline_run_id,
+            baseline_value=baseline,
+        )
+        for component, run_id in group.knockouts.items():
+            value = metric_value(out_dir, run_id, group.metric)
+            importance = None
+            if baseline is not None and value is not None:
+                delta = baseline - value
+                importance = delta if group.goal == "max" else -delta
+            report.scores.append(
+                ComponentScore(
+                    component=component,
+                    run_id=run_id,
+                    value=value,
+                    importance=importance,
+                )
+            )
+        reports.append(report)
+    return reports
+
+
+# ---------------------------------------------------------------------- #
+# Rendering                                                              #
+# ---------------------------------------------------------------------- #
+
+
+def _fmt(value: float | None) -> str:
+    if value is None:
+        return "n/a"
+    return f"{value:.6g}"
+
+
+def render_markdown(out_dir: str | Path) -> str:
+    """The campaign report: status matrix, ablations, merged metrics."""
+    plan = load_plan(out_dir)
+    records = scan_runs(out_dir)
+    lines = [
+        f"# Campaign report: {plan.name}",
+        "",
+        f"Scale: {plan.scale} — seed {plan.seed} — "
+        f"{len(plan.cells)} planned cells — regenerated by `pscampaign report`.",
+        "",
+        "## Runs",
+        "",
+        "| group | cell | run ID | status | elapsed [s] |",
+        "|---|---|---|---|---|",
+    ]
+    counts = {"ok": 0, "failed": 0, "missing": 0}
+    seen: set[str] = set()
+    for cell in plan.cells:
+        if cell.run_id in seen:
+            continue
+        seen.add(cell.run_id)
+        record = records.get(cell.run_id)
+        if record is None:
+            status, elapsed = "missing", ""
+            counts["missing"] += 1
+        else:
+            status = record.status if record.status != "skipped" else "ok"
+            counts[status] = counts.get(status, 0) + 1
+            elapsed = f"{record.elapsed_s:.2f}"
+            if record.status == "failed":
+                status = f"failed ({record.error_type})"
+        lines.append(
+            f"| {cell.group} | {cell.label} | {cell.run_id} | {status} | {elapsed} |"
+        )
+    lines += [
+        "",
+        f"**{counts['ok']} ok, {counts['failed']} failed, "
+        f"{counts['missing']} missing** of {len(seen)} unique cells.",
+        "",
+    ]
+
+    reports = ablation_report(out_dir)
+    if reports:
+        lines.append("## Ablations")
+        lines.append("")
+        for report in reports:
+            direction = "higher is better" if report.goal == "max" else "lower is better"
+            lines += [
+                f"### {report.name} ({report.experiment})",
+                "",
+                f"Metric: `{report.metric}` ({direction}); "
+                f"baseline = {_fmt(report.baseline_value)}.",
+                "",
+                "| rank | component | metric without it | importance | verdict |",
+                "|---|---|---|---|---|",
+            ]
+            for rank, score in enumerate(report.ranked(), start=1):
+                if score.importance is None:
+                    verdict = "unmeasured"
+                elif score.harmful:
+                    verdict = "harmful — removal improved the metric"
+                elif score.importance == 0:
+                    verdict = "no effect"
+                else:
+                    verdict = "load-bearing"
+                lines.append(
+                    f"| {rank} | {score.component} | {_fmt(score.value)} "
+                    f"| {_fmt(score.importance)} | {verdict} |"
+                )
+            lines.append("")
+
+    merged = merged_metrics(out_dir)
+    lines += [
+        "## Merged metrics",
+        "",
+        f"{len(merged.get('metrics', []))} merged series across "
+        f"{counts['ok'] + counts['failed']} completed runs "
+        "(see `merged_metrics.json`).",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def write_report(out_dir: str | Path) -> tuple[Path, Path]:
+    """Write ``campaign_report.md`` + ``merged_metrics.json``; return paths."""
+    out_dir = Path(out_dir)
+    report_path = out_dir / "campaign_report.md"
+    metrics_path = out_dir / "merged_metrics.json"
+    report_path.write_text(render_markdown(out_dir))
+    metrics_path.write_text(json.dumps(merged_metrics(out_dir), indent=2))
+    return report_path, metrics_path

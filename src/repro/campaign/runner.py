@@ -1,0 +1,221 @@
+"""Campaign execution: one artifact directory per content-hashed run ID.
+
+Layout under the output directory::
+
+    campaign.json              the expanded plan (cells, ablation groups)
+    runs/<run_id>/result.json  the ExperimentResult table/notes
+    runs/<run_id>/series.npz   figure series, when the experiment has any
+    runs/<run_id>/metrics.json the run's metrics-registry snapshot
+    runs/<run_id>/run.json     status record — written (atomically) last
+
+``run.json`` is the completion marker: a cell killed mid-run leaves no
+``run.json`` behind (every file is published tmp-then-rename, like the
+store's ``.seg.tmp`` protocol), so ``resume`` re-runs exactly the cells
+that never completed.  A cell that *raises* is recorded as ``failed``
+and does not abort the campaign — one bad cell marks the cell, not the
+matrix.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import traceback
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.campaign import registry
+from repro.campaign.plan import CampaignCell, CampaignPlan
+from repro.common.errors import ConfigurationError
+from repro.experiments.common import ExperimentResult
+from repro.observability import MetricsRegistry
+
+Progress = Callable[[str], None]
+
+
+def write_json_atomic(path: Path, payload: dict) -> None:
+    """Publish a JSON file via the store's tmp-then-rename protocol."""
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "w") as handle:
+        handle.write(json.dumps(payload, indent=2))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def execute_cell(
+    cell: CampaignCell, metrics: MetricsRegistry | None = None
+) -> ExperimentResult:
+    """Run one cell's experiment with its resolved parameters.
+
+    When the experiment publishes metrics (``accepts_registry``) the
+    given registry is threaded through; either way the campaign-level
+    counters (cell runtime, row counts) land in it, so every run
+    snapshot has content to merge.
+    """
+    experiment = registry.get(cell.experiment)
+    kwargs = dict(cell.params)
+    if experiment.accepts_registry and metrics is not None:
+        kwargs["registry"] = metrics
+    started = time.perf_counter()
+    result = experiment.runner(**kwargs)
+    elapsed = time.perf_counter() - started
+    if metrics is not None:
+        labels = {"experiment": cell.experiment}
+        metrics.counter("campaign_runs_total", **labels).inc()
+        metrics.counter("campaign_result_rows_total", **labels).inc(len(result.rows))
+        metrics.histogram("campaign_run_seconds", **labels).observe(elapsed)
+    return result
+
+
+@dataclass
+class RunRecord:
+    """One cell's outcome, as persisted in ``run.json``."""
+
+    run_id: str
+    group: str
+    experiment: str
+    label: str
+    params: dict[str, Any]
+    role: str | None
+    status: str  # "ok" | "failed" | "skipped"
+    elapsed_s: float = 0.0
+    error: str | None = None
+    error_type: str | None = None
+    artifacts: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "run_id": self.run_id,
+            "group": self.group,
+            "experiment": self.experiment,
+            "label": self.label,
+            "params": self.params,
+            "role": self.role,
+            "status": self.status,
+            "elapsed_s": self.elapsed_s,
+            "error": self.error,
+            "error_type": self.error_type,
+            "artifacts": self.artifacts,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> RunRecord:
+        return cls(**payload)
+
+
+@dataclass
+class CampaignSummary:
+    """Aggregate of one ``CampaignRunner.run()`` invocation."""
+
+    plan: str
+    out_dir: Path
+    records: list[RunRecord] = field(default_factory=list)
+
+    def counts(self) -> dict[str, int]:
+        counts = {"ok": 0, "failed": 0, "skipped": 0}
+        for record in self.records:
+            counts[record.status] = counts.get(record.status, 0) + 1
+        return counts
+
+    @property
+    def failed(self) -> list[RunRecord]:
+        return [r for r in self.records if r.status == "failed"]
+
+
+class CampaignRunner:
+    """Execute a plan into an artifact directory, resumably."""
+
+    def __init__(
+        self,
+        plan: CampaignPlan,
+        out_dir: str | Path,
+        progress: Progress | None = None,
+    ) -> None:
+        self.plan = plan
+        self.out_dir = Path(out_dir)
+        self.runs_dir = self.out_dir / "runs"
+        self.progress = progress or (lambda message: None)
+
+    # -- paths ---------------------------------------------------------- #
+
+    def run_dir(self, run_id: str) -> Path:
+        return self.runs_dir / run_id
+
+    def completed(self, run_id: str) -> bool:
+        """Did a previous invocation finish this cell (ok or failed)?"""
+        return self.load_record(run_id) is not None
+
+    def load_record(self, run_id: str) -> RunRecord | None:
+        path = self.run_dir(run_id) / "run.json"
+        if not path.exists():
+            return None
+        try:
+            return RunRecord.from_dict(json.loads(path.read_text()))
+        except (json.JSONDecodeError, TypeError, KeyError):
+            # A corrupt marker means the cell did not complete cleanly;
+            # treat it as missing so resume re-runs it.
+            return None
+
+    # -- execution ------------------------------------------------------ #
+
+    def run(self, resume: bool = False) -> CampaignSummary:
+        self.runs_dir.mkdir(parents=True, exist_ok=True)
+        write_json_atomic(self.out_dir / "campaign.json", self.plan.to_dict())
+        summary = CampaignSummary(plan=self.plan.name, out_dir=self.out_dir)
+        executed: set[str] = set()
+        total = len(self.plan.cells)
+        for index, cell in enumerate(self.plan.cells, start=1):
+            tag = f"[{index}/{total}] {cell.label} ({cell.run_id})"
+            if cell.run_id in executed:
+                continue  # shared cell (e.g. a baseline that is also a grid cell)
+            executed.add(cell.run_id)
+            previous = self.load_record(cell.run_id) if resume else None
+            if previous is not None and previous.status == "ok":
+                self.progress(f"{tag}: already complete, skipping")
+                record = previous
+                record.status = "skipped"
+                summary.records.append(record)
+                continue
+            self.progress(f"{tag}: running")
+            summary.records.append(self._run_cell(cell))
+        return summary
+
+    def _run_cell(self, cell: CampaignCell) -> RunRecord:
+        directory = self.run_dir(cell.run_id)
+        directory.mkdir(parents=True, exist_ok=True)
+        metrics = MetricsRegistry()
+        record = RunRecord(
+            run_id=cell.run_id,
+            group=cell.group,
+            experiment=cell.experiment,
+            label=cell.label,
+            params=dict(cell.params),
+            role=cell.role,
+            status="ok",
+        )
+        started = time.perf_counter()
+        try:
+            result = execute_cell(cell, metrics)
+            result.save(directory)
+            record.artifacts = sorted(
+                p.name for p in directory.iterdir() if p.suffix != ".tmp"
+            )
+        except ConfigurationError:
+            # A malformed cell is a plan bug: fail the campaign loudly.
+            raise
+        except Exception as error:  # noqa: BLE001 - cell isolation by design
+            record.status = "failed"
+            record.error = f"{error}"
+            record.error_type = type(error).__name__
+            metrics.counter(
+                "campaign_failures_total", experiment=cell.experiment
+            ).inc()
+            (directory / "traceback.txt").write_text(traceback.format_exc())
+        record.elapsed_s = time.perf_counter() - started
+        write_json_atomic(directory / "metrics.json", metrics.snapshot())
+        write_json_atomic(directory / "run.json", record.to_dict())
+        return record

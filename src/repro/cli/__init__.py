@@ -4,4 +4,5 @@
 * ``psinfo`` — show configuration and live readings.
 * ``psrun`` — run a command and report its energy.
 * ``pstest`` — power/energy at increasing intervals, sample captures.
+* ``pscampaign`` — declarative, resumable experiment campaigns.
 """

@@ -1,0 +1,188 @@
+"""pscampaign: plan, execute and report declarative experiment campaigns.
+
+The scenario-engine front end over :mod:`repro.campaign`::
+
+    pscampaign list                      # registered experiments + schemas
+    pscampaign plan demo.ini --cells     # expand a plan, show the matrix
+    pscampaign run demo.ini --out runs/  # execute every cell, resumably
+    pscampaign resume demo.ini --out runs/   # finish only missing cells
+    pscampaign report runs/              # merged metrics + ablation ranking
+
+Exit statuses follow the other CLIs (:mod:`repro.cli.common`):
+configuration problems — unknown experiments, malformed plans — map to
+their documented codes, and a campaign that completed with failed cells
+exits 1 (the failure is recorded per cell, never a traceback).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.campaign import registry
+from repro.campaign.plan import CampaignPlan
+from repro.campaign.report import scan_runs, write_report
+from repro.campaign.runner import CampaignRunner
+from repro.cli.common import run_with_diagnostics
+from repro.observability import MetricsRegistry
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="pscampaign",
+        description="Declarative, resumable experiment campaigns with "
+        "ablation bookkeeping.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show registered experiments and their schemas")
+
+    plan_parser = sub.add_parser("plan", help="expand a plan and show its cells")
+    plan_parser.add_argument("plan", help="campaign plan file (INI)")
+    plan_parser.add_argument(
+        "--cells", action="store_true", help="list every cell with its run ID"
+    )
+
+    for name, help_text in (
+        ("run", "execute a plan into an artifact directory"),
+        ("resume", "re-run a plan, skipping completed cells"),
+    ):
+        run_parser = sub.add_parser(name, help=help_text)
+        run_parser.add_argument("plan", help="campaign plan file (INI)")
+        run_parser.add_argument(
+            "--out", default="campaign_out", help="artifact directory"
+        )
+        if name == "run":
+            run_parser.add_argument(
+                "--resume",
+                action="store_true",
+                help="skip cells already completed in --out",
+            )
+        run_parser.add_argument(
+            "--no-report",
+            action="store_true",
+            help="skip writing campaign_report.md after the run",
+        )
+        run_parser.add_argument(
+            "--metrics",
+            metavar="PATH",
+            default=None,
+            help="write the campaign-level metrics file on exit "
+            "(.prom or JSON lines)",
+        )
+
+    report_parser = sub.add_parser(
+        "report", help="render the report for an executed campaign directory"
+    )
+    report_parser.add_argument("out", help="campaign artifact directory")
+
+    args = parser.parse_args(argv)
+    registry_ = MetricsRegistry()
+    return run_with_diagnostics(
+        "pscampaign",
+        lambda: _dispatch(args, registry_),
+        metrics_path=getattr(args, "metrics", None),
+        registry=registry_,
+    )
+
+
+def _dispatch(args: argparse.Namespace, metrics: MetricsRegistry) -> int:
+    if args.command == "list":
+        return _list()
+    if args.command == "plan":
+        return _plan(args)
+    if args.command in ("run", "resume"):
+        return _run(args, metrics)
+    return _report(args)
+
+
+def _list() -> int:
+    for experiment in registry.experiments():
+        flags = []
+        if experiment.report_index is not None:
+            flags.append("report")
+        if experiment.series:
+            flags.append("series")
+        if experiment.accepts_registry:
+            flags.append("metrics")
+        suffix = f"  [{', '.join(flags)}]" if flags else ""
+        print(f"{experiment.name}: {experiment.section}{suffix}")
+        if experiment.help:
+            print(f"  {experiment.help}")
+        for param in experiment.params:
+            full = (
+                f", full={param.value(True)!r}"
+                if param.value(True) != param.default
+                else ""
+            )
+            choices = f" one of {sorted(param.choices)}" if param.choices else ""
+            print(
+                f"  {param.name} ({param.kind}): "
+                f"default={param.default!r}{full}{choices}"
+            )
+    return 0
+
+
+def _plan(args: argparse.Namespace) -> int:
+    plan = CampaignPlan.load(args.plan)
+    unique = {cell.run_id for cell in plan.cells}
+    print(
+        f"campaign {plan.name!r}: scale={plan.scale} seed={plan.seed} — "
+        f"{len(plan.cells)} cells ({len(unique)} unique), "
+        f"{len(plan.ablations)} ablation group(s)"
+    )
+    groups: dict[str, int] = {}
+    for cell in plan.cells:
+        groups[cell.group] = groups.get(cell.group, 0) + 1
+    for group, count in groups.items():
+        print(f"  {group}: {count} cells")
+    for ablation in plan.ablations:
+        print(
+            f"  ablation {ablation.name!r}: metric={ablation.metric!r} "
+            f"goal={ablation.goal} knockouts={sorted(ablation.knockouts)}"
+        )
+    if args.cells:
+        for cell in plan.cells:
+            role = f" role={cell.role}" if cell.role else ""
+            print(f"  {cell.run_id}  {cell.label}{role}")
+    return 0
+
+
+def _run(args: argparse.Namespace, metrics: MetricsRegistry) -> int:
+    resume = args.command == "resume" or getattr(args, "resume", False)
+    plan = CampaignPlan.load(args.plan)
+    runner = CampaignRunner(
+        plan, args.out, progress=lambda message: print(message, file=sys.stderr)
+    )
+    summary = runner.run(resume=resume)
+    counts = summary.counts()
+    for record in summary.records:
+        metrics.counter("pscampaign_cells_total", status=record.status).inc()
+    print(
+        f"campaign {plan.name!r}: {counts['ok']} ok, {counts['failed']} failed, "
+        f"{counts['skipped']} skipped -> {args.out}"
+    )
+    for record in summary.failed:
+        print(
+            f"  failed: {record.label} ({record.run_id}): "
+            f"{record.error_type}: {record.error}"
+        )
+    if not args.no_report:
+        report_path, metrics_path = write_report(args.out)
+        print(f"report written to {report_path} (+ {metrics_path.name})")
+    return 1 if summary.failed else 0
+
+
+def _report(args: argparse.Namespace) -> int:
+    records = scan_runs(args.out)
+    report_path, metrics_path = write_report(args.out)
+    failed = sum(1 for r in records.values() if r.status == "failed")
+    print(
+        f"report written to {report_path} (+ {metrics_path.name}): "
+        f"{len(records)} completed runs, {failed} failed"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,6 +29,8 @@ from repro.dut.base import CabledRail, TraceRail
 from repro.dut.gpu import Gpu, KernelLaunch
 from repro.dut.instruments import ElectronicLoad, LabSupply, LoadedSupplyRail
 from repro.dut.ssd import Ssd, SsdSpec
+from repro.campaign import registry
+from repro.campaign.registry import Param
 from repro.experiments.common import ExperimentResult
 from repro.firmware.device import default_eeprom
 from repro.hardware.adc import AdcTiming
@@ -340,6 +342,30 @@ def strategy_study(seed: int = 35, budget: int = 150) -> ExperimentResult:
         "kind of search Kernel Tuner runs when spaces outgrow enumeration"
     )
     return result
+
+
+_ABLATION_STUDIES = (
+    ("ablation_noise", "Ablation: noise correlation", noise_bandwidth_study, 30, 10),
+    ("ablation_averaging", "Ablation: averaging factor", sampling_rate_study, 31, 11),
+    ("ablation_remote_sense", "Ablation: remote sense", remote_sense_study, 32, 12),
+    ("ablation_ps2", "Ablation: PS2 vs PS3", ps2_comparison_study, 33, 13),
+    ("ablation_gc", "Ablation: GC hysteresis", gc_hysteresis_study, 34, 14),
+    ("ablation_strategies", "Ablation: search strategies", strategy_study, 35, 15),
+)
+
+for _name, _section, _runner, _seed, _index in _ABLATION_STUDIES:
+    registry.register(
+        _name,
+        section=_section,
+        runner=_runner,
+        params=(
+            (Param("seed", "int", default=_seed), Param("budget", "int", default=150))
+            if _name == "ablation_strategies"
+            else (Param("seed", "int", default=_seed),)
+        ),
+        report_index=_index,
+        help="design-choice ablation study (see DESIGN.md)",
+    )
 
 
 def main() -> None:

@@ -8,6 +8,7 @@ scale, plus a ``main()`` that prints the paper-style table.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -30,6 +31,12 @@ class ExperimentResult:
         shape of artifact for a regenerated experiment: ``result.json``
         with the table and notes, ``series.npz`` with the figure data.
         Returns the directory written.
+
+        Both files are published atomically (written to a ``.tmp`` name,
+        fsynced, then renamed — the store's ``.seg.tmp`` protocol), with
+        ``result.json`` renamed last: a run killed mid-save leaves only
+        ``.tmp`` debris, never a half-written artifact that
+        :meth:`load` would parse as a valid result.
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
@@ -41,9 +48,17 @@ class ExperimentResult:
             "notes": list(self.notes),
             "series_keys": sorted(self.series),
         }
-        (directory / "result.json").write_text(json.dumps(payload, indent=2))
+        series_path = directory / "series.npz"
         if self.series:
-            np.savez_compressed(directory / "series.npz", **self.series)
+            # np.savez appends ".npz" to bare paths; hand it an open
+            # handle so the temp name is exactly what gets renamed.
+            _publish(series_path, lambda f: np.savez_compressed(f, **self.series))
+        elif series_path.exists():
+            series_path.unlink()  # a re-run must not leave stale series
+        _publish(
+            directory / "result.json",
+            lambda f: f.write(json.dumps(payload, indent=2).encode()),
+        )
         return directory
 
     @classmethod
@@ -86,6 +101,16 @@ class ExperimentResult:
 
     def print(self) -> None:
         print(self.table())
+
+
+def _publish(path: Path, write) -> None:
+    """Write ``path`` atomically: tmp file, fsync, rename."""
+    tmp = path.parent / (path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        write(handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
 
 
 def _jsonable(value):

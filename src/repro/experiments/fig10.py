@@ -22,6 +22,8 @@ from repro.common.rng import RngStream
 from repro.core.setup import SimulatedSetup
 from repro.dut.gpu import KernelLaunch
 from repro.dut.jetson import JetsonAgxOrin
+from repro.campaign import registry
+from repro.campaign.registry import Param
 from repro.experiments.common import ExperimentResult
 from repro.tuner.kernels import BEAMFORMER_TARGETS, TensorCoreBeamformer
 from repro.tuner.kernels import beamformer_search_space
@@ -95,6 +97,17 @@ def run(seed: int = 8) -> ExperimentResult:
         "only every ~0.1 s; PowerSensor3 on the USB-C feed sees the whole device"
     )
     return result
+
+
+registry.register(
+    "fig10",
+    section="Fig. 10",
+    runner=run,
+    params=(Param("seed", "int", default=8),),
+    report_index=8,
+    series=True,
+    help="beamformer auto-tuning on the Jetson AGX Orin",
+)
 
 
 def main() -> None:

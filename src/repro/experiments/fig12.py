@@ -24,6 +24,8 @@ from repro.common.units import GIB
 from repro.core.setup import SimulatedSetup
 from repro.dut.base import TraceRail
 from repro.dut.ssd import Ssd, SsdSpec
+from repro.campaign import registry
+from repro.campaign.registry import Param
 from repro.experiments.common import ExperimentResult
 from repro.storage.engine import IoEngine, precondition
 from repro.storage.fio import FioJob
@@ -208,6 +210,37 @@ def run_ftl_comparison(
         "mapping-table footprint moves the other way"
     )
     return result
+
+
+registry.register(
+    "fig12",
+    section="Fig. 12",
+    runner=run,
+    params=(
+        Param("logical_bytes", "int", default=2 * GIB, full=8 * GIB),
+        Param("read_runtime_s", "float", default=3.0, full=10.0),
+        Param("write_runtime_s", "float", default=40.0, full=120.0),
+        Param("seed", "int", default=9),
+    ),
+    bench={"read_runtime_s": 1.0, "write_runtime_s": 30.0},
+    report_index=9,
+    series=True,
+    help="SSD power/bandwidth under fio workloads",
+)
+
+registry.register(
+    "fig12_ftl",
+    section="Fig. 12 (FTL comparison)",
+    runner=run_ftl_comparison,
+    params=(
+        Param("logical_bytes", "int", default=GIB // 2),
+        Param("write_runtime_s", "float", default=20.0),
+        Param("seed", "int", default=9),
+    ),
+    bench={"write_runtime_s": 10.0},
+    series=True,
+    help="energy per IO across the four FTL mapping policies",
+)
 
 
 def main() -> None:

@@ -14,6 +14,8 @@ import numpy as np
 from repro.common.stats import summarize
 from repro.core.setup import SimulatedSetup
 from repro.dut.instruments import ElectronicLoad, LabSupply, LoadedSupplyRail
+from repro.campaign import registry
+from repro.campaign.registry import Param
 from repro.experiments.common import ExperimentResult
 
 #: The four sensor types of Fig. 4: (module key, supply voltage).
@@ -76,6 +78,22 @@ def run(
         "envelope dominated by current-sensor noise"
     )
     return result
+
+
+registry.register(
+    "fig4",
+    section="Fig. 4",
+    runner=run,
+    params=(
+        Param("n_samples", "int", default=16 * 1024, full=128 * 1024),
+        Param("step_a", "float", default=1.0),
+        Param("seed", "int", default=3),
+    ),
+    bench={"n_samples": 8 * 1024, "step_a": 2.0},
+    report_index=2,
+    series=True,
+    help="power error vs current sweep for four sensor types",
+)
 
 
 def main() -> None:

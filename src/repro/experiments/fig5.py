@@ -13,6 +13,8 @@ from __future__ import annotations
 from repro.analysis.stepresponse import measure_step
 from repro.core.setup import SimulatedSetup
 from repro.dut.instruments import ElectronicLoad, LabSupply, LoadedSupplyRail
+from repro.campaign import registry
+from repro.campaign.registry import Param
 from repro.experiments.common import ExperimentResult
 
 LOW_AMPS = 3.3
@@ -61,6 +63,21 @@ def run(cycles: int = 10, seed: int = 4) -> ExperimentResult:
         "analog bandwidth — the step settles within ~2 samples"
     )
     return result
+
+
+registry.register(
+    "fig5",
+    section="Fig. 5",
+    runner=run,
+    params=(
+        Param("cycles", "int", default=10),
+        Param("seed", "int", default=4),
+    ),
+    bench={"cycles": 10},
+    report_index=3,
+    series=True,
+    help="step response of the sensor at 20 kHz",
+)
 
 
 def main() -> None:

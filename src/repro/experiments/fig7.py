@@ -15,12 +15,16 @@ experiment measures the three PCIe feeds with PowerSensor3 (3.3 V slot,
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
 from repro.analysis.energy import detect_activity, extract_features, integrate_energy
 from repro.common.rng import RngStream
 from repro.core.setup import SimulatedSetup
 from repro.dut.gpu import Gpu, KernelLaunch
+from repro.campaign import registry
+from repro.campaign.registry import Param
 from repro.experiments.common import ExperimentResult, relative_delta
 from repro.vendor.nvml import NvmlDevice
 from repro.vendor.rocm_smi import AmdSmiDevice, RocmSmiDevice
@@ -164,6 +168,32 @@ def run(gpu_key: str = "rtx4000ada", seed: int = 6, dt: float = 1e-4) -> Experim
         ]
     )
     return result
+
+
+_FIG7_PARAMS = (
+    Param("seed", "int", default=6),
+    Param("dt", "float", default=1e-4),
+)
+
+registry.register(
+    "fig7a",
+    section="Fig. 7a (NVIDIA)",
+    runner=functools.partial(run, "rtx4000ada"),
+    params=_FIG7_PARAMS,
+    report_index=5,
+    series=True,
+    help="GPU workload, PowerSensor3 vs NVML",
+)
+
+registry.register(
+    "fig7b",
+    section="Fig. 7b (AMD)",
+    runner=functools.partial(run, "w7700"),
+    params=_FIG7_PARAMS,
+    report_index=6,
+    series=True,
+    help="GPU workload, PowerSensor3 vs AMD SMI",
+)
 
 
 def main() -> None:

@@ -21,6 +21,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.common.rng import RngStream
+from repro.campaign import registry
+from repro.campaign.registry import Param
 from repro.experiments.common import ExperimentResult, relative_delta
 from repro.tuner.kernels import BEAMFORMER_TARGETS, TensorCoreBeamformer
 from repro.tuner.observers import NvmlObserver, PowerSensorObserver
@@ -140,6 +142,21 @@ def run(
         f"{overlap}/10 clocks inside the paper's 1200-2100 MHz tuning range"
     )
     return result
+
+
+registry.register(
+    "fig8",
+    section="Fig. 8",
+    runner=run,
+    params=(
+        Param("seed", "int", default=7),
+        Param("ps3_verify_points", "int", default=12),
+    ),
+    bench={"ps3_verify_points": 6},
+    report_index=7,
+    series=True,
+    help="beamformer auto-tuning and the 3.25x tuning-time claim",
+)
 
 
 def main() -> None:

@@ -18,6 +18,8 @@ from repro.analysis.stability import StabilityPoint, stability_statistics
 from repro.core.setup import SimulatedSetup
 from repro.core.sources import convert_codes
 from repro.dut.instruments import ElectronicLoad, LabSupply, LoadedSupplyRail
+from repro.campaign import registry
+from repro.campaign.registry import Param
 from repro.experiments.common import ExperimentResult
 
 LOAD_AMPS = 7.5
@@ -78,6 +80,22 @@ def run(
         f"{window_interval_s / 60:.0f} min over {hours:.0f} h"
     )
     return result
+
+
+registry.register(
+    "stability",
+    section="Long-term stability",
+    runner=run,
+    params=(
+        Param("hours", "float", default=50.0),
+        Param("window_samples", "int", default=16 * 1024, full=128 * 1024),
+        Param("seed", "int", default=5),
+    ),
+    bench={"hours": 50.0, "window_samples": 8 * 1024},
+    report_index=4,
+    series=True,
+    help="50-hour drift study (Section IV-B)",
+)
 
 
 def main() -> None:

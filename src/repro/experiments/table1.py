@@ -8,6 +8,7 @@ propagation formula, and compares against the published table.
 from __future__ import annotations
 
 from repro.analysis.accuracy import worst_case_accuracy
+from repro.campaign import registry
 from repro.experiments.common import ExperimentResult, relative_delta
 from repro.hardware.modules import module_spec
 
@@ -41,6 +42,15 @@ def run() -> ExperimentResult:
         "propagated via E_p = sqrt((U*E_i)^2 + (I*E_u)^2 + (E_i*E_u)^2)"
     )
     return result
+
+
+registry.register(
+    "table1",
+    section="Table I",
+    runner=run,
+    report_index=0,
+    help="worst-case module accuracy from physical constants",
+)
 
 
 def main() -> None:

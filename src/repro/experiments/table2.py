@@ -11,6 +11,8 @@ from __future__ import annotations
 from repro.analysis.averaging import averaging_table
 from repro.core.setup import SimulatedSetup
 from repro.dut.instruments import ElectronicLoad, LabSupply, LoadedSupplyRail
+from repro.campaign import registry
+from repro.campaign.registry import Param
 from repro.experiments.common import ExperimentResult
 
 #: Paper Table II std column per rate (kHz -> W rms), identical for both loads.
@@ -51,6 +53,20 @@ def run(
         f"{n_samples} samples per load point; block averaging of the 20 kHz capture"
     )
     return result
+
+
+registry.register(
+    "table2",
+    section="Table II",
+    runner=run,
+    params=(
+        Param("n_samples", "int", default=32 * 1024, full=128 * 1024),
+        Param("seed", "int", default=2),
+    ),
+    bench={"loads_a": (0.5, 1.0), "n_samples": 64 * 1024},
+    report_index=1,
+    help="noise vs effective sampling rate on a 12 V / 10 A sensor",
+)
 
 
 def main() -> None:

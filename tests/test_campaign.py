@@ -1,0 +1,416 @@
+"""Campaign layer: plan grammar, run IDs, resume, isolation, ablations."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.campaign import registry
+from repro.campaign.plan import CampaignPlan, compute_run_id
+from repro.campaign.report import ablation_report, render_markdown, write_report
+from repro.campaign.runner import CampaignRunner
+from repro.common.errors import ConfigurationError
+from repro.experiments.common import ExperimentResult, _jsonable
+
+# --------------------------------------------------------------------- #
+# A toy experiment: instant to run, scriptable failures                 #
+# --------------------------------------------------------------------- #
+
+
+def _toy_runner(value=1, mode="plain", fail=False, seed=0):
+    if fail:
+        raise RuntimeError("scripted cell failure")
+    result = ExperimentResult(name="toy")
+    result.rows.append(
+        {"value": value, "mode": mode, "score": float(value * 2), "seed": seed}
+    )
+    return result
+
+
+try:
+    registry.register(
+        "campaign_toy",
+        section="Toy",
+        runner=_toy_runner,
+        params=(
+            registry.Param("value", "int", default=1),
+            registry.Param("mode", "str", default="plain"),
+            registry.Param("fail", "bool", default=False),
+            registry.Param("seed", "int", default=0),
+        ),
+    )
+except ConfigurationError:
+    pass  # already registered in this process
+
+
+SWEEP_PLAN = """
+[campaign]
+name = toy-campaign
+seed = 7
+
+[grid:sweep]
+experiment = campaign_toy
+value = 1,2,3
+"""
+
+
+# --------------------------------------------------------------------- #
+# ExperimentResult round trip (atomic save/load)                        #
+# --------------------------------------------------------------------- #
+
+_keys = st.text(
+    alphabet=st.characters(min_codepoint=48, max_codepoint=122), min_size=1, max_size=8
+)
+_plain = st.one_of(
+    st.integers(-(2**31), 2**31),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.booleans(),
+    _keys,
+)
+_numpyish = st.one_of(
+    st.integers(-1000, 1000).map(np.int64),
+    st.floats(allow_nan=False, allow_infinity=False).map(np.float64),
+    st.booleans().map(np.bool_),
+)
+_rows = st.lists(
+    st.dictionaries(_keys, st.one_of(_plain, _numpyish), min_size=1, max_size=4),
+    max_size=5,
+)
+_series = st.dictionaries(
+    _keys,
+    st.lists(
+        st.floats(allow_nan=False, allow_infinity=False), min_size=1, max_size=8
+    ).map(np.asarray),
+    max_size=3,
+)
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(rows=_rows, series=_series, notes=st.lists(_keys, max_size=3))
+def test_result_save_load_roundtrip(tmp_path, rows, series, notes):
+    """save() then load() preserves rows (numpy coerced), series, notes.
+
+    Reuses one directory across examples: a re-save must fully replace
+    the previous artifact (including unlinking a stale series.npz).
+    """
+    result = ExperimentResult(name="rt", rows=rows, series=series, notes=notes)
+    result.save(tmp_path)
+    loaded = ExperimentResult.load(tmp_path)
+
+    assert loaded.name == "rt"
+    assert loaded.notes == notes
+    assert loaded.rows == [
+        {key: _jsonable(value) for key, value in row.items()} for row in rows
+    ]
+    # numpy scalars must come back as JSON-native types.
+    for row in loaded.rows:
+        for value in row.values():
+            assert isinstance(value, (int, float, str, bool))
+    assert set(loaded.series) == set(series)
+    for key, array in series.items():
+        assert np.array_equal(loaded.series[key], array)
+    # No .tmp debris survives a successful publish.
+    assert not list(tmp_path.glob("*.tmp"))
+    if not series:
+        assert not (tmp_path / "series.npz").exists()
+
+
+def test_save_removes_stale_series(tmp_path):
+    with_series = ExperimentResult(
+        name="a", rows=[{"x": 1}], series={"s": np.arange(3.0)}
+    )
+    with_series.save(tmp_path)
+    assert (tmp_path / "series.npz").exists()
+    ExperimentResult(name="a", rows=[{"x": 1}]).save(tmp_path)
+    assert not (tmp_path / "series.npz").exists()
+    assert ExperimentResult.load(tmp_path).series == {}
+
+
+# --------------------------------------------------------------------- #
+# Plan grammar and run-ID determinism                                   #
+# --------------------------------------------------------------------- #
+
+
+def test_run_ids_deterministic():
+    first = CampaignPlan.parse(SWEEP_PLAN)
+    second = CampaignPlan.parse(SWEEP_PLAN)
+    assert [c.run_id for c in first.cells] == [c.run_id for c in second.cells]
+    assert len({c.run_id for c in first.cells}) == 3
+
+
+def test_run_ids_change_with_params_and_seed():
+    base = [c.run_id for c in CampaignPlan.parse(SWEEP_PLAN).cells]
+    changed = CampaignPlan.parse(SWEEP_PLAN.replace("1,2,3", "1,2,4"))
+    changed_ids = [c.run_id for c in changed.cells]
+    assert changed_ids[:2] == base[:2]  # untouched cells keep their IDs
+    assert changed_ids[2] != base[2]
+    # The campaign seed feeds every derived per-cell seed.
+    reseeded = CampaignPlan.parse(SWEEP_PLAN.replace("seed = 7", "seed = 8"))
+    assert all(a != b for a, b in zip(base, (c.run_id for c in reseeded.cells)))
+
+
+def test_pinned_seed_defeats_derivation():
+    plan = CampaignPlan.parse(SWEEP_PLAN + "seed = 99\n")
+    assert all(cell.params["seed"] == 99 for cell in plan.cells)
+    assert plan.cells[0].run_id == compute_run_id(
+        "campaign_toy", plan.cells[0].params, "bench"
+    )
+
+
+def test_semicolon_splits_values_with_commas():
+    plan = CampaignPlan.parse(
+        """
+[campaign]
+name = modes
+
+[grid:m]
+experiment = campaign_toy
+mode = a,b ; c,d
+"""
+    )
+    assert [c.params["mode"] for c in plan.cells] == ["a,b", "c,d"]
+
+
+def test_include_exclude_filters():
+    plan = CampaignPlan.parse(
+        """
+[campaign]
+name = filtered
+
+[grid:f]
+experiment = campaign_toy
+value = 1,2
+mode = a;b
+exclude = value=2/mode=b
+"""
+    )
+    assert len(plan.cells) == 3
+    assert all(
+        (c.params["value"], c.params["mode"]) != (2, "b") for c in plan.cells
+    )
+    with pytest.raises(ConfigurationError):
+        CampaignPlan.parse(
+            """
+[campaign]
+name = empty
+
+[grid:f]
+experiment = campaign_toy
+value = 1
+include = value=2
+"""
+        )
+
+
+@pytest.mark.parametrize(
+    "plan_text",
+    [
+        "[grid:g]\nexperiment = no_such_experiment\n",
+        "[grid:g]\nexperiment = campaign_toy\nnot_a_param = 1\n",
+        "[grid:g]\nvalue = 1\n",  # missing experiment=
+        "[weird:g]\nexperiment = campaign_toy\n",
+        "[campaign]\nname = x\n",  # no sections at all
+        "[ablation:a]\nexperiment = campaign_toy\nknockout.c = value=2\n",  # no metric
+        (
+            "[ablation:a]\nexperiment = campaign_toy\nmetric = score\n"
+            "goal = sideways\nknockout.c = value=2\n"
+        ),
+        "[ablation:a]\nexperiment = campaign_toy\nmetric = score\n",  # no knockouts
+        (
+            "[ablation:a]\nexperiment = campaign_toy\nmetric = score\n"
+            "value = 1,2\nknockout.c = value=3\n"  # baseline key must be single
+        ),
+    ],
+)
+def test_malformed_plans_rejected(plan_text):
+    with pytest.raises(ConfigurationError):
+        CampaignPlan.parse("[campaign]\nname = bad\n" + plan_text)
+
+
+# --------------------------------------------------------------------- #
+# Runner: resume, isolation, shared cells                               #
+# --------------------------------------------------------------------- #
+
+
+def test_resume_skips_completed_cells(tmp_path):
+    plan = CampaignPlan.parse(SWEEP_PLAN)
+    runner = CampaignRunner(plan, tmp_path)
+    summary = runner.run()
+    assert summary.counts() == {"ok": 3, "failed": 0, "skipped": 0}
+    for record in summary.records:
+        run_dir = tmp_path / "runs" / record.run_id
+        assert (run_dir / "result.json").exists()
+        assert (run_dir / "run.json").exists()
+        snapshot = json.loads((run_dir / "metrics.json").read_text())
+        names = {m["name"] for m in snapshot["metrics"]}
+        assert "campaign_runs_total" in names
+
+    # Simulate a crash mid-cell: the completion marker vanishes.
+    victim = summary.records[1].run_id
+    (tmp_path / "runs" / victim / "run.json").unlink()
+
+    resumed = CampaignRunner(plan, tmp_path).run(resume=True)
+    assert resumed.counts() == {"ok": 1, "failed": 0, "skipped": 2}
+    redone = [r for r in resumed.records if r.status == "ok"]
+    assert redone[0].run_id == victim
+
+    # Without resume=, everything re-executes.
+    fresh = CampaignRunner(plan, tmp_path).run()
+    assert fresh.counts() == {"ok": 3, "failed": 0, "skipped": 0}
+
+
+def test_failed_cell_isolated(tmp_path):
+    plan = CampaignPlan.parse(
+        """
+[campaign]
+name = mixed
+
+[grid:m]
+experiment = campaign_toy
+value = 1
+fail = false,true
+"""
+    )
+    summary = CampaignRunner(plan, tmp_path).run()
+    assert summary.counts() == {"ok": 1, "failed": 1, "skipped": 0}
+    (failed,) = summary.failed
+    assert failed.error_type == "RuntimeError"
+    assert "scripted cell failure" in (failed.error or "")
+    run_dir = tmp_path / "runs" / failed.run_id
+    assert "scripted cell failure" in (run_dir / "traceback.txt").read_text()
+    assert not (run_dir / "result.json").exists()
+    # Failed cells are complete (marked), so resume retries nothing ok-ish
+    # but does re-run the failure.
+    resumed = CampaignRunner(plan, tmp_path).run(resume=True)
+    assert resumed.counts() == {"ok": 0, "failed": 1, "skipped": 1}
+
+
+def test_shared_cells_execute_once(tmp_path):
+    plan = CampaignPlan.parse(
+        """
+[campaign]
+name = shared
+seed = 3
+
+[grid:g]
+experiment = campaign_toy
+value = 4,6
+seed = 1
+
+[ablation:knobs]
+experiment = campaign_toy
+metric = score
+goal = max
+value = 4
+seed = 1
+knockout.doubling = value=2
+"""
+    )
+    # The ablation baseline has the same content as the value=4 grid cell.
+    ids = [c.run_id for c in plan.cells]
+    assert len(ids) == 4 and len(set(ids)) == 3
+    summary = CampaignRunner(plan, tmp_path).run()
+    assert summary.counts() == {"ok": 3, "failed": 0, "skipped": 0}
+    assert len(list((tmp_path / "runs").iterdir())) == 3
+
+
+# --------------------------------------------------------------------- #
+# Ablation bookkeeping and report                                       #
+# --------------------------------------------------------------------- #
+
+
+def test_ablation_importance_ranking(tmp_path):
+    plan = CampaignPlan.parse(
+        """
+[campaign]
+name = knobs
+
+[ablation:knobs]
+experiment = campaign_toy
+metric = score
+goal = max
+value = 4
+knockout.halving = value=2
+knockout.boost = value=8
+knockout.broken = fail=true
+"""
+    )
+    CampaignRunner(plan, tmp_path).run()
+    (report,) = ablation_report(tmp_path)
+    assert report.baseline_value == 8.0
+    ranked = report.ranked()
+    assert [s.component for s in ranked] == ["halving", "boost", "broken"]
+    halving, boost, broken = ranked
+    assert halving.importance == 4.0 and not halving.harmful
+    assert boost.importance == -8.0 and boost.harmful
+    assert broken.importance is None  # failed knockout: unmeasured, sinks last
+
+    text = render_markdown(tmp_path)
+    assert "### knobs (campaign_toy)" in text
+    assert "load-bearing" in text
+    assert "harmful — removal improved the metric" in text
+    assert "unmeasured" in text
+
+    report_path, metrics_path = write_report(tmp_path)
+    assert report_path.exists() and metrics_path.exists()
+    merged = json.loads(metrics_path.read_text())
+    assert any(m["name"] == "campaign_runs_total" for m in merged["metrics"])
+
+
+def test_min_goal_flips_importance_sign(tmp_path):
+    plan = CampaignPlan.parse(
+        """
+[campaign]
+name = cost
+
+[ablation:cost]
+experiment = campaign_toy
+metric = score
+goal = min
+value = 4
+knockout.halving = value=2
+"""
+    )
+    CampaignRunner(plan, tmp_path).run()
+    (report,) = ablation_report(tmp_path)
+    # Removing "halving" lowered the cost metric: harmful for goal=min? No —
+    # knockout (4.0) < baseline (8.0) and lower is better, so the component
+    # was hurting: importance = knockout - baseline = -4.
+    (score,) = report.ranked()
+    assert score.importance == -4.0 and score.harmful
+
+
+# --------------------------------------------------------------------- #
+# CLI                                                                    #
+# --------------------------------------------------------------------- #
+
+
+def test_pscampaign_cli_end_to_end(tmp_path, capsys):
+    from repro.cli import pscampaign
+
+    plan_path = tmp_path / "plan.ini"
+    plan_path.write_text(SWEEP_PLAN)
+    out = tmp_path / "out"
+
+    assert pscampaign.main(["list"]) == 0
+    assert "campaign_toy" in capsys.readouterr().out
+
+    assert pscampaign.main(["plan", str(plan_path), "--cells"]) == 0
+    assert "3 cells (3 unique)" in capsys.readouterr().out
+
+    assert pscampaign.main(["run", str(plan_path), "--out", str(out)]) == 0
+    assert (out / "campaign_report.md").exists()
+    capsys.readouterr()
+
+    (out / "runs" / CampaignPlan.parse(SWEEP_PLAN).cells[0].run_id / "run.json").unlink()
+    assert pscampaign.main(["resume", str(plan_path), "--out", str(out)]) == 0
+    assert "1 ok, 0 failed, 2 skipped" in capsys.readouterr().out
+
+    assert pscampaign.main(["report", str(out)]) == 0
+    assert "3 completed runs" in capsys.readouterr().out
